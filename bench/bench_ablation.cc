@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation of the scheduler's design choices (beyond the paper's
+ * Figure 11): spatial window size, the aux-affinity topological order's
+ * effect via the hybrid scheme, and the data-parallel cluster count —
+ * all on bootstrapping with the CROPHE-36 configuration.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "graph/workloads.h"
+#include "sched/hybrid_rotation.h"
+#include "sched/scheduler.h"
+
+using namespace crophe;
+
+int
+main()
+{
+    setVerbose(false);
+    auto params = graph::paramsSharp();
+    auto cfg = hw::withSramMB(hw::configCrophe36(), 90.0);
+
+    bench::printHeader("Ablation: spatial group size (maxGroupOps)");
+    graph::WorkloadOptions wopt;
+    wopt.rotMode = graph::RotMode::Hybrid;
+    wopt.rHyb = 4;
+    auto w = graph::buildBootstrapping(params, wopt);
+    for (u32 k : {1u, 2u, 4u, 6u, 8u, 10u}) {
+        sched::SchedOptions opt;
+        opt.maxGroupOps = k;
+        auto r = sched::scheduleWorkload(w, cfg, opt);
+        std::printf("  maxGroupOps=%2u  %10.3e cycles  dram %9.3e words\n",
+                    k, r.stats.cycles,
+                    static_cast<double>(r.stats.dramWords));
+    }
+
+    bench::printHeader("Ablation: rotation scheme (fixed, no search)");
+    for (auto [mode, r_hyb] :
+         {std::pair<graph::RotMode, u32>{graph::RotMode::MinKs, 0},
+          {graph::RotMode::Hoisting, 0},
+          {graph::RotMode::Hybrid, 2},
+          {graph::RotMode::Hybrid, 4},
+          {graph::RotMode::Hybrid, 8}}) {
+        graph::WorkloadOptions o;
+        o.rotMode = mode;
+        o.rHyb = r_hyb;
+        auto wl = graph::buildBootstrapping(params, o);
+        sched::SchedOptions opt;
+        auto res = sched::scheduleWorkload(wl, cfg, opt);
+        std::printf("  %-9s r=%u  %10.3e cycles  aux dram %9.3e words\n",
+                    graph::rotModeName(mode), r_hyb, res.stats.cycles,
+                    static_cast<double>(res.stats.auxDramWords));
+    }
+
+    bench::printHeader("Ablation: CROPHE-p cluster count");
+    for (u32 c : {1u, 2u, 4u}) {
+        sched::SchedOptions opt;
+        opt.clusters = c;
+        auto r = sched::scheduleWorkload(w, cfg, opt);
+        std::printf("  clusters=%u  %10.3e cycles  aux dram %9.3e words\n",
+                    c, r.stats.cycles,
+                    static_cast<double>(r.stats.auxDramWords));
+    }
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * google-benchmark kernels for the functional CKKS layer: encode,
+ * encrypt, HAdd, PMult, HMult (+relinearization), rescale and HRot on a
+ * compact but complete context.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "fhe/bsgs.h"
+#include "fhe/ckks.h"
+
+using namespace crophe;
+using namespace crophe::fhe;
+
+namespace {
+
+struct Bench
+{
+    FheContext ctx;
+    KeyGenerator keygen;
+    PublicKey pk;
+    KswKey rlk;
+    KswKey rk1;
+    Evaluator eval;
+    Ciphertext ct0;
+    Ciphertext ct1;
+    Plaintext pt;
+
+    static FheContextParams
+    params()
+    {
+        FheContextParams p;
+        p.n = 1 << 12;
+        p.levels = 4;
+        p.alpha = 2;
+        return p;
+    }
+
+    Bench()
+        : ctx(params()), keygen(ctx, 42), pk(keygen.makePublicKey()),
+          rlk(keygen.makeRelinKey()), rk1(keygen.makeRotationKey(1)),
+          eval(ctx, 7)
+    {
+        Rng rng(8);
+        std::vector<double> v(ctx.n() / 2);
+        for (auto &x : v)
+            x = rng.nextDouble() - 0.5;
+        pt = eval.encoder().encodeReal(v, ctx.maxLevel());
+        ct0 = eval.encrypt(pt, pk);
+        ct1 = eval.encrypt(pt, pk);
+    }
+};
+
+Bench &
+fixture()
+{
+    static Bench b;
+    return b;
+}
+
+void
+BM_Encode(benchmark::State &state)
+{
+    auto &b = fixture();
+    std::vector<double> v(b.ctx.n() / 2, 0.25);
+    for (auto _ : state) {
+        auto p = b.eval.encoder().encodeReal(v, 2);
+        benchmark::DoNotOptimize(p.scale);
+    }
+}
+BENCHMARK(BM_Encode);
+
+void
+BM_Encrypt(benchmark::State &state)
+{
+    auto &b = fixture();
+    for (auto _ : state) {
+        auto c = b.eval.encrypt(b.pt, b.pk);
+        benchmark::DoNotOptimize(c.scale);
+    }
+}
+BENCHMARK(BM_Encrypt);
+
+void
+BM_HAdd(benchmark::State &state)
+{
+    auto &b = fixture();
+    for (auto _ : state) {
+        auto c = b.eval.add(b.ct0, b.ct1);
+        benchmark::DoNotOptimize(c.scale);
+    }
+}
+BENCHMARK(BM_HAdd);
+
+void
+BM_PMult(benchmark::State &state)
+{
+    auto &b = fixture();
+    for (auto _ : state) {
+        auto c = b.eval.mulPlain(b.ct0, b.pt);
+        benchmark::DoNotOptimize(c.scale);
+    }
+}
+BENCHMARK(BM_PMult);
+
+void
+BM_HMultRelin(benchmark::State &state)
+{
+    auto &b = fixture();
+    for (auto _ : state) {
+        auto c = b.eval.mul(b.ct0, b.ct1, b.rlk);
+        benchmark::DoNotOptimize(c.scale);
+    }
+}
+BENCHMARK(BM_HMultRelin);
+
+void
+BM_Rescale(benchmark::State &state)
+{
+    auto &b = fixture();
+    for (auto _ : state) {
+        auto c = b.eval.rescale(b.ct0);
+        benchmark::DoNotOptimize(c.scale);
+    }
+}
+BENCHMARK(BM_Rescale);
+
+void
+BM_HRot(benchmark::State &state)
+{
+    auto &b = fixture();
+    for (auto _ : state) {
+        auto c = b.eval.rotate(b.ct0, 1, b.rk1);
+        benchmark::DoNotOptimize(c.scale);
+    }
+}
+BENCHMARK(BM_HRot);
+
+}  // namespace
+
+BENCHMARK_MAIN();

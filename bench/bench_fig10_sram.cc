@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces Figure 10: CROPHE's speedup over the best baseline as the
+ * global SRAM capacity shrinks — CROPHE-64 vs ARK (512→64 MB) and
+ * CROPHE-36 vs SHARP (180→45 MB), on all four workloads.
+ */
+
+#include <cstdio>
+
+#include "baselines/baseline.h"
+#include "bench/bench_util.h"
+#include "common/logging.h"
+
+using namespace crophe;
+
+namespace {
+
+void
+sweep(const char *baseline, const char *crophe, const char *crophe_p,
+      std::initializer_list<double> sizes)
+{
+    const char *workloads[] = {"bootstrap", "helr", "resnet20",
+                               "resnet110"};
+    for (const char *w : workloads) {
+        std::printf("%s:\n", w);
+        for (double mb : sizes) {
+            auto base = baselines::runDesign(
+                baselines::withSram(baselines::designByName(baseline), mb),
+                w);
+            auto c = baselines::runDesign(
+                baselines::withSram(baselines::designByName(crophe), mb),
+                w);
+            auto cp = baselines::runDesign(
+                baselines::withSram(baselines::designByName(crophe_p), mb),
+                w);
+            std::printf("  %6.0f MB: %-10s %9.3e | CROPHE %9.3e "
+                        "(%4.2fx) | CROPHE-p %9.3e (%4.2fx)\n",
+                        mb, baseline, base.stats.cycles, c.stats.cycles,
+                        base.stats.cycles / c.stats.cycles,
+                        cp.stats.cycles,
+                        base.stats.cycles / cp.stats.cycles);
+        }
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    bench::printHeader("Figure 10(a,b): CROPHE-64 vs ARK, shrinking SRAM");
+    sweep("ARK+MAD", "CROPHE-64", "CROPHE-p-64", {512.0, 256.0, 128.0,
+                                                  64.0});
+    bench::printHeader("Figure 10(c,d): CROPHE-36 vs SHARP, shrinking SRAM");
+    sweep("SHARP+MAD", "CROPHE-36", "CROPHE-p-36", {180.0, 90.0, 45.0});
+    return 0;
+}

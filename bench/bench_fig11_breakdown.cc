@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces Figure 11: the contribution of each CROPHE technique on the
+ * bootstrapping workload at a small SRAM capacity, together with the SRAM
+ * and DRAM access traffic — MAD on CROPHE hardware, the basic
+ * cross-operator dataflow ("Base"), +NTT decomposition, +hybrid rotation,
+ * and both combined; against the corresponding baseline accelerator.
+ */
+
+#include <cstdio>
+
+#include "baselines/baseline.h"
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "graph/workloads.h"
+#include "sched/hybrid_rotation.h"
+#include "sched/mad.h"
+#include "sched/scheduler.h"
+
+using namespace crophe;
+
+namespace {
+
+void
+breakdown(const char *baseline_name, const char *crophe_name,
+          double sram_mb)
+{
+    auto baseline = baselines::withSram(
+        baselines::designByName(baseline_name), sram_mb);
+    auto crophe = baselines::withSram(baselines::designByName(crophe_name),
+                                      sram_mb);
+    const auto &params = crophe.params;
+
+    std::printf("%s vs CROPHE hw (%s params, %.0f MB SRAM):\n",
+                baseline_name, params.name.c_str(), sram_mb);
+
+    auto report = [&](const char *label,
+                      const sched::WorkloadResult &r, double base) {
+        std::printf("  %-10s %10.3e cycles (%5.2fx)  sram %9.3e  "
+                    "dram %9.3e words\n",
+                    label, r.stats.cycles, base / r.stats.cycles,
+                    static_cast<double>(r.stats.sramWords),
+                    static_cast<double>(r.stats.dramWords));
+    };
+
+    // Baseline accelerator with MAD.
+    auto base = baselines::runDesign(baseline, "bootstrap");
+    report("baseline", base, base.stats.cycles);
+
+    // MAD on the CROPHE homogeneous hardware (Min-KS rotations, per VII-D).
+    {
+        graph::WorkloadOptions wopt;
+        wopt.rotMode = graph::RotMode::MinKs;
+        auto w = graph::buildBootstrapping(params, wopt);
+        auto r = sched::scheduleWorkloadMad(w, crophe.cfg);
+        r.design = "MAD";
+        report("MAD", r, base.stats.cycles);
+    }
+
+    sched::SchedOptions opt;  // cross-operator dataflow on
+    auto run_mode = [&](const char *label, bool nttdec, bool hybrot) {
+        opt.nttDecomp = nttdec;
+        auto choice = sched::chooseRotationScheme("bootstrap", params,
+                                                  crophe.cfg, opt, hybrot);
+        choice.result.design = label;
+        report(label, choice.result, base.stats.cycles);
+    };
+    run_mode("Base", false, false);
+    run_mode("+NTTDec", true, false);
+    run_mode("+HybRot", false, true);
+    run_mode("Both", true, true);
+}
+
+}  // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    bench::printHeader("Figure 11: technique breakdown, bootstrapping");
+    breakdown("ARK+MAD", "CROPHE-64", 64.0);
+    std::printf("\n");
+    breakdown("SHARP+MAD", "CROPHE-36", 45.0);
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces Figure 9: overall performance comparison across the four
+ * workloads and all design points (baseline+MAD, CROPHE-hw+MAD, CROPHE,
+ * CROPHE-p) for the 64-bit and 36-bit groups.
+ *
+ * Pass "--simulate" to drive the cycle-level simulator instead of the
+ * analytical cost model (slower; same shapes).
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "baselines/baseline.h"
+#include "bench/bench_util.h"
+#include "common/logging.h"
+
+using namespace crophe;
+
+int
+main(int argc, char **argv)
+{
+    bool simulate = argc > 1 && std::strcmp(argv[1], "--simulate") == 0;
+    setVerbose(false);
+
+    const char *workloads[] = {"bootstrap", "helr", "resnet20",
+                               "resnet110"};
+    for (auto group : {baselines::designs64(), baselines::designs36()}) {
+        bench::printHeader(group[0].cfg.wordBits == 64
+                               ? "Figure 9 (64-bit group)"
+                               : "Figure 9 (36-bit group)");
+        for (const char *w : workloads) {
+            std::printf("%s:\n", w);
+            double base = 0.0;
+            for (const auto &d : group) {
+                auto r = baselines::runDesign(d, w, simulate);
+                if (base == 0.0)
+                    base = r.stats.cycles;
+                bench::printResultRow(r, base);
+            }
+        }
+    }
+    return 0;
+}

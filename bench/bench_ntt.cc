@@ -1,0 +1,111 @@
+/**
+ * @file
+ * google-benchmark microkernels for the functional NTT layer: merged
+ * radix-2 negacyclic NTT and the four-step decomposed transform across
+ * ring sizes, plus the modular-arithmetic primitives.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "fhe/modarith.h"
+#include "fhe/ntt.h"
+#include "fhe/ntt_fourstep.h"
+#include "fhe/primes.h"
+
+using namespace crophe;
+using namespace crophe::fhe;
+
+namespace {
+
+std::vector<u64>
+randomPoly(u64 n, u64 q, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<u64> a(n);
+    for (auto &x : a)
+        x = rng.nextBounded(q);
+    return a;
+}
+
+void
+BM_NttForward(benchmark::State &state)
+{
+    const u64 n = 1ull << state.range(0);
+    auto primes = generateNttPrimes(50, n, 1);
+    Modulus mod(primes[0]);
+    NttTables ntt(n, mod);
+    auto a = randomPoly(n, mod.value(), 1);
+    for (auto _ : state) {
+        ntt.forward(a);
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NttForward)->DenseRange(10, 14);
+
+void
+BM_NttRoundTrip(benchmark::State &state)
+{
+    const u64 n = 1ull << state.range(0);
+    auto primes = generateNttPrimes(50, n, 1);
+    Modulus mod(primes[0]);
+    NttTables ntt(n, mod);
+    auto a = randomPoly(n, mod.value(), 2);
+    for (auto _ : state) {
+        ntt.forward(a);
+        ntt.inverse(a);
+        benchmark::DoNotOptimize(a.data());
+    }
+}
+BENCHMARK(BM_NttRoundTrip)->DenseRange(10, 14);
+
+void
+BM_FourStepForward(benchmark::State &state)
+{
+    const u64 n1 = 1ull << (state.range(0) / 2);
+    const u64 n2 = 1ull << (state.range(0) - state.range(0) / 2);
+    auto primes = generateNttPrimes(50, n1 * n2, 1);
+    Modulus mod(primes[0]);
+    FourStepNtt fs(n1, n2, mod);
+    auto a = randomPoly(n1 * n2, mod.value(), 3);
+    for (auto _ : state) {
+        auto out = fs.forward(a);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_FourStepForward)->DenseRange(10, 12);
+
+void
+BM_BarrettMul(benchmark::State &state)
+{
+    auto primes = generateNttPrimes(55, 1 << 10, 1);
+    Modulus mod(primes[0]);
+    Rng rng(4);
+    u64 a = rng.nextBounded(mod.value());
+    u64 b = rng.nextBounded(mod.value());
+    for (auto _ : state) {
+        a = mod.mul(a, b);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_BarrettMul);
+
+void
+BM_ShoupMul(benchmark::State &state)
+{
+    auto primes = generateNttPrimes(55, 1 << 10, 1);
+    Modulus mod(primes[0]);
+    Rng rng(5);
+    ShoupMul s(rng.nextBounded(mod.value()), mod);
+    u64 a = rng.nextBounded(mod.value());
+    for (auto _ : state) {
+        a = s.mul(a, mod.value());
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_ShoupMul);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reproduces Table I (hardware configurations of the CROPHE variants and
+ * baselines) and Table III (parameter sets) from the implemented models.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "graph/params.h"
+#include "hw/area_model.h"
+#include "hw/config.h"
+
+using namespace crophe;
+
+int
+main()
+{
+    bench::printHeader("Table I: hardware configurations");
+    std::printf("  %-12s %5s %6s %6s %6s %9s %9s %10s %9s\n", "design",
+                "word", "GHz", "lanes", "PEs", "SRAM(MB)", "DRAM GB/s",
+                "area mm^2", "power W");
+    for (const char *name :
+         {"bts", "ark", "crophe64", "cl+", "sharp", "crophe36"}) {
+        hw::HwConfig c = hw::configByName(name);
+        hw::AreaPower ap = hw::chipAreaPower(c);
+        std::printf("  %-12s %5u %6.1f %6u %6u %9.0f %9.0f %10.1f %9.1f\n",
+                    c.name.c_str(), c.wordBits, c.freqGhz, c.lanes, c.numPes,
+                    c.sramMB, c.dramGBs, ap.totalAreaMm2, ap.totalPowerW);
+    }
+
+    bench::printHeader("Table III: CKKS parameter sets");
+    std::printf("  %-12s %6s %4s %6s %5s %6s\n", "set", "logN", "L",
+                "Lboot", "dnum", "alpha");
+    for (const char *name : {"bts", "ark", "sharp", "craterlake"}) {
+        graph::FheParams p = graph::paramsByName(name);
+        std::printf("  %-12s %6u %4u %6u %5u %6u\n", p.name.c_str(), p.logN,
+                    p.L, p.Lboot, p.dnum, p.alpha);
+    }
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces Table II: area and power breakdown of CROPHE-36 at 7 nm,
+ * with the paper's published numbers alongside for comparison.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "hw/area_model.h"
+
+using namespace crophe;
+
+int
+main()
+{
+    hw::HwConfig cfg = hw::configCrophe36();
+    hw::PeBreakdown pe = hw::peAreaPower(cfg);
+
+    bench::printHeader("Table II (top): one CROPHE-36 PE");
+    std::printf("  %-32s %12s %12s %12s\n", "component", "area um^2",
+                "paper um^2", "power mW");
+    std::printf("  %-32s %12.2f %12.2f %12.2f\n", "256 modular multipliers",
+                pe.multipliersUm2, 337650.31, pe.multipliersMw);
+    std::printf("  %-32s %12.2f %12.2f %12.2f\n",
+                "256 modular adders/subtractors", pe.addersUm2, 27784.55,
+                pe.addersMw);
+    std::printf("  %-32s %12.2f %12.2f %12.2f\n", "64 kB register files",
+                pe.regFileUm2, 67242.02, pe.regFileMw);
+    std::printf("  %-32s %12.2f %12.2f %12.2f\n", "inter-lane network",
+                pe.interLaneUm2, 15806.76, pe.interLaneMw);
+    std::printf("  %-32s %12.2f %12.2f %12.2f\n", "PE total", pe.totalUm2,
+                448483.64, pe.totalMw);
+
+    bench::printHeader("Table II (bottom): CROPHE-36 chip");
+    hw::AreaPower chip = hw::chipAreaPower(cfg);
+    std::printf("  %-32s %12s %12s\n", "component", "area mm^2", "power W");
+    for (const auto &row : chip.rows)
+        std::printf("  %-32s %12.2f %12.2f\n", row.component.c_str(),
+                    row.areaMm2, row.powerW);
+    std::printf("  %-32s %12.2f %12.2f   (paper: 251.13 / 181.11)\n",
+                "Total", chip.totalAreaMm2, chip.totalPowerW);
+    return 0;
+}

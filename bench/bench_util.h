@@ -1,0 +1,33 @@
+#ifndef CROPHE_BENCH_BENCH_UTIL_H_
+#define CROPHE_BENCH_BENCH_UTIL_H_
+
+/** Shared table-printing helpers for the reproduction harnesses. */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sched/cost_model.h"
+
+namespace crophe::bench {
+
+inline void
+printHeader(const std::string &title)
+{
+    std::printf("\n===== %s =====\n", title.c_str());
+}
+
+inline void
+printResultRow(const sched::WorkloadResult &r, double baseline_cycles)
+{
+    std::printf("  %-16s  %10.3e cycles  %8.3f ms  speedup %5.2fx  "
+                "dram %9.3e words (aux %9.3e)\n",
+                r.design.c_str(), r.stats.cycles, r.seconds * 1e3,
+                baseline_cycles / r.stats.cycles,
+                static_cast<double>(r.stats.dramWords),
+                static_cast<double>(r.stats.auxDramWords));
+}
+
+}  // namespace crophe::bench
+
+#endif  // CROPHE_BENCH_BENCH_UTIL_H_

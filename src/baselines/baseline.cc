@@ -1,0 +1,113 @@
+#include "baselines/baseline.h"
+
+#include "common/logging.h"
+#include "sched/hybrid_rotation.h"
+#include "sched/mad.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+
+namespace crophe::baselines {
+
+std::vector<DesignSpec>
+designs64()
+{
+    std::vector<DesignSpec> designs;
+    designs.push_back({"BTS+MAD", hw::configBts(), graph::paramsBts(),
+                       true, false, false, false});
+    designs.push_back({"ARK+MAD", hw::configArk(), graph::paramsArk(),
+                       true, false, false, false});
+    designs.push_back({"CROPHE-hw+MAD", hw::configCrophe64(),
+                       graph::paramsArk(), true, false, false, false});
+    designs.push_back({"CROPHE-64", hw::configCrophe64(),
+                       graph::paramsArk(), false, false, true, true});
+    designs.push_back({"CROPHE-p-64", hw::configCrophe64(),
+                       graph::paramsArk(), false, true, true, true});
+    return designs;
+}
+
+std::vector<DesignSpec>
+designs36()
+{
+    std::vector<DesignSpec> designs;
+    designs.push_back({"CL+MAD", hw::configClPlus(),
+                       graph::paramsCraterLake(), true, false, false,
+                       false});
+    designs.push_back({"SHARP+MAD", hw::configSharp(), graph::paramsSharp(),
+                       true, false, false, false});
+    designs.push_back({"CROPHE-hw+MAD", hw::configCrophe36(),
+                       graph::paramsSharp(), true, false, false, false});
+    designs.push_back({"CROPHE-36", hw::configCrophe36(),
+                       graph::paramsSharp(), false, false, true, true});
+    designs.push_back({"CROPHE-p-36", hw::configCrophe36(),
+                       graph::paramsSharp(), false, true, true, true});
+    return designs;
+}
+
+DesignSpec
+designByName(const std::string &name)
+{
+    for (const auto &d : designs64())
+        if (d.name == name)
+            return d;
+    for (const auto &d : designs36())
+        if (d.name == name)
+            return d;
+    CROPHE_FATAL("unknown design: ", name);
+}
+
+sched::WorkloadResult
+runDesign(const DesignSpec &design, const std::string &workload,
+          bool simulate)
+{
+    if (design.mad) {
+        graph::Workload w = graph::buildWorkload(
+            workload, design.params, sched::madWorkloadOptions());
+        sched::SchedOptions opt = sched::madOptions();
+        sched::WorkloadResult res =
+            simulate ? sim::simulateWorkload(w, design.cfg, opt)
+                     : sched::scheduleWorkload(w, design.cfg, opt);
+        res.design = design.name;
+        return res;
+    }
+
+    sched::SchedOptions opt;
+    opt.crossOpDataflow = true;
+    opt.nttDecomp = design.nttDecomp;
+
+    // Rotation scheme search happens at graph level (Section V-D).
+    auto choice = sched::chooseRotationScheme(
+        workload, design.params, design.cfg, opt, design.hybridRot);
+
+    graph::WorkloadOptions wopt;
+    wopt.rotMode = choice.mode;
+    wopt.rHyb = choice.rHyb;
+    graph::Workload w = graph::buildWorkload(workload, design.params, wopt);
+
+    sched::WorkloadResult res;
+    if (design.dataParallel) {
+        // Pick the best cluster count, then (optionally) simulate it.
+        auto best = sched::scheduleWorkloadAutoClusters(w, design.cfg, opt);
+        if (simulate) {
+            opt.clusters = best.clusters;
+            res = sim::simulateWorkload(w, design.cfg, opt);
+        } else {
+            res = std::move(best);
+        }
+    } else {
+        opt.clusters = 1;
+        res = simulate ? sim::simulateWorkload(w, design.cfg, opt)
+                       : sched::scheduleWorkload(w, design.cfg, opt);
+    }
+    res.design = design.name;
+    return res;
+}
+
+DesignSpec
+withSram(const DesignSpec &design, double sram_mb)
+{
+    DesignSpec d = design;
+    d.cfg = hw::withSramMB(d.cfg, sram_mb);
+    return d;
+}
+
+}  // namespace crophe::baselines

@@ -1,0 +1,79 @@
+#ifndef CROPHE_COMMON_LOGGING_H_
+#define CROPHE_COMMON_LOGGING_H_
+
+/**
+ * @file
+ * gem5-style status/error reporting.
+ *
+ * panic()  — an internal invariant was violated (a CROPHE bug); aborts.
+ * fatal()  — the user asked for something impossible (bad configuration);
+ *            exits with an error code.
+ * warn()   — something works but not as well as it should.
+ * inform() — plain status output.
+ */
+
+#include <sstream>
+#include <string>
+
+namespace crophe {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Enable/disable inform() output (benchmarks silence it). */
+void setVerbose(bool verbose);
+bool verbose();
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+format(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+}  // namespace detail
+
+}  // namespace crophe
+
+#define CROPHE_PANIC(...) \
+    ::crophe::panicImpl(__FILE__, __LINE__, ::crophe::detail::format(__VA_ARGS__))
+
+#define CROPHE_FATAL(...) \
+    ::crophe::fatalImpl(__FILE__, __LINE__, ::crophe::detail::format(__VA_ARGS__))
+
+#define CROPHE_WARN(...) \
+    ::crophe::warnImpl(::crophe::detail::format(__VA_ARGS__))
+
+#define CROPHE_INFORM(...) \
+    ::crophe::informImpl(::crophe::detail::format(__VA_ARGS__))
+
+/** Internal invariant check; active in all build types. */
+#define CROPHE_ASSERT(cond, ...)                                        \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::crophe::panicImpl(__FILE__, __LINE__,                     \
+                ::crophe::detail::format("assertion failed: " #cond " ", \
+                                         ##__VA_ARGS__));              \
+        }                                                               \
+    } while (false)
+
+#endif  // CROPHE_COMMON_LOGGING_H_

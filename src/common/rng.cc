@@ -1,0 +1,67 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace crophe {
+
+Rng::Rng(u64 seed)
+{
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    u64 x = seed;
+    for (auto &s : s_) {
+        x += 0x9e3779b97f4a7c15ULL;
+        u64 z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        s = z ^ (z >> 31);
+    }
+}
+
+u64
+Rng::next()
+{
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+u64
+Rng::nextBounded(u64 bound)
+{
+    if (bound == 0)
+        return 0;
+    // Lemire's multiply-shift bounded reduction.
+    u128 m = static_cast<u128>(next()) * static_cast<u128>(bound);
+    return static_cast<u64>(m >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+int
+Rng::nextTernary()
+{
+    return static_cast<int>(nextBounded(3)) - 1;
+}
+
+i64
+Rng::nextNoise()
+{
+    // Sum of 12 uniforms in [0,1) minus 6 approximates N(0,1); scale to
+    // sigma = 3.2 and round to the nearest integer.
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i)
+        acc += nextDouble();
+    return static_cast<i64>(std::llround((acc - 6.0) * 3.2));
+}
+
+}  // namespace crophe

@@ -1,0 +1,27 @@
+#ifndef CROPHE_COMMON_TYPES_H_
+#define CROPHE_COMMON_TYPES_H_
+
+/**
+ * @file
+ * Fixed-width integer aliases used throughout CROPHE.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace crophe {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+using i64 = std::int64_t;
+using i128 = __int128;
+
+/** Simulation time in accelerator clock cycles. */
+using Cycle = std::uint64_t;
+
+}  // namespace crophe
+
+#endif  // CROPHE_COMMON_TYPES_H_

@@ -1,0 +1,85 @@
+#include "fhe/automorphism.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace crophe::fhe {
+
+u64
+galoisElementForRotation(i64 r, u64 n)
+{
+    const u64 m = 2 * n;
+    // Normalize the rotation amount into [0, n/2).
+    const u64 half = n / 2;
+    u64 steps = static_cast<u64>(((r % static_cast<i64>(half)) +
+                                  static_cast<i64>(half)) %
+                                 static_cast<i64>(half));
+    u64 g = 1;
+    for (u64 i = 0; i < steps; ++i)
+        g = (g * 5) % m;
+    return g;
+}
+
+u64
+galoisElementForConjugation(u64 n)
+{
+    return 2 * n - 1;
+}
+
+void
+applyAutomorphismCoeff(const std::vector<u64> &in, std::vector<u64> &out,
+                       u64 galois, const Modulus &mod)
+{
+    const u64 n = in.size();
+    const u64 m = 2 * n;
+    out.assign(n, 0);
+    for (u64 i = 0; i < n; ++i) {
+        u64 dest = (i * galois) % m;
+        if (dest < n) {
+            out[dest] = mod.add(out[dest], in[i]);
+        } else {
+            out[dest - n] = mod.sub(out[dest - n], in[i]);
+        }
+    }
+}
+
+std::vector<u64>
+evalAutomorphismTable(u64 galois, u64 n)
+{
+    // Our forward NTT stores, at output slot k, the evaluation at
+    // ψ^(2·br(k)+1). Under X -> X^g, the value at root exponent e becomes
+    // the old value at exponent e·g mod 2N. Build table[k] = k' such that
+    // 2·br(k')+1 == (2·br(k)+1)·g mod 2N.
+    const u64 m = 2 * n;
+    const u32 logn = log2Exact(n);
+    std::vector<u64> table(n);
+    for (u64 k = 0; k < n; ++k) {
+        u64 e = (2 * bitReverse(k, logn) + 1) % m;
+        u64 src_e = (e * galois) % m;
+        u64 src_idx = bitReverse((src_e - 1) / 2, logn);
+        table[k] = src_idx;
+    }
+    return table;
+}
+
+RnsPoly
+applyAutomorphism(const RnsPoly &in, u64 galois)
+{
+    RnsPoly out(in.context(), in.basis(), in.rep());
+    if (in.rep() == Rep::Coeff) {
+        for (u32 i = 0; i < in.limbCount(); ++i)
+            applyAutomorphismCoeff(in.limb(i), out.limb(i), galois,
+                                   in.mod(i));
+    } else {
+        auto table = evalAutomorphismTable(galois, in.n());
+        for (u32 i = 0; i < in.limbCount(); ++i) {
+            const auto &src = in.limb(i);
+            auto &dst = out.limb(i);
+            for (u64 k = 0; k < in.n(); ++k)
+                dst[k] = src[table[k]];
+        }
+    }
+    return out;
+}
+
+}  // namespace crophe::fhe

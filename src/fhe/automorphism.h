@@ -1,0 +1,49 @@
+#ifndef CROPHE_FHE_AUTOMORPHISM_H_
+#define CROPHE_FHE_AUTOMORPHISM_H_
+
+/**
+ * @file
+ * Galois automorphisms X -> X^g of Z_q[X]/(X^N + 1).
+ *
+ * HRot applies the automorphism with g = 5^r (mod 2N) to rotate the CKKS
+ * slot vector left by r (Section II-A). In the coefficient representation
+ * the map permutes coefficient i to i·g mod 2N with a sign flip when the
+ * destination wraps past N; in the NTT (evaluation) representation it is a
+ * pure permutation of evaluation points, which is what CROPHE's hardware
+ * shift networks implement.
+ */
+
+#include <vector>
+
+#include "common/types.h"
+#include "fhe/modarith.h"
+#include "fhe/rns.h"
+
+namespace crophe::fhe {
+
+/** Galois element for a left rotation by @p r slots: 5^r mod 2N. */
+u64 galoisElementForRotation(i64 r, u64 n);
+
+/** Galois element for complex conjugation: 2N - 1. */
+u64 galoisElementForConjugation(u64 n);
+
+/**
+ * Apply X -> X^g to one coefficient-domain limb.
+ * out[i·g mod 2N adjusted] = ±in[i].
+ */
+void applyAutomorphismCoeff(const std::vector<u64> &in, std::vector<u64> &out,
+                            u64 galois, const Modulus &mod);
+
+/**
+ * Permutation table for the NTT-domain automorphism given this library's
+ * bit-reversed negacyclic NTT ordering: output index k takes input index
+ * table[k].
+ */
+std::vector<u64> evalAutomorphismTable(u64 galois, u64 n);
+
+/** Apply X -> X^g to a full RnsPoly (either representation). */
+RnsPoly applyAutomorphism(const RnsPoly &in, u64 galois);
+
+}  // namespace crophe::fhe
+
+#endif  // CROPHE_FHE_AUTOMORPHISM_H_

@@ -1,0 +1,190 @@
+#include "fhe/bconv.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace crophe::fhe {
+
+BaseConverter::BaseConverter(const FheContext &ctx, std::vector<u32> from,
+                             std::vector<u32> to)
+    : ctx_(&ctx), from_(std::move(from)), to_(std::move(to))
+{
+    const u32 m = static_cast<u32>(from_.size());
+    const u32 t = static_cast<u32>(to_.size());
+    CROPHE_ASSERT(m > 0 && t > 0, "empty basis in BaseConverter");
+
+    std::vector<u64> from_vals;
+    for (u32 idx : from_)
+        from_vals.push_back(ctx.modValue(idx));
+
+    mhatInv_.resize(m);
+    invM_.resize(m);
+    for (u32 i = 0; i < m; ++i) {
+        const Modulus &mi = ctx.mod(from_[i]);
+        std::vector<u64> others;
+        for (u32 k = 0; k < m; ++k)
+            if (k != i)
+                others.push_back(from_vals[k]);
+        BigUInt mhat = others.empty() ? BigUInt(1) : productOf(others);
+        mhatInv_[i] = mi.inv(mhat.modSmall(mi.value()));
+        invM_[i] = 1.0 / static_cast<double>(mi.value());
+    }
+
+    BigUInt big_m = productOf(from_vals);
+    mhatModT_.resize(t);
+    mModT_.resize(t);
+    for (u32 j = 0; j < t; ++j) {
+        u64 tj = ctx.modValue(to_[j]);
+        mhatModT_[j].resize(m);
+        for (u32 i = 0; i < m; ++i) {
+            std::vector<u64> others;
+            for (u32 k = 0; k < m; ++k)
+                if (k != i)
+                    others.push_back(from_vals[k]);
+            BigUInt mhat = others.empty() ? BigUInt(1) : productOf(others);
+            mhatModT_[j][i] = mhat.modSmall(tj);
+        }
+        mModT_[j] = big_m.modSmall(tj);
+    }
+}
+
+RnsPoly
+BaseConverter::convert(const RnsPoly &in) const
+{
+    CROPHE_ASSERT(in.rep() == Rep::Coeff, "BConv requires Coeff rep");
+    CROPHE_ASSERT(in.basis() == from_, "input basis mismatch");
+    const u32 m = static_cast<u32>(from_.size());
+    const u32 t = static_cast<u32>(to_.size());
+    const u64 n = in.n();
+
+    RnsPoly out(*ctx_, to_, Rep::Coeff);
+
+    // Scratch: xhat_i = x_i * (M/m_i)^{-1} mod m_i, and the float quotient
+    // v = round(sum_i xhat_i / m_i).
+    std::vector<u64> xhat(m);
+    for (u64 c = 0; c < n; ++c) {
+        double v_est = 0.0;
+        for (u32 i = 0; i < m; ++i) {
+            const Modulus &mi = ctx_->mod(from_[i]);
+            xhat[i] = mi.mul(in.limb(i)[c], mhatInv_[i]);
+            v_est += static_cast<double>(xhat[i]) * invM_[i];
+        }
+        // v_est = u + x/M with x/M in [0,1); the overshoot count u is its
+        // floor (rounding would off-by-one whenever x > M/2).
+        u64 v = static_cast<u64>(v_est);
+        for (u32 j = 0; j < t; ++j) {
+            const Modulus &tj = ctx_->mod(to_[j]);
+            u128 acc = 0;
+            for (u32 i = 0; i < m; ++i) {
+                acc += static_cast<u128>(xhat[i]) * mhatModT_[j][i];
+                // Keep the accumulator bounded (m can be ~60 limbs).
+                if ((i & 7) == 7)
+                    acc = tj.reduce(acc);
+            }
+            u64 s = tj.reduce(acc);
+            u64 corr = tj.mul(tj.reduce64(v), mModT_[j]);
+            out.limb(j)[c] = tj.sub(s, corr);
+        }
+    }
+    return out;
+}
+
+RnsPoly
+modUpDigit(const FheContext &ctx, const RnsPoly &d_coeff, u32 digit,
+           u32 level)
+{
+    CROPHE_ASSERT(d_coeff.rep() == Rep::Coeff, "ModUp requires Coeff rep");
+    auto digit_limbs = ctx.digitLimbs(digit, level);
+    auto target = ctx.qpBasis(level);
+
+    RnsPoly digit_poly = d_coeff.restrictedTo(digit_limbs);
+
+    // Convert the digit to the moduli it does not already cover, then
+    // splice its own limbs through unchanged.
+    std::vector<u32> missing;
+    for (u32 idx : target) {
+        bool have = false;
+        for (u32 d : digit_limbs)
+            have |= (d == idx);
+        if (!have)
+            missing.push_back(idx);
+    }
+    BaseConverter conv(ctx, digit_limbs, missing);
+    RnsPoly converted = conv.convert(digit_poly);
+
+    RnsPoly out(ctx, target, Rep::Coeff);
+    u32 mi = 0;
+    for (u32 k = 0; k < target.size(); ++k) {
+        bool own = false;
+        for (u32 i = 0; i < digit_limbs.size(); ++i) {
+            if (digit_limbs[i] == target[k]) {
+                out.limb(k) = digit_poly.limb(i);
+                own = true;
+                break;
+            }
+        }
+        if (!own)
+            out.limb(k) = converted.limb(mi++);
+    }
+    return out;
+}
+
+RnsPoly
+modDown(const FheContext &ctx, const RnsPoly &in, u32 level)
+{
+    CROPHE_ASSERT(in.rep() == Rep::Coeff, "ModDown requires Coeff rep");
+    CROPHE_ASSERT(in.basis() == ctx.qpBasis(level), "unexpected basis");
+
+    auto q_basis = ctx.qBasis(level);
+    auto p_basis = ctx.pBasis();
+
+    RnsPoly p_part = in.restrictedTo(p_basis);
+    BaseConverter conv(ctx, p_basis, q_basis);
+    RnsPoly p_in_q = conv.convert(p_part);
+
+    u64 p_mod_small = 0;  // P mod q_i computed per limb below
+    (void)p_mod_small;
+
+    RnsPoly out(ctx, q_basis, Rep::Coeff);
+    for (u32 i = 0; i < q_basis.size(); ++i) {
+        const Modulus &qi = ctx.mod(q_basis[i]);
+        u64 p_inv = qi.inv(ctx.bigP().modSmall(qi.value()));
+        const auto &top = in.limb(i);
+        const auto &low = p_in_q.limb(i);
+        auto &dst = out.limb(i);
+        for (u64 c = 0; c < in.n(); ++c)
+            dst[c] = qi.mul(qi.sub(top[c], low[c]), p_inv);
+    }
+    return out;
+}
+
+RnsPoly
+rescalePoly(const FheContext &ctx, const RnsPoly &in, u32 level)
+{
+    CROPHE_ASSERT(in.rep() == Rep::Coeff, "rescale requires Coeff rep");
+    CROPHE_ASSERT(level >= 1, "cannot rescale at level 0");
+    CROPHE_ASSERT(in.basis() == ctx.qBasis(level), "unexpected basis");
+
+    auto out_basis = ctx.qBasis(level - 1);
+    const Modulus &ql = ctx.mod(level);
+
+    RnsPoly out(ctx, out_basis, Rep::Coeff);
+    const auto &last = in.limb(level);
+    for (u32 i = 0; i < out_basis.size(); ++i) {
+        const Modulus &qi = ctx.mod(out_basis[i]);
+        u64 ql_inv = qi.inv(qi.reduce64(ql.value()));
+        const auto &src = in.limb(i);
+        auto &dst = out.limb(i);
+        for (u64 c = 0; c < in.n(); ++c) {
+            // (x - [x]_{q_l}) / q_l mod q_i, with the centered lift of
+            // [x]_{q_l} to reduce rounding bias.
+            u64 r = last[c];
+            u64 r_mod = qi.reduce64(r);
+            dst[c] = qi.mul(qi.sub(src[c], r_mod), ql_inv);
+        }
+    }
+    return out;
+}
+
+}  // namespace crophe::fhe

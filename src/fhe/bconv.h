@@ -1,0 +1,81 @@
+#ifndef CROPHE_FHE_BCONV_H_
+#define CROPHE_FHE_BCONV_H_
+
+/**
+ * @file
+ * RNS base conversion (BConv), and the ModUp/ModDown primitives built on it.
+ *
+ * BConv is the matrix-multiplication operator of key-switching (Figure 1):
+ * converting an m-limb representation to a t-limb one multiplies the m × N
+ * limb matrix by a constant t × m matrix of CRT factors. We implement the
+ * HPS variant with floating-point quotient estimation so that values whose
+ * representative lies in [0, M) convert exactly.
+ */
+
+#include <vector>
+
+#include "common/types.h"
+#include "fhe/modarith.h"
+#include "fhe/rns.h"
+
+namespace crophe::fhe {
+
+/** Converts coefficient-domain limbs from one RNS basis to another. */
+class BaseConverter
+{
+  public:
+    /**
+     * @param ctx context owning all moduli;
+     * @param from global modulus indices of the source basis;
+     * @param to global modulus indices of the target basis (disjoint or not).
+     */
+    BaseConverter(const FheContext &ctx, std::vector<u32> from,
+                  std::vector<u32> to);
+
+    const std::vector<u32> &fromBasis() const { return from_; }
+    const std::vector<u32> &toBasis() const { return to_; }
+
+    /**
+     * Convert a Coeff-representation polynomial over the source basis to
+     * one over the target basis. The value of each coefficient, taken as
+     * its representative in [0, M), is preserved mod every target modulus.
+     */
+    RnsPoly convert(const RnsPoly &in) const;
+
+  private:
+    const FheContext *ctx_;
+    std::vector<u32> from_;
+    std::vector<u32> to_;
+    /** (M/m_i)^{-1} mod m_i. */
+    std::vector<u64> mhatInv_;
+    /** [M/m_i mod t_j] indexed [j][i]. */
+    std::vector<std::vector<u64>> mhatModT_;
+    /** M mod t_j. */
+    std::vector<u64> mModT_;
+    /** 1 / m_i as double, for the quotient estimate. */
+    std::vector<double> invM_;
+};
+
+/**
+ * ModUp for key-switching digit @p j: take the digit's limbs of @p d
+ * (Coeff rep over the q basis at level @p level) and extend them to the
+ * full q+p basis at that level.
+ */
+RnsPoly modUpDigit(const FheContext &ctx, const RnsPoly &d_coeff, u32 digit,
+                   u32 level);
+
+/**
+ * ModDown: divide a (q…q_level, p…) polynomial by P and return the result
+ * over the q basis only. Input and output in Coeff representation.
+ */
+RnsPoly modDown(const FheContext &ctx, const RnsPoly &in, u32 level);
+
+/**
+ * Rescale: divide by the last ciphertext modulus q_level and drop it.
+ * Input/output in Coeff representation over q bases.
+ */
+RnsPoly rescalePoly(const FheContext &ctx, const RnsPoly &in, u32 level);
+
+}  // namespace crophe::fhe
+
+#endif  // CROPHE_FHE_BCONV_H_

@@ -1,0 +1,136 @@
+#include "fhe/cfft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace crophe::fhe {
+
+namespace {
+
+void
+arrayBitReverse(std::vector<Cplx> &vals)
+{
+    u64 n = vals.size();
+    u32 logn = log2Exact(n);
+    for (u64 i = 0; i < n; ++i) {
+        u64 j = bitReverse(i, logn);
+        if (i < j)
+            std::swap(vals[i], vals[j]);
+    }
+}
+
+}  // namespace
+
+SpecialFft::SpecialFft(u64 n) : n_(n), m_(2 * n)
+{
+    CROPHE_ASSERT(isPow2(n) && n >= 4, "ring degree must be a power of two >= 4");
+    ksi_.resize(m_ + 1);
+    for (u64 j = 0; j <= m_; ++j) {
+        double angle = 2.0 * std::numbers::pi * static_cast<double>(j) /
+                       static_cast<double>(m_);
+        ksi_[j] = Cplx(std::cos(angle), std::sin(angle));
+    }
+    rotGroup_.resize(n_ / 2);
+    u64 five = 1;
+    for (u64 j = 0; j < n_ / 2; ++j) {
+        rotGroup_[j] = five;
+        five = (five * 5) % m_;
+    }
+}
+
+void
+SpecialFft::embed(std::vector<Cplx> &vals) const
+{
+    const u64 slots_count = vals.size();
+    CROPHE_ASSERT(slots_count == slots(), "slot count mismatch");
+    arrayBitReverse(vals);
+    for (u64 len = 2; len <= slots_count; len <<= 1) {
+        for (u64 i = 0; i < slots_count; i += len) {
+            u64 lenh = len >> 1;
+            u64 lenq = len << 2;
+            for (u64 j = 0; j < lenh; ++j) {
+                u64 idx = (rotGroup_[j] % lenq) * (m_ / lenq);
+                Cplx u = vals[i + j];
+                Cplx v = vals[i + j + lenh] * ksi_[idx];
+                vals[i + j] = u + v;
+                vals[i + j + lenh] = u - v;
+            }
+        }
+    }
+}
+
+void
+SpecialFft::embedInverse(std::vector<Cplx> &vals) const
+{
+    const u64 slots_count = vals.size();
+    CROPHE_ASSERT(slots_count == slots(), "slot count mismatch");
+    for (u64 len = slots_count; len >= 1; len >>= 1) {
+        if (len < 2)
+            break;
+        for (u64 i = 0; i < slots_count; i += len) {
+            u64 lenh = len >> 1;
+            u64 lenq = len << 2;
+            for (u64 j = 0; j < lenh; ++j) {
+                u64 idx = (lenq - (rotGroup_[j] % lenq)) * (m_ / lenq);
+                Cplx u = vals[i + j] + vals[i + j + lenh];
+                Cplx v = (vals[i + j] - vals[i + j + lenh]) * ksi_[idx];
+                vals[i + j] = u;
+                vals[i + j + lenh] = v;
+            }
+        }
+    }
+    arrayBitReverse(vals);
+    double inv = 1.0 / static_cast<double>(slots_count);
+    for (auto &v : vals)
+        v *= inv;
+}
+
+std::vector<Cplx>
+embedDirect(const std::vector<double> &coeffs)
+{
+    const u64 n = coeffs.size();
+    const u64 m = 2 * n;
+    std::vector<Cplx> out(n / 2);
+    u64 power = 1;
+    for (u64 j = 0; j < n / 2; ++j) {
+        Cplx acc(0.0, 0.0);
+        for (u64 k = 0; k < n; ++k) {
+            double angle = 2.0 * std::numbers::pi *
+                           static_cast<double>((power * k) % m) /
+                           static_cast<double>(m);
+            acc += coeffs[k] * Cplx(std::cos(angle), std::sin(angle));
+        }
+        out[j] = acc;
+        power = (power * 5) % m;
+    }
+    return out;
+}
+
+std::vector<double>
+embedInverseDirect(const std::vector<Cplx> &slots, u64 n)
+{
+    const u64 m = 2 * n;
+    const u64 half = n / 2;
+    CROPHE_ASSERT(slots.size() == half, "slot count mismatch");
+    std::vector<double> out(n, 0.0);
+    for (u64 k = 0; k < n; ++k) {
+        double acc = 0.0;
+        u64 power = 1;
+        for (u64 j = 0; j < half; ++j) {
+            // Re(z_j * ζ^{-k·5^j})
+            u64 e = (power * (k % m)) % m;
+            double angle = -2.0 * std::numbers::pi * static_cast<double>(e) /
+                           static_cast<double>(m);
+            acc += slots[j].real() * std::cos(angle) -
+                   slots[j].imag() * std::sin(angle);
+            power = (power * 5) % m;
+        }
+        out[k] = acc / static_cast<double>(half);
+    }
+    return out;
+}
+
+}  // namespace crophe::fhe

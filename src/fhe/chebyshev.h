@@ -1,0 +1,39 @@
+#ifndef CROPHE_FHE_CHEBYSHEV_H_
+#define CROPHE_FHE_CHEBYSHEV_H_
+
+/**
+ * @file
+ * Homomorphic polynomial evaluation — the computational substrate of
+ * bootstrapping's EvalMod step, which approximates a modular reduction by
+ * a high-degree polynomial (a scaled sine) evaluated with HMult/CMult
+ * chains (Section II-A).
+ */
+
+#include <vector>
+
+#include "fhe/ckks.h"
+
+namespace crophe::fhe {
+
+/**
+ * Evaluate p(x) = c_0 + c_1 x + … + c_d x^d homomorphically via Horner's
+ * rule. Consumes d levels (one HMult+rescale per degree).
+ */
+Ciphertext evalPolyHorner(const Evaluator &eval, const Ciphertext &x,
+                          const std::vector<double> &coeffs,
+                          const KswKey &rlk);
+
+/**
+ * Chebyshev series coefficients for cos(t·x) on [-1, 1], degree @p degree —
+ * the kernel of EvalMod's sine approximation. Returned in the monomial
+ * basis (suitable for evalPolyHorner); degrees beyond ~16 are not
+ * recommended in the monomial basis for numerical reasons.
+ */
+std::vector<double> cosineMonomialCoeffs(double t, u32 degree);
+
+/** Plain reference evaluation of a monomial-basis polynomial. */
+double evalPolyRef(const std::vector<double> &coeffs, double x);
+
+}  // namespace crophe::fhe
+
+#endif  // CROPHE_FHE_CHEBYSHEV_H_

@@ -1,0 +1,113 @@
+#include "fhe/encoding.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace crophe::fhe {
+
+namespace {
+
+/** Map a signed real coefficient to its residues over the poly's basis. */
+void
+setSignedCoeff(RnsPoly &poly, u64 idx, double value)
+{
+    bool negative = value < 0;
+    double mag = std::abs(value);
+    CROPHE_ASSERT(mag < 0x1.0p62, "coefficient too large to encode: ", value);
+    u64 v = static_cast<u64>(std::llround(mag));
+    for (u32 i = 0; i < poly.limbCount(); ++i) {
+        const Modulus &m = poly.mod(i);
+        u64 r = m.reduce64(v);
+        poly.limb(i)[idx] = negative ? m.neg(r) : r;
+    }
+}
+
+}  // namespace
+
+Encoder::Encoder(const FheContext &ctx) : ctx_(&ctx), fft_(ctx.n())
+{
+}
+
+Plaintext
+Encoder::encode(const std::vector<Cplx> &values, u32 level,
+                double scale) const
+{
+    if (scale == 0.0)
+        scale = ctx_->defaultScale();
+    const u64 half = slots();
+
+    std::vector<Cplx> vals(half, Cplx(0.0, 0.0));
+    for (u64 i = 0; i < values.size() && i < half; ++i)
+        vals[i] = values[i];
+
+    fft_.embedInverse(vals);
+
+    Plaintext pt;
+    pt.scale = scale;
+    pt.level = level;
+    pt.poly = RnsPoly(*ctx_, ctx_->qBasis(level), Rep::Coeff);
+    for (u64 j = 0; j < half; ++j) {
+        setSignedCoeff(pt.poly, j, vals[j].real() * scale);
+        setSignedCoeff(pt.poly, j + half, vals[j].imag() * scale);
+    }
+    pt.poly.toEval();
+    return pt;
+}
+
+Plaintext
+Encoder::encodeReal(const std::vector<double> &values, u32 level,
+                    double scale) const
+{
+    std::vector<Cplx> v(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i)
+        v[i] = Cplx(values[i], 0.0);
+    return encode(v, level, scale);
+}
+
+Plaintext
+Encoder::encodeCoeffs(const std::vector<double> &coeffs, u32 level,
+                      double scale) const
+{
+    Plaintext pt;
+    pt.scale = scale;
+    pt.level = level;
+    pt.poly = RnsPoly(*ctx_, ctx_->qBasis(level), Rep::Coeff);
+    for (u64 i = 0; i < coeffs.size() && i < ctx_->n(); ++i)
+        setSignedCoeff(pt.poly, i, coeffs[i]);
+    pt.poly.toEval();
+    return pt;
+}
+
+std::vector<Cplx>
+Encoder::decode(const Plaintext &pt) const
+{
+    RnsPoly poly = pt.poly;
+    if (poly.rep() == Rep::Eval)
+        poly.toCoeff();
+
+    // CRT-reconstruct and center each coefficient.
+    BigUInt big_q = ctx_->bigQ(pt.level);
+    BigUInt half_q = big_q.half();
+    const u64 n = ctx_->n();
+    const u64 half = n / 2;
+    std::vector<Cplx> vals(half);
+    std::vector<double> coeffs(n);
+    for (u64 i = 0; i < n; ++i) {
+        BigUInt c = poly.reconstructCoeff(i);
+        if (half_q < c) {
+            BigUInt neg = big_q;
+            neg.subInplace(c);
+            coeffs[i] = -neg.toDouble();
+        } else {
+            coeffs[i] = c.toDouble();
+        }
+        coeffs[i] /= pt.scale;
+    }
+    for (u64 j = 0; j < half; ++j)
+        vals[j] = Cplx(coeffs[j], coeffs[j + half]);
+    fft_.embed(vals);
+    return vals;
+}
+
+}  // namespace crophe::fhe

@@ -1,0 +1,165 @@
+#include "fhe/ntt.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "fhe/primes.h"
+
+namespace crophe::fhe {
+
+NttTables::NttTables(u64 n, const Modulus &mod)
+    : n_(n), logn_(log2Exact(n)), mod_(mod)
+{
+    CROPHE_ASSERT((mod.value() - 1) % (2 * n) == 0,
+                  "modulus ", mod.value(), " not NTT-friendly for N=", n);
+    psi_ = findPrimitiveRoot(mod.value(), 2 * n);
+    psiInv_ = mod_.inv(psi_);
+    nInv_ = ShoupMul(mod_.inv(n), mod_);
+
+    fwd_.resize(n);
+    inv_.resize(n);
+    u64 p = 1;
+    std::vector<u64> psi_pow(n), psi_inv_pow(n);
+    for (u64 i = 0; i < n; ++i) {
+        psi_pow[i] = p;
+        p = mod_.mul(p, psi_);
+    }
+    p = 1;
+    for (u64 i = 0; i < n; ++i) {
+        psi_inv_pow[i] = p;
+        p = mod_.mul(p, psiInv_);
+    }
+    for (u64 i = 0; i < n; ++i) {
+        u64 br = bitReverse(i, logn_);
+        fwd_[i] = ShoupMul(psi_pow[br], mod_);
+        inv_[i] = ShoupMul(psi_inv_pow[br], mod_);
+    }
+}
+
+void
+NttTables::forward(u64 *a) const
+{
+    const u64 q = mod_.value();
+    u64 t = n_;
+    for (u64 m = 1; m < n_; m <<= 1) {
+        t >>= 1;
+        for (u64 i = 0; i < m; ++i) {
+            u64 j1 = 2 * i * t;
+            u64 j2 = j1 + t;
+            const ShoupMul &s = fwd_[m + i];
+            for (u64 j = j1; j < j2; ++j) {
+                u64 u = a[j];
+                u64 v = s.mul(a[j + t], q);
+                a[j] = mod_.add(u, v);
+                a[j + t] = mod_.sub(u, v);
+            }
+        }
+    }
+}
+
+void
+NttTables::inverse(u64 *a) const
+{
+    const u64 q = mod_.value();
+    u64 t = 1;
+    for (u64 m = n_; m > 1; m >>= 1) {
+        u64 j1 = 0;
+        u64 h = m >> 1;
+        for (u64 i = 0; i < h; ++i) {
+            u64 j2 = j1 + t;
+            const ShoupMul &s = inv_[h + i];
+            for (u64 j = j1; j < j2; ++j) {
+                u64 u = a[j];
+                u64 v = a[j + t];
+                a[j] = mod_.add(u, v);
+                a[j + t] = s.mul(mod_.sub(u, v), q);
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    for (u64 j = 0; j < n_; ++j)
+        a[j] = nInv_.mul(a[j], q);
+}
+
+std::vector<u64>
+nttNaiveNegacyclic(const std::vector<u64> &a, const Modulus &mod, u64 psi)
+{
+    u64 n = a.size();
+    std::vector<u64> out(n, 0);
+    for (u64 k = 0; k < n; ++k) {
+        u64 acc = 0;
+        for (u64 i = 0; i < n; ++i) {
+            u64 w = mod.pow(psi, (i * (2 * k + 1)) % (2 * n));
+            acc = mod.add(acc, mod.mul(a[i], w));
+        }
+        out[k] = acc;
+    }
+    return out;
+}
+
+std::vector<u64>
+polyMulNaive(const std::vector<u64> &a, const std::vector<u64> &b,
+             const Modulus &mod)
+{
+    u64 n = a.size();
+    CROPHE_ASSERT(b.size() == n, "size mismatch");
+    std::vector<u64> out(n, 0);
+    for (u64 i = 0; i < n; ++i) {
+        for (u64 j = 0; j < n; ++j) {
+            u64 prod = mod.mul(a[i], b[j]);
+            u64 k = i + j;
+            if (k < n)
+                out[k] = mod.add(out[k], prod);
+            else
+                out[k - n] = mod.sub(out[k - n], prod);  // X^N = -1
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** In-place decimation-in-time cyclic FFT; input must be bit-reversed. */
+void
+cyclicNttCore(u64 *a, u64 n, const Modulus &mod, u64 omega)
+{
+    u32 logn = log2Exact(n);
+    // Bit-reverse permutation so that natural input -> natural output.
+    for (u64 i = 0; i < n; ++i) {
+        u64 j = bitReverse(i, logn);
+        if (i < j)
+            std::swap(a[i], a[j]);
+    }
+    for (u64 len = 2; len <= n; len <<= 1) {
+        u64 w_len = mod.pow(omega, n / len);
+        for (u64 i = 0; i < n; i += len) {
+            u64 w = 1;
+            for (u64 j = 0; j < len / 2; ++j) {
+                u64 u = a[i + j];
+                u64 v = mod.mul(a[i + j + len / 2], w);
+                a[i + j] = mod.add(u, v);
+                a[i + j + len / 2] = mod.sub(u, v);
+                w = mod.mul(w, w_len);
+            }
+        }
+    }
+}
+
+}  // namespace
+
+void
+cyclicNtt(u64 *a, u64 n, const Modulus &mod, u64 omega)
+{
+    cyclicNttCore(a, n, mod, omega);
+}
+
+void
+cyclicInverseNtt(u64 *a, u64 n, const Modulus &mod, u64 omega)
+{
+    cyclicNttCore(a, n, mod, mod.inv(omega));
+    u64 n_inv = mod.inv(mod.reduce64(n));
+    for (u64 i = 0; i < n; ++i)
+        a[i] = mod.mul(a[i], n_inv);
+}
+
+}  // namespace crophe::fhe

@@ -1,0 +1,88 @@
+#ifndef CROPHE_FHE_NTT_H_
+#define CROPHE_FHE_NTT_H_
+
+/**
+ * @file
+ * Negacyclic number theoretic transform over Z_q[X]/(X^N + 1).
+ *
+ * Two implementations are provided:
+ *  - NttTables: the merged radix-2 in-place transform (Harvey/SEAL style,
+ *    Cooley-Tukey forward into bit-reversed order, Gentleman-Sande inverse),
+ *    the fast path used by the CKKS library; and
+ *  - naive reference transforms used by the test suite.
+ *
+ * The four-step (decomposed) NTT that CROPHE's dataflow optimization builds
+ * on lives in fhe/ntt_fourstep.h.
+ */
+
+#include <vector>
+
+#include "common/types.h"
+#include "fhe/modarith.h"
+
+namespace crophe::fhe {
+
+/**
+ * Precomputed twiddle tables for one (N, q) pair and the in-place
+ * negacyclic transforms using them.
+ *
+ * Convention: forward() maps the coefficient vector a to the evaluations
+ * â[k] = a(ψ^(2·br(k)+1)) where br is the log2(N)-bit reversal, i.e. the
+ * output is in bit-reversed order. inverse() consumes that order and
+ * returns natural-order coefficients. Element-wise products of two
+ * forward() outputs therefore correspond to negacyclic convolution.
+ */
+class NttTables
+{
+  public:
+    /** @param n power-of-two transform size; @param mod prime ≡ 1 mod 2n. */
+    NttTables(u64 n, const Modulus &mod);
+
+    u64 n() const { return n_; }
+    const Modulus &modulus() const { return mod_; }
+    u64 psi() const { return psi_; }
+
+    /** In-place forward negacyclic NTT; a.size() == n. */
+    void forward(u64 *a) const;
+
+    /** In-place inverse negacyclic NTT; a.size() == n. */
+    void inverse(u64 *a) const;
+
+    void forward(std::vector<u64> &a) const { forward(a.data()); }
+    void inverse(std::vector<u64> &a) const { inverse(a.data()); }
+
+  private:
+    u64 n_;
+    u32 logn_;
+    Modulus mod_;
+    u64 psi_;     ///< primitive 2n-th root of unity
+    u64 psiInv_;  ///< psi^{-1}
+    ShoupMul nInv_;
+    std::vector<ShoupMul> fwd_;  ///< ψ^br(i) at table index i
+    std::vector<ShoupMul> inv_;  ///< ψ^{-br(i)} at table index i
+};
+
+/**
+ * Reference negacyclic forward NTT in natural order:
+ * out[k] = Σ_i a[i] ψ^{i(2k+1)}. O(N²); for tests only.
+ */
+std::vector<u64> nttNaiveNegacyclic(const std::vector<u64> &a,
+                                    const Modulus &mod, u64 psi);
+
+/** Schoolbook negacyclic polynomial product mod (X^N + 1, q); tests only. */
+std::vector<u64> polyMulNaive(const std::vector<u64> &a,
+                              const std::vector<u64> &b, const Modulus &mod);
+
+/**
+ * Generic in-place cyclic NTT (root ω of order n), natural input order,
+ * natural output order (decimation-in-time with explicit bit reversal).
+ * Shared by the four-step implementation and tests.
+ */
+void cyclicNtt(u64 *a, u64 n, const Modulus &mod, u64 omega);
+
+/** Inverse of cyclicNtt (includes the 1/n scaling). */
+void cyclicInverseNtt(u64 *a, u64 n, const Modulus &mod, u64 omega);
+
+}  // namespace crophe::fhe
+
+#endif  // CROPHE_FHE_NTT_H_

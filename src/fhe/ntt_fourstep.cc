@@ -1,0 +1,97 @@
+#include "fhe/ntt_fourstep.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "fhe/ntt.h"
+#include "fhe/primes.h"
+
+namespace crophe::fhe {
+
+FourStepNtt::FourStepNtt(u64 n1, u64 n2, const Modulus &mod)
+    : n1_(n1), n2_(n2), mod_(mod)
+{
+    CROPHE_ASSERT(isPow2(n1) && isPow2(n2), "factors must be powers of two");
+    u64 n = n1 * n2;
+    CROPHE_ASSERT((mod.value() - 1) % (2 * n) == 0,
+                  "modulus not NTT-friendly for N=", n);
+    psi_ = findPrimitiveRoot(mod.value(), 2 * n);
+    omega_ = mod_.mul(psi_, psi_);
+
+    twist_.resize(n);
+    twistInv_.resize(n);
+    u64 psi_inv = mod_.inv(psi_);
+    u64 p = 1, pi = 1;
+    for (u64 i = 0; i < n; ++i) {
+        twist_[i] = p;
+        twistInv_[i] = pi;
+        p = mod_.mul(p, psi_);
+        pi = mod_.mul(pi, psi_inv);
+    }
+}
+
+void
+FourStepNtt::cyclicFourStep(std::vector<u64> &a, bool inverse) const
+{
+    // Index split: i = i1 + N1*i2, output k = k2 + N2*k1.
+    // Step 1: N1 column transforms of length N2 (stride N1, root ω^N1).
+    // Step 2: twiddle multiply by ω^{i1·k2}.
+    // Step 3: N2 row transforms of length N1 (root ω^N2).
+    // Step 4: transpose into natural output order.
+    const u64 n = n1_ * n2_;
+    u64 omega = inverse ? mod_.inv(omega_) : omega_;
+    u64 omega_col = mod_.pow(omega, n1_);
+    u64 omega_row = mod_.pow(omega, n2_);
+
+    std::vector<u64> col(n2_);
+    std::vector<u64> work(n);
+    for (u64 i1 = 0; i1 < n1_; ++i1) {
+        for (u64 i2 = 0; i2 < n2_; ++i2)
+            col[i2] = a[i1 + n1_ * i2];
+        cyclicNtt(col.data(), n2_, mod_, omega_col);
+        for (u64 k2 = 0; k2 < n2_; ++k2) {
+            u64 tw = mod_.pow(omega, (i1 * k2) % n);
+            work[i1 + n1_ * k2] = mod_.mul(col[k2], tw);
+        }
+    }
+
+    std::vector<u64> row(n1_);
+    for (u64 k2 = 0; k2 < n2_; ++k2) {
+        for (u64 i1 = 0; i1 < n1_; ++i1)
+            row[i1] = work[i1 + n1_ * k2];
+        cyclicNtt(row.data(), n1_, mod_, omega_row);
+        for (u64 k1 = 0; k1 < n1_; ++k1)
+            a[k2 + n2_ * k1] = row[k1];
+    }
+
+    if (inverse) {
+        u64 n_inv = mod_.inv(mod_.reduce64(n));
+        for (auto &x : a)
+            x = mod_.mul(x, n_inv);
+    }
+}
+
+std::vector<u64>
+FourStepNtt::forward(const std::vector<u64> &a) const
+{
+    const u64 n = n1_ * n2_;
+    CROPHE_ASSERT(a.size() == n, "input size mismatch");
+    std::vector<u64> out(n);
+    for (u64 i = 0; i < n; ++i)
+        out[i] = mod_.mul(a[i], twist_[i]);
+    cyclicFourStep(out, false);
+    return out;
+}
+
+std::vector<u64>
+FourStepNtt::inverse(const std::vector<u64> &a) const
+{
+    const u64 n = n1_ * n2_;
+    CROPHE_ASSERT(a.size() == n, "input size mismatch");
+    std::vector<u64> out = a;
+    cyclicFourStep(out, true);
+    for (u64 i = 0; i < n; ++i)
+        out[i] = mod_.mul(out[i], twistInv_[i]);
+    return out;
+}
+
+}  // namespace crophe::fhe

@@ -1,0 +1,73 @@
+#ifndef CROPHE_FHE_NTT_FOURSTEP_H_
+#define CROPHE_FHE_NTT_FOURSTEP_H_
+
+/**
+ * @file
+ * Four-step (decomposed) negacyclic NTT, N = N1 × N2.
+ *
+ * This is the computational substrate of CROPHE's NTT-decomposition dataflow
+ * optimization (Section V-B): the length-N transform becomes
+ *   N1 independent length-N2 column NTTs  →  element-wise twiddle multiply
+ *   →  N2 independent length-N1 row NTTs,
+ * which turns the loop nest  log N ▷ N  into
+ *   N1 ▷ log N2 ▷ N2  →  N1 ▷ N2  →  N2 ▷ log N1 ▷ N1,
+ * so the column step pipelines with predecessors along N1 and the row step
+ * pipelines with successors along N2, halving orientation switches.
+ *
+ * Functionally, the negacyclic transform is realized by twisting the input
+ * with ψ^i and running a cyclic four-step transform with ω = ψ².
+ */
+
+#include <vector>
+
+#include "common/types.h"
+#include "fhe/modarith.h"
+
+namespace crophe::fhe {
+
+/** Four-step negacyclic NTT for one (N1, N2, q) configuration. */
+class FourStepNtt
+{
+  public:
+    /**
+     * @param n1,n2 power-of-two factors with n = n1*n2;
+     * @param mod prime ≡ 1 mod 2·n1·n2.
+     */
+    FourStepNtt(u64 n1, u64 n2, const Modulus &mod);
+
+    u64 n() const { return n1_ * n2_; }
+    u64 n1() const { return n1_; }
+    u64 n2() const { return n2_; }
+
+    /**
+     * Forward transform, natural-order output:
+     * out[k] = Σ_i a[i] ψ^{i(2k+1)}. Matches nttNaiveNegacyclic().
+     */
+    std::vector<u64> forward(const std::vector<u64> &a) const;
+
+    /** Inverse of forward(). */
+    std::vector<u64> inverse(const std::vector<u64> &a) const;
+
+    /**
+     * Number of data orientation switches incurred by the sequence
+     * iNTT → elementwise → NTT when this decomposition is used (2) versus
+     * the undecomposed transform (4); exposed for scheduler tests.
+     */
+    static u32 orientationSwitchesDecomposed() { return 2; }
+    static u32 orientationSwitchesMonolithic() { return 4; }
+
+  private:
+    void cyclicFourStep(std::vector<u64> &a, bool inverse) const;
+
+    u64 n1_;
+    u64 n2_;
+    Modulus mod_;
+    u64 psi_;
+    u64 omega_;                    ///< ψ², an N-th root of unity
+    std::vector<u64> twist_;       ///< ψ^i
+    std::vector<u64> twistInv_;    ///< ψ^{-i} / N folded at inverse
+};
+
+}  // namespace crophe::fhe
+
+#endif  // CROPHE_FHE_NTT_FOURSTEP_H_

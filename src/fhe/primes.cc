@@ -1,0 +1,136 @@
+#include "fhe/primes.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "fhe/modarith.h"
+
+namespace crophe::fhe {
+
+namespace {
+
+u64
+mulMod(u64 a, u64 b, u64 m)
+{
+    return static_cast<u64>(static_cast<u128>(a) * b % m);
+}
+
+u64
+powMod(u64 a, u64 e, u64 m)
+{
+    u64 r = 1;
+    a %= m;
+    while (e != 0) {
+        if (e & 1)
+            r = mulMod(r, a, m);
+        a = mulMod(a, a, m);
+        e >>= 1;
+    }
+    return r;
+}
+
+}  // namespace
+
+bool
+isPrime(u64 n)
+{
+    if (n < 2)
+        return false;
+    for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                  23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (n % p == 0)
+            return n == p;
+    }
+    u64 d = n - 1;
+    int s = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++s;
+    }
+    // This witness set is deterministic for all n < 2^64.
+    for (u64 a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                  23ULL, 29ULL, 31ULL, 37ULL}) {
+        u64 x = powMod(a, d, n);
+        if (x == 1 || x == n - 1)
+            continue;
+        bool composite = true;
+        for (int i = 1; i < s; ++i) {
+            x = mulMod(x, x, n);
+            if (x == n - 1) {
+                composite = false;
+                break;
+            }
+        }
+        if (composite)
+            return false;
+    }
+    return true;
+}
+
+std::vector<u64>
+generateNttPrimes(u32 bits, u64 n, u32 count, const std::vector<u64> &skip)
+{
+    CROPHE_ASSERT(bits >= 20 && bits < 60, "prime size out of range: ", bits);
+    std::vector<u64> primes;
+    u64 step = 2 * n;
+    // Largest candidate of the form k*2N + 1 below 2^bits.
+    u64 candidate = ((((1ULL << bits) - 1) - 1) / step) * step + 1;
+    while (primes.size() < count && candidate > (1ULL << (bits - 1))) {
+        if (isPrime(candidate) &&
+            std::find(skip.begin(), skip.end(), candidate) == skip.end() &&
+            std::find(primes.begin(), primes.end(), candidate) ==
+                primes.end()) {
+            primes.push_back(candidate);
+        }
+        candidate -= step;
+    }
+    CROPHE_ASSERT(primes.size() == count,
+                  "could not find ", count, " NTT primes of ", bits,
+                  " bits for N=", n);
+    return primes;
+}
+
+u64
+findGenerator(u64 q)
+{
+    // Factor q-1 (small trial division is fine for our structured primes).
+    u64 phi = q - 1;
+    std::vector<u64> factors;
+    u64 m = phi;
+    for (u64 p = 2; p * p <= m; ++p) {
+        if (m % p == 0) {
+            factors.push_back(p);
+            while (m % p == 0)
+                m /= p;
+        }
+    }
+    if (m > 1)
+        factors.push_back(m);
+
+    for (u64 g = 2; g < q; ++g) {
+        bool ok = true;
+        for (u64 f : factors) {
+            if (powMod(g, phi / f, q) == 1) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            return g;
+    }
+    CROPHE_PANIC("no generator found for ", q);
+}
+
+u64
+findPrimitiveRoot(u64 q, u64 order)
+{
+    CROPHE_ASSERT((q - 1) % order == 0, "order ", order,
+                  " does not divide q-1 for q=", q);
+    u64 g = findGenerator(q);
+    u64 root = powMod(g, (q - 1) / order, q);
+    CROPHE_ASSERT(powMod(root, order / 2, q) != 1,
+                  "root is not primitive for order ", order);
+    return root;
+}
+
+}  // namespace crophe::fhe

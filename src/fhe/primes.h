@@ -1,0 +1,39 @@
+#ifndef CROPHE_FHE_PRIMES_H_
+#define CROPHE_FHE_PRIMES_H_
+
+/**
+ * @file
+ * Generation of NTT-friendly RNS primes.
+ *
+ * The RNS bases q_i (and extended bases p_j) must satisfy q ≡ 1 (mod 2N) so
+ * that a primitive 2N-th root of unity exists, enabling the negacyclic NTT
+ * over Z_q[X]/(X^N + 1).
+ */
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace crophe::fhe {
+
+/** Deterministic Miller-Rabin primality test, exact for 64-bit inputs. */
+bool isPrime(u64 n);
+
+/**
+ * Generate @p count distinct primes of roughly @p bits bits with
+ * q ≡ 1 (mod 2N), scanning downward from 2^bits.
+ *
+ * @param skip primes already in use that must not be re-issued.
+ */
+std::vector<u64> generateNttPrimes(u32 bits, u64 n, u32 count,
+                                   const std::vector<u64> &skip = {});
+
+/** Find a generator of the multiplicative group Z_q^*. */
+u64 findGenerator(u64 q);
+
+/** Find a primitive @p order -th root of unity mod @p q (order | q-1). */
+u64 findPrimitiveRoot(u64 q, u64 order);
+
+}  // namespace crophe::fhe
+
+#endif  // CROPHE_FHE_PRIMES_H_

@@ -1,0 +1,252 @@
+#include "fhe/rns.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "fhe/primes.h"
+
+namespace crophe::fhe {
+
+FheContext::FheContext(const FheContextParams &params)
+    : n_(params.n),
+      levels_(params.levels),
+      alpha_(params.alpha),
+      dnum_(ceilDiv(params.levels + 1, params.alpha)),
+      scale_(params.scale)
+{
+    CROPHE_ASSERT(isPow2(n_), "N must be a power of two, got ", n_);
+    CROPHE_ASSERT(alpha_ >= 1, "alpha must be positive");
+
+    // q_0 (largest, holds the final message), q_1..q_L (scaling primes),
+    // then p_0..p_{alpha-1} (special primes). All distinct.
+    std::vector<u64> used;
+    auto q0 = generateNttPrimes(params.firstModulusBits, n_, 1, used);
+    used.insert(used.end(), q0.begin(), q0.end());
+    auto qi = generateNttPrimes(params.scalingModulusBits, n_, levels_, used);
+    used.insert(used.end(), qi.begin(), qi.end());
+    auto pj = generateNttPrimes(params.specialModulusBits, n_, alpha_, used);
+
+    std::vector<u64> all;
+    all.push_back(q0[0]);
+    all.insert(all.end(), qi.begin(), qi.end());
+    all.insert(all.end(), pj.begin(), pj.end());
+
+    for (u64 q : all) {
+        moduli_.emplace_back(q);
+        ntt_.push_back(std::make_unique<NttTables>(n_, moduli_.back()));
+    }
+    bigP_ = productOf(pj);
+}
+
+std::vector<u32>
+FheContext::qBasis(u32 level) const
+{
+    CROPHE_ASSERT(level <= levels_, "level out of range: ", level);
+    std::vector<u32> basis(level + 1);
+    for (u32 i = 0; i <= level; ++i)
+        basis[i] = i;
+    return basis;
+}
+
+std::vector<u32>
+FheContext::pBasis() const
+{
+    std::vector<u32> basis(alpha_);
+    for (u32 i = 0; i < alpha_; ++i)
+        basis[i] = qCount() + i;
+    return basis;
+}
+
+std::vector<u32>
+FheContext::qpBasis(u32 level) const
+{
+    auto basis = qBasis(level);
+    auto p = pBasis();
+    basis.insert(basis.end(), p.begin(), p.end());
+    return basis;
+}
+
+std::vector<u32>
+FheContext::digitLimbs(u32 j, u32 level) const
+{
+    std::vector<u32> limbs;
+    for (u32 i = j * alpha_; i < (j + 1) * alpha_ && i <= level; ++i)
+        limbs.push_back(i);
+    CROPHE_ASSERT(!limbs.empty(), "digit ", j, " empty at level ", level);
+    return limbs;
+}
+
+BigUInt
+FheContext::bigQ(u32 level) const
+{
+    std::vector<u64> qs;
+    for (u32 i = 0; i <= level; ++i)
+        qs.push_back(moduli_[i].value());
+    return productOf(qs);
+}
+
+RnsPoly::RnsPoly(const FheContext &ctx, std::vector<u32> basis, Rep rep)
+    : ctx_(&ctx), rep_(rep), basis_(std::move(basis))
+{
+    limbs_.resize(basis_.size());
+    for (auto &l : limbs_)
+        l.assign(ctx.n(), 0);
+}
+
+void
+RnsPoly::addInplace(const RnsPoly &other)
+{
+    CROPHE_ASSERT(basis_ == other.basis_ && rep_ == other.rep_,
+                  "basis/representation mismatch in add");
+    for (u32 i = 0; i < limbCount(); ++i) {
+        const Modulus &m = mod(i);
+        const auto &src = other.limbs_[i];
+        auto &dst = limbs_[i];
+        for (u64 j = 0; j < n(); ++j)
+            dst[j] = m.add(dst[j], src[j]);
+    }
+}
+
+void
+RnsPoly::subInplace(const RnsPoly &other)
+{
+    CROPHE_ASSERT(basis_ == other.basis_ && rep_ == other.rep_,
+                  "basis/representation mismatch in sub");
+    for (u32 i = 0; i < limbCount(); ++i) {
+        const Modulus &m = mod(i);
+        const auto &src = other.limbs_[i];
+        auto &dst = limbs_[i];
+        for (u64 j = 0; j < n(); ++j)
+            dst[j] = m.sub(dst[j], src[j]);
+    }
+}
+
+void
+RnsPoly::negateInplace()
+{
+    for (u32 i = 0; i < limbCount(); ++i) {
+        const Modulus &m = mod(i);
+        for (auto &x : limbs_[i])
+            x = m.neg(x);
+    }
+}
+
+void
+RnsPoly::mulEwInplace(const RnsPoly &other)
+{
+    CROPHE_ASSERT(basis_ == other.basis_, "basis mismatch in mul");
+    CROPHE_ASSERT(rep_ == Rep::Eval && other.rep_ == Rep::Eval,
+                  "element-wise multiply requires Eval representation");
+    for (u32 i = 0; i < limbCount(); ++i) {
+        const Modulus &m = mod(i);
+        const auto &src = other.limbs_[i];
+        auto &dst = limbs_[i];
+        for (u64 j = 0; j < n(); ++j)
+            dst[j] = m.mul(dst[j], src[j]);
+    }
+}
+
+void
+RnsPoly::mulScalarInplace(const std::vector<u64> &scalar_per_limb)
+{
+    CROPHE_ASSERT(scalar_per_limb.size() == limbCount(),
+                  "scalar vector size mismatch");
+    for (u32 i = 0; i < limbCount(); ++i) {
+        const Modulus &m = mod(i);
+        u64 s = scalar_per_limb[i];
+        for (auto &x : limbs_[i])
+            x = m.mul(x, s);
+    }
+}
+
+void
+RnsPoly::mulConstInplace(u64 c)
+{
+    for (u32 i = 0; i < limbCount(); ++i) {
+        const Modulus &m = mod(i);
+        u64 s = m.reduce64(c);
+        for (auto &x : limbs_[i])
+            x = m.mul(x, s);
+    }
+}
+
+void
+RnsPoly::toEval()
+{
+    CROPHE_ASSERT(rep_ == Rep::Coeff, "already in Eval representation");
+    for (u32 i = 0; i < limbCount(); ++i)
+        ctx_->ntt(basis_[i]).forward(limbs_[i]);
+    rep_ = Rep::Eval;
+}
+
+void
+RnsPoly::toCoeff()
+{
+    CROPHE_ASSERT(rep_ == Rep::Eval, "already in Coeff representation");
+    for (u32 i = 0; i < limbCount(); ++i)
+        ctx_->ntt(basis_[i]).inverse(limbs_[i]);
+    rep_ = Rep::Coeff;
+}
+
+void
+RnsPoly::dropLastLimb()
+{
+    CROPHE_ASSERT(limbCount() > 1, "cannot drop the only limb");
+    basis_.pop_back();
+    limbs_.pop_back();
+}
+
+RnsPoly
+RnsPoly::restrictedTo(const std::vector<u32> &basis) const
+{
+    RnsPoly out(*ctx_, basis, rep_);
+    for (u32 k = 0; k < basis.size(); ++k) {
+        auto it = std::find(basis_.begin(), basis_.end(), basis[k]);
+        CROPHE_ASSERT(it != basis_.end(),
+                      "limb for modulus index ", basis[k], " not present");
+        out.limbs_[k] = limbs_[it - basis_.begin()];
+    }
+    return out;
+}
+
+BigUInt
+RnsPoly::reconstructCoeff(u64 coeff_idx) const
+{
+    CROPHE_ASSERT(rep_ == Rep::Coeff, "reconstruct requires Coeff rep");
+    // Standard CRT: x = sum_i [x_i * (M/m_i)^{-1} mod m_i] * (M/m_i) mod M.
+    std::vector<u64> mods;
+    for (u32 i = 0; i < limbCount(); ++i)
+        mods.push_back(mod(i).value());
+    BigUInt big_m = productOf(mods);
+
+    BigUInt acc(0);
+    for (u32 i = 0; i < limbCount(); ++i) {
+        const Modulus &m = mod(i);
+        // M/m_i as BigUInt.
+        std::vector<u64> others;
+        for (u32 k = 0; k < limbCount(); ++k)
+            if (k != i)
+                others.push_back(mods[k]);
+        BigUInt mhat = productOf(others);
+        u64 mhat_mod = mhat.modSmall(m.value());
+        u64 coef = m.mul(limbs_[i][coeff_idx], m.inv(mhat_mod));
+        acc.addMulSmall(mhat, coef);
+    }
+    // acc < limbCount * M; reduce.
+    while (!(acc < big_m))
+        acc.subInplace(big_m);
+    return acc;
+}
+
+void
+RnsPoly::uniformRandom(crophe::Rng &rng)
+{
+    for (u32 i = 0; i < limbCount(); ++i) {
+        u64 q = mod(i).value();
+        for (auto &x : limbs_[i])
+            x = rng.nextBounded(q);
+    }
+}
+
+}  // namespace crophe::fhe

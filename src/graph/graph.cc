@@ -1,0 +1,194 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace crophe::graph {
+
+OpId
+Graph::add(Op op)
+{
+    OpId id = static_cast<OpId>(ops_.size());
+    op.id = id;
+    ops_.push_back(std::move(op));
+    succ_.emplace_back();
+    pred_.emplace_back();
+    return id;
+}
+
+void
+Graph::connect(OpId from, OpId to)
+{
+    CROPHE_ASSERT(from < size() && to < size(), "edge endpoint out of range");
+    CROPHE_ASSERT(from != to, "self edge");
+    succ_[from].push_back(to);
+    pred_[to].push_back(from);
+}
+
+std::vector<OpId>
+Graph::topoOrder() const
+{
+    std::vector<u32> indeg(size(), 0);
+    for (OpId v = 0; v < size(); ++v)
+        indeg[v] = static_cast<u32>(pred_[v].size());
+
+    std::vector<OpId> queue;
+    for (OpId v = 0; v < size(); ++v)
+        if (indeg[v] == 0)
+            queue.push_back(v);
+
+    std::vector<OpId> order;
+    order.reserve(size());
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        OpId v = queue[head];
+        order.push_back(v);
+        for (OpId w : succ_[v]) {
+            if (--indeg[w] == 0)
+                queue.push_back(w);
+        }
+    }
+    CROPHE_ASSERT(order.size() == size(), "graph has a cycle");
+    return order;
+}
+
+std::vector<OpId>
+Graph::topoOrderAuxAffinity() const
+{
+    std::vector<u32> indeg(size(), 0);
+    for (OpId v = 0; v < size(); ++v)
+        indeg[v] = static_cast<u32>(pred_[v].size());
+
+    // Ready set keyed for affinity selection.
+    std::set<OpId> ready;
+    for (OpId v = 0; v < size(); ++v)
+        if (indeg[v] == 0)
+            ready.insert(v);
+
+    std::vector<OpId> order;
+    order.reserve(size());
+    std::string last_aux;
+    while (!ready.empty()) {
+        // Prefer a ready op with the same aux key as the last emitted op
+        // (clustering same-evk work); otherwise the smallest id.
+        OpId pick = *ready.begin();
+        if (!last_aux.empty()) {
+            for (OpId v : ready) {
+                if (ops_[v].auxKey == last_aux) {
+                    pick = v;
+                    break;
+                }
+            }
+        }
+        ready.erase(pick);
+        order.push_back(pick);
+        if (!ops_[pick].auxKey.empty())
+            last_aux = ops_[pick].auxKey;
+        for (OpId w : succ_[pick])
+            if (--indeg[w] == 0)
+                ready.insert(w);
+    }
+    CROPHE_ASSERT(order.size() == size(), "graph has a cycle");
+    return order;
+}
+
+u64
+Graph::totalFlops() const
+{
+    u64 total = 0;
+    for (const auto &op : ops_)
+        total += op.flops;
+    return total;
+}
+
+u64
+Graph::totalAuxWords() const
+{
+    u64 total = 0;
+    std::set<std::string> seen;
+    for (const auto &op : ops_) {
+        if (op.auxWords == 0)
+            continue;
+        if (op.auxKey.empty()) {
+            total += op.auxWords;
+        } else if (seen.insert(op.auxKey).second) {
+            total += op.auxWords;
+        }
+    }
+    return total;
+}
+
+std::vector<std::vector<OpId>>
+Graph::partition(u32 max_size) const
+{
+    CROPHE_ASSERT(max_size >= 1, "partition size must be positive");
+    auto order = topoOrder();
+    std::vector<std::vector<OpId>> parts;
+    for (std::size_t i = 0; i < order.size(); i += max_size) {
+        std::vector<OpId> part(
+            order.begin() + i,
+            order.begin() + std::min(order.size(),
+                                     i + static_cast<std::size_t>(max_size)));
+        parts.push_back(std::move(part));
+    }
+    return parts;
+}
+
+u64
+Graph::structuralHash(const std::vector<OpId> &nodes) const
+{
+    // Order-sensitive FNV-style hash over op shapes and the edge structure
+    // relabelled to positions within @p nodes.
+    std::map<OpId, u32> index;
+    for (u32 i = 0; i < nodes.size(); ++i)
+        index[nodes[i]] = i;
+
+    u64 h = 1469598103934665603ull;
+    auto mix = [&h](u64 v) {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        h *= 1099511628211ull;
+    };
+
+    for (OpId id : nodes) {
+        const Op &op = ops_[id];
+        mix(static_cast<u64>(op.kind));
+        mix(op.n);
+        mix(op.n1);
+        mix(op.limbsIn);
+        mix(op.limbsOut);
+        mix(op.beta);
+        mix(op.auxWords);
+        // Aux identity matters: subgraphs touching different evks are not
+        // interchangeable for sharing/caching decisions.
+        mix(std::hash<std::string>{}(op.auxKey));
+        for (OpId c : succ_[id]) {
+            auto it = index.find(c);
+            mix(it == index.end() ? ~0ull : it->second);
+        }
+    }
+    return h;
+}
+
+std::string
+Graph::toString() const
+{
+    std::ostringstream os;
+    for (OpId v : topoOrder()) {
+        const Op &op = ops_[v];
+        os << v << ": " << op.label << " [" << opKindName(op.kind) << " l="
+           << op.limbsIn << "->" << op.limbsOut << " flops=" << op.flops
+           << "]";
+        if (!succ_[v].empty()) {
+            os << " ->";
+            for (OpId w : succ_[v])
+                os << " " << w;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace crophe::graph

@@ -1,0 +1,89 @@
+#ifndef CROPHE_GRAPH_GRAPH_H_
+#define CROPHE_GRAPH_GRAPH_H_
+
+/**
+ * @file
+ * The operator DAG, with the utilities the scheduler needs: topological
+ * order, acyclic pre-partitioning, and structural hashing for merging
+ * redundant subgraphs (Section V-D).
+ */
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/op.h"
+
+namespace crophe::graph {
+
+/** A producer→consumer edge; volume is the producer's output words. */
+struct Edge
+{
+    OpId from;
+    OpId to;
+};
+
+/** Directed acyclic graph of FHE operators. */
+class Graph
+{
+  public:
+    Graph() = default;
+
+    /** Add a node; returns its id. */
+    OpId add(Op op);
+
+    /** Add a dependency edge from @p from to @p to. */
+    void connect(OpId from, OpId to);
+
+    u32 size() const { return static_cast<u32>(ops_.size()); }
+    const Op &op(OpId id) const { return ops_[id]; }
+    Op &op(OpId id) { return ops_[id]; }
+    const std::vector<Op> &ops() const { return ops_; }
+
+    const std::vector<OpId> &consumers(OpId id) const { return succ_[id]; }
+    const std::vector<OpId> &producers(OpId id) const { return pred_[id]; }
+
+    /** Topological order of all node ids; panics on a cycle. */
+    std::vector<OpId> topoOrder() const;
+
+    /**
+     * Topological order that clusters operators sharing an auxKey
+     * adjacently whenever dependencies allow. This is what lets the
+     * scheduler's (contiguous-window) group enumeration co-run the
+     * same-evk fine-step rotations of the hybrid scheme (Section V-C) and
+     * share their key with one fetch.
+     */
+    std::vector<OpId> topoOrderAuxAffinity() const;
+
+    /** Sum of op flops. */
+    u64 totalFlops() const;
+    /** Sum of distinct auxiliary volumes (each auxKey counted once;
+     *  keyless aux counted per op). */
+    u64 totalAuxWords() const;
+
+    /**
+     * Partition into acyclic chunks of at most @p max_size ops, following
+     * topological order (the pre-partitioning of Section V-D).
+     */
+    std::vector<std::vector<OpId>> partition(u32 max_size) const;
+
+    /**
+     * Structural hash of the subgraph induced by @p nodes: equal hashes ⇒
+     * the subgraphs are (with overwhelming probability) isomorphic with
+     * identical op shapes, letting the scheduler search each unique
+     * subgraph once.
+     */
+    u64 structuralHash(const std::vector<OpId> &nodes) const;
+
+    /** Human-readable dump (for examples and debugging). */
+    std::string toString() const;
+
+  private:
+    std::vector<Op> ops_;
+    std::vector<std::vector<OpId>> succ_;
+    std::vector<std::vector<OpId>> pred_;
+};
+
+}  // namespace crophe::graph
+
+#endif  // CROPHE_GRAPH_GRAPH_H_

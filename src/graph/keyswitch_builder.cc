@@ -1,0 +1,90 @@
+#include "graph/keyswitch_builder.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace crophe::graph {
+
+namespace {
+
+/** Limbs of digit @p j at level ℓ (the last digit may be partial). */
+u32
+digitLimbCount(const FheParams &p, u32 j, u32 level)
+{
+    u32 lo = j * p.alpha;
+    u32 hi = std::min((j + 1) * p.alpha, level + 1);
+    CROPHE_ASSERT(hi > lo, "empty digit");
+    return hi - lo;
+}
+
+/**
+ * ModDown of one output half: iNTT(α) → BConv(α→ℓ+1) → NTT(ℓ+1) →
+ * EwAdd(ℓ+1) with the top part → EwMulConst(ℓ+1) for the 1/P scaling.
+ * Returns the final node.
+ */
+OpId
+buildModDown(Graph &g, const FheParams &p, u32 level, OpId source)
+{
+    const u64 n = p.n();
+    const u32 lq = p.limbsAt(level);
+
+    OpId intt = g.add(makeNtt(OpKind::INtt, n, p.alpha));
+    g.connect(source, intt);
+    OpId bconv = g.add(makeBConv(n, p.alpha, lq));
+    g.connect(intt, bconv);
+    OpId ntt = g.add(makeNtt(OpKind::Ntt, n, lq));
+    g.connect(bconv, ntt);
+    OpId sub = g.add(makeEwBinary(OpKind::EwAdd, n, lq));
+    g.connect(source, sub);  // the q-limb top part
+    g.connect(ntt, sub);
+    OpId scale = g.add(makeEwMulConst(n, lq));
+    g.connect(sub, scale);
+    return scale;
+}
+
+}  // namespace
+
+KeySwitchNodes
+buildKeySwitch(Graph &g, const FheParams &params, u32 level, OpId producer,
+               const std::string &evk_key)
+{
+    const u64 n = params.n();
+    const u32 beta = params.betaAt(level);
+    const u32 ext = params.extLimbsAt(level);
+
+    KeySwitchNodes nodes;
+    if (producer == kNoOp) {
+        nodes.inputPoly =
+            g.add(makeInput(n, params.limbsAt(level), "ks-input"));
+    } else {
+        nodes.inputPoly = producer;
+    }
+
+    // ModUp per digit: iNTT → BConv → NTT on the digit's limbs
+    // (Decomp itself is zero-cost bookkeeping).
+    OpId inner = g.add(makeKskInnerProd(n, ext, beta, evk_key));
+    for (u32 j = 0; j < beta; ++j) {
+        u32 dl = digitLimbCount(params, j, level);
+        OpId intt = g.add(makeNtt(OpKind::INtt, n, dl));
+        g.connect(nodes.inputPoly, intt);
+        OpId bconv = g.add(makeBConv(n, dl, ext - dl));
+        g.connect(intt, bconv);
+        OpId ntt = g.add(makeNtt(OpKind::Ntt, n, ext - dl));
+        g.connect(bconv, ntt);
+        g.connect(ntt, inner);
+    }
+
+    // ModDown for the two output halves.
+    nodes.outB = buildModDown(g, params, level, inner);
+    nodes.outA = buildModDown(g, params, level, inner);
+    return nodes;
+}
+
+u32
+keySwitchOpCount(const FheParams &params, u32 level)
+{
+    return 3 * params.betaAt(level) + 1 + 2 * 5;
+}
+
+}  // namespace crophe::graph

@@ -1,0 +1,42 @@
+#ifndef CROPHE_GRAPH_KEYSWITCH_BUILDER_H_
+#define CROPHE_GRAPH_KEYSWITCH_BUILDER_H_
+
+/**
+ * @file
+ * Expansion of the key-switching primitive into its operator subgraph
+ * (Figure 1): Decomp → per-digit { iNTT → BConv(ModUp) → NTT } →
+ * KSKInP → { iNTT → BConv(ModDown) → NTT } per output half.
+ */
+
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/params.h"
+
+namespace crophe::graph {
+
+/** Node handles returned by the expansion. */
+struct KeySwitchNodes
+{
+    OpId inputPoly;  ///< consumes d(X) over ℓ+1 limbs (Eval rep)
+    OpId outB;       ///< produces the b half over ℓ+1 limbs
+    OpId outA;       ///< produces the a half over ℓ+1 limbs
+};
+
+/**
+ * Append a full key-switch of a level-ℓ polynomial to @p g.
+ *
+ * @param producer node whose output feeds the key switch (kNoOp adds an
+ *        Input node);
+ * @param evk_key identity of the evaluation key (e.g. "evk:mult" or
+ *        "evk:rot:5") — operators referencing equal keys can share it.
+ */
+KeySwitchNodes buildKeySwitch(Graph &g, const FheParams &params, u32 level,
+                              OpId producer, const std::string &evk_key);
+
+/** Count of ops a key switch expands to (used by workload sizing tests). */
+u32 keySwitchOpCount(const FheParams &params, u32 level);
+
+}  // namespace crophe::graph
+
+#endif  // CROPHE_GRAPH_KEYSWITCH_BUILDER_H_

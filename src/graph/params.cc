@@ -1,0 +1,45 @@
+#include "graph/params.h"
+
+#include "common/logging.h"
+
+namespace crophe::graph {
+
+FheParams
+paramsBts()
+{
+    return {"BTS(INS-2)", 17, 39, 19, 2, 20};
+}
+
+FheParams
+paramsArk()
+{
+    return {"ARK", 16, 23, 15, 4, 6};
+}
+
+FheParams
+paramsSharp()
+{
+    return {"SHARP", 16, 35, 27, 3, 12};
+}
+
+FheParams
+paramsCraterLake()
+{
+    return {"CraterLake", 16, 59, 51, 1, 60};
+}
+
+FheParams
+paramsByName(const std::string &name)
+{
+    if (name == "bts")
+        return paramsBts();
+    if (name == "ark")
+        return paramsArk();
+    if (name == "sharp")
+        return paramsSharp();
+    if (name == "craterlake")
+        return paramsCraterLake();
+    CROPHE_FATAL("unknown parameter set: ", name);
+}
+
+}  // namespace crophe::graph

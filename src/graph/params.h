@@ -1,0 +1,49 @@
+#ifndef CROPHE_GRAPH_PARAMS_H_
+#define CROPHE_GRAPH_PARAMS_H_
+
+/**
+ * @file
+ * CKKS parameter sets used by the evaluation (Table III). Each baseline
+ * accelerator is compared using the parameters of its original paper; all
+ * sets reach 128-bit security.
+ */
+
+#include <string>
+
+#include "common/types.h"
+
+namespace crophe::graph {
+
+/** A CKKS parameter set at the accelerator level of abstraction. */
+struct FheParams
+{
+    std::string name;
+    u32 logN = 16;   ///< polynomial degree exponent
+    u32 L = 23;      ///< maximum multiplicative level
+    u32 Lboot = 15;  ///< levels consumed by bootstrapping
+    u32 dnum = 4;    ///< key-switching digits
+    u32 alpha = 6;   ///< limbs per digit
+
+    u64 n() const { return 1ull << logN; }
+    u64 slots() const { return n() / 2; }
+    /** Limb count at level ℓ. */
+    u32 limbsAt(u32 level) const { return level + 1; }
+    /** Digits β touched at level ℓ. */
+    u32 betaAt(u32 level) const { return (level + 1 + alpha - 1) / alpha; }
+    /** Extended limb count α + ℓ + 1 after ModUp. */
+    u32 extLimbsAt(u32 level) const { return alpha + level + 1; }
+};
+
+/** Table III parameter sets. @{ */
+FheParams paramsBts();         ///< BTS (INS-2): logN=17, L=39, dnum=2
+FheParams paramsArk();         ///< ARK: logN=16, L=23, dnum=4
+FheParams paramsSharp();       ///< SHARP: logN=16, L=35, dnum=3
+FheParams paramsCraterLake();  ///< CraterLake: logN=16, L=59, dnum=1
+/** @} */
+
+/** Look up a Table III set by name (bts/ark/sharp/craterlake). */
+FheParams paramsByName(const std::string &name);
+
+}  // namespace crophe::graph
+
+#endif  // CROPHE_GRAPH_PARAMS_H_

@@ -1,0 +1,96 @@
+#ifndef CROPHE_GRAPH_WORKLOADS_H_
+#define CROPHE_GRAPH_WORKLOADS_H_
+
+/**
+ * @file
+ * Workload graph generators for the four evaluation benchmarks
+ * (Section VI): bootstrapping, HELR-1024, ResNet-20 and ResNet-110.
+ *
+ * Large workloads are expressed as sequences of *segments* — unique
+ * subgraphs with repetition counts. This mirrors the paper's
+ * pre-partitioning and redundant-subgraph merging (Section V-D): the
+ * scheduler searches each unique segment once and the results are
+ * composed sequentially.
+ */
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/params.h"
+
+namespace crophe::graph {
+
+/** Graph-level rotation strategy for BSGS baby steps (Section V-C). */
+enum class RotMode : u8
+{
+    MinKs,     ///< ARK's sequential unit rotations
+    Hoisting,  ///< MAD's hoisted parallel rotations
+    Hybrid,    ///< CROPHE's coarse/fine hybrid (r_hyb)
+};
+
+const char *rotModeName(RotMode mode);
+
+/** A unique subgraph plus how many times the workload executes it. */
+struct WorkloadSegment
+{
+    std::string name;
+    Graph graph;
+    u64 repetitions = 1;
+};
+
+/** A full benchmark workload. */
+struct Workload
+{
+    std::string name;
+    FheParams params;
+    std::vector<WorkloadSegment> segments;
+
+    u64 totalOps() const;
+    u64 totalFlops() const;
+};
+
+/** Knobs for workload generation. */
+struct WorkloadOptions
+{
+    RotMode rotMode = RotMode::Hybrid;
+    u32 rHyb = 4;  ///< hybrid coarse stride (ignored unless Hybrid)
+};
+
+// --- Primitive builders (also used directly by tests/benches) -----------
+
+/** HMult (tensor product + relinearization + rescale) at @p level. */
+Graph buildHMult(const FheParams &p, u32 level);
+
+/** HRot (automorphism + key switch) at @p level with key id @p evk_key. */
+Graph buildHRot(const FheParams &p, u32 level, const std::string &evk_key);
+
+/**
+ * BSGS PtMatVecMult (Algorithm 1) with n1 baby and n2 giant steps at
+ * @p level, baby-step rotations per @p mode / @p r_hyb.
+ */
+Graph buildPtMatVecMult(const FheParams &p, u32 level, u32 n1, u32 n2,
+                        RotMode mode, u32 r_hyb,
+                        const std::string &tag = "mv");
+
+// --- Benchmark workloads -------------------------------------------------
+
+/** Sparse-packed CKKS bootstrapping: CoeffToSlot + EvalMod + SlotToCoeff. */
+Workload buildBootstrapping(const FheParams &p, const WorkloadOptions &opt);
+
+/** HELR: one logistic-regression training iteration on 1024 MNIST images. */
+Workload buildHelr(const FheParams &p, const WorkloadOptions &opt);
+
+/** ResNet-20 CIFAR-10 inference (CKKS implementation of [38]). */
+Workload buildResNet20(const FheParams &p, const WorkloadOptions &opt);
+
+/** ResNet-110 (the large-scale scalability workload). */
+Workload buildResNet110(const FheParams &p, const WorkloadOptions &opt);
+
+/** Lookup by name: bootstrap/helr/resnet20/resnet110. */
+Workload buildWorkload(const std::string &name, const FheParams &p,
+                       const WorkloadOptions &opt);
+
+}  // namespace crophe::graph
+
+#endif  // CROPHE_GRAPH_WORKLOADS_H_

@@ -1,0 +1,104 @@
+#include "hw/area_model.h"
+
+#include <cmath>
+
+namespace crophe::hw {
+
+namespace {
+
+// Calibration constants at 7 nm for a 36-bit word, from Table II
+// (CROPHE-36: 256 lanes/PE, 64 kB register file).
+constexpr double kMulUm2Per36bLane = 337650.31 / 256.0;
+constexpr double kMulMwPer36bLane = 388.80 / 256.0;
+constexpr double kAddUm2Per36bLane = 27784.55 / 256.0;
+constexpr double kAddMwPer36bLane = 33.79 / 256.0;
+constexpr double kRegUm2PerKb = 67242.02 / 64.0;
+constexpr double kRegMwPerKb = 16.86 / 64.0;
+constexpr double kNetUm2PerLane = 15806.76 / 256.0;
+constexpr double kNetMwPerLane = 58.17 / 256.0;
+
+// Chip-level constants (Table II lower half, CROPHE-36 reference design:
+// 128 PEs, 180 MB buffer, 16x8 mesh).
+constexpr double kNocMm2Per36bPe = 40.70 / 128.0;
+constexpr double kNocWPer36bPe = 67.40 / 128.0;
+constexpr double kSramMm2PerMB = 116.05 / 180.0;
+constexpr double kSramWPerMB = 15.34 / 180.0;
+constexpr double kTransposeMm2PerMB = 7.38 / 4.0;
+constexpr double kTransposeWPerMB = 2.87 / 4.0;
+constexpr double kHbmPhyMm2 = 29.60;
+constexpr double kHbmPhyW = 31.80;
+
+/** Multiplier area grows ~quadratically with word width, adders linearly. */
+double
+mulScale(u32 word_bits)
+{
+    double r = word_bits / 36.0;
+    return r * r;
+}
+
+double
+linScale(u32 word_bits)
+{
+    return word_bits / 36.0;
+}
+
+}  // namespace
+
+PeBreakdown
+peAreaPower(const HwConfig &cfg)
+{
+    PeBreakdown pe;
+    const double lanes = cfg.lanes;
+    pe.multipliersUm2 = kMulUm2Per36bLane * mulScale(cfg.wordBits) * lanes;
+    pe.addersUm2 = kAddUm2Per36bLane * linScale(cfg.wordBits) * lanes;
+    pe.regFileUm2 = kRegUm2PerKb * cfg.regFileKB;
+    pe.interLaneUm2 = kNetUm2PerLane * linScale(cfg.wordBits) * lanes;
+    pe.totalUm2 =
+        pe.multipliersUm2 + pe.addersUm2 + pe.regFileUm2 + pe.interLaneUm2;
+
+    // Power scales with area and frequency (reference frequency 1.2 GHz).
+    const double f = cfg.freqGhz / 1.2;
+    pe.multipliersMw = kMulMwPer36bLane * mulScale(cfg.wordBits) * lanes * f;
+    pe.addersMw = kAddMwPer36bLane * linScale(cfg.wordBits) * lanes * f;
+    pe.regFileMw = kRegMwPerKb * cfg.regFileKB * f;
+    pe.interLaneMw = kNetMwPerLane * linScale(cfg.wordBits) * lanes * f;
+    pe.totalMw =
+        pe.multipliersMw + pe.addersMw + pe.regFileMw + pe.interLaneMw;
+    return pe;
+}
+
+AreaPower
+chipAreaPower(const HwConfig &cfg)
+{
+    AreaPower chip;
+    PeBreakdown pe = peAreaPower(cfg);
+
+    const double pes_mm2 = pe.totalUm2 * cfg.numPes / 1e6;
+    const double pes_w = pe.totalMw * cfg.numPes / 1e3;
+    chip.rows.push_back({"PEs", pes_mm2, pes_w});
+
+    const double noc_mm2 =
+        kNocMm2Per36bPe * linScale(cfg.wordBits) * cfg.numPes;
+    const double noc_w = kNocWPer36bPe * linScale(cfg.wordBits) *
+                         cfg.numPes * (cfg.freqGhz / 1.2);
+    chip.rows.push_back({"Inter-PE NoC & crossbars", noc_mm2, noc_w});
+
+    const double sram_mm2 = kSramMm2PerMB * cfg.sramMB;
+    const double sram_w = kSramWPerMB * cfg.sramMB;
+    chip.rows.push_back({"Global buffer", sram_mm2, sram_w});
+
+    const double tr_mm2 = kTransposeMm2PerMB * cfg.transposeMB;
+    const double tr_w = kTransposeWPerMB * cfg.transposeMB;
+    chip.rows.push_back({"Transpose unit", tr_mm2, tr_w});
+
+    chip.rows.push_back({"HBM PHY", kHbmPhyMm2, kHbmPhyW});
+
+    for (const auto &row : chip.rows) {
+        chip.totalAreaMm2 += row.areaMm2;
+        chip.totalPowerW += row.powerW;
+    }
+    chip.logicAreaMm2 = chip.totalAreaMm2 - sram_mm2 - kHbmPhyMm2;
+    return chip;
+}
+
+}  // namespace crophe::hw

@@ -1,0 +1,63 @@
+#ifndef CROPHE_HW_AREA_MODEL_H_
+#define CROPHE_HW_AREA_MODEL_H_
+
+/**
+ * @file
+ * 7 nm area/power model (Table II).
+ *
+ * The paper obtains component constants from RTL synthesis (ASAP7),
+ * FN-CACTI (SRAM) and Orion 3 (NoC). We encode those constants — anchored
+ * to the published CROPHE-36 breakdown — and scale them with word size,
+ * lane/PE counts and buffer capacities, so any HwConfig gets a consistent
+ * area/power estimate.
+ */
+
+#include <string>
+#include <vector>
+
+#include "hw/config.h"
+
+namespace crophe::hw {
+
+/** One row of the area/power breakdown. */
+struct BreakdownRow
+{
+    std::string component;
+    double areaMm2;
+    double powerW;
+};
+
+/** Full-chip area/power estimate. */
+struct AreaPower
+{
+    std::vector<BreakdownRow> rows;
+    double totalAreaMm2 = 0.0;
+    double totalPowerW = 0.0;
+    /** Area excluding SRAM buffers and the HBM PHY (Table I row). */
+    double logicAreaMm2 = 0.0;
+};
+
+/** Per-PE estimate (the upper half of Table II), in μm² / mW. */
+struct PeBreakdown
+{
+    double multipliersUm2;
+    double addersUm2;
+    double regFileUm2;
+    double interLaneUm2;
+    double totalUm2;
+    double multipliersMw;
+    double addersMw;
+    double regFileMw;
+    double interLaneMw;
+    double totalMw;
+};
+
+/** Estimate one PE of @p cfg. */
+PeBreakdown peAreaPower(const HwConfig &cfg);
+
+/** Estimate the whole chip of @p cfg. */
+AreaPower chipAreaPower(const HwConfig &cfg);
+
+}  // namespace crophe::hw
+
+#endif  // CROPHE_HW_AREA_MODEL_H_

@@ -1,0 +1,94 @@
+#include "map/mapper.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+
+namespace crophe::map {
+
+using graph::OpId;
+using graph::OpKind;
+
+GroupMapping
+mapGroup(const sched::SpatialGroup &group, const graph::Graph &g,
+         const hw::HwConfig &cfg)
+{
+    GroupMapping mapping;
+
+    // Split the op sequence at Transpose ops into segments; odd segments
+    // (after a transpose) are placed right-to-left (Figure 4). Each
+    // segment fills consecutive PE columns in its direction.
+    // The group's allocs are already in topological order.
+    bool reversed = false;
+    u32 next_pe_forward = 0;                      // fills 0, 1, 2, ...
+    u32 next_pe_backward = cfg.numPes - 1;        // fills N-1, N-2, ...
+
+    std::map<OpId, std::size_t> placement_of;
+    for (const auto &alloc : group.allocs) {
+        const auto &op = g.op(alloc.op);
+        if (op.kind == OpKind::Transpose) {
+            // The transpose unit lives beside the array; flip direction.
+            reversed = !reversed;
+            PePlacement p;
+            p.op = alloc.op;
+            p.centroidX = static_cast<double>(cfg.meshX);  // array edge
+            p.centroidY = cfg.meshY / 2.0;
+            placement_of[alloc.op] = mapping.placements.size();
+            mapping.placements.push_back(std::move(p));
+            continue;
+        }
+
+        PePlacement p;
+        p.op = alloc.op;
+        for (u32 k = 0; k < alloc.pes; ++k) {
+            u32 pe;
+            if (!reversed) {
+                pe = next_pe_forward;
+                next_pe_forward =
+                    std::min(next_pe_forward + 1, cfg.numPes - 1);
+            } else {
+                pe = next_pe_backward;
+                next_pe_backward = next_pe_backward == 0
+                                       ? 0
+                                       : next_pe_backward - 1;
+            }
+            p.peIds.push_back(pe);
+        }
+        double sx = 0, sy = 0;
+        for (u32 pe : p.peIds) {
+            // Column-major: consecutive ids go down a column first.
+            sx += pe / cfg.meshY;
+            sy += pe % cfg.meshY;
+        }
+        p.centroidX = sx / p.peIds.size();
+        p.centroidY = sy / p.peIds.size();
+        placement_of[alloc.op] = mapping.placements.size();
+        mapping.placements.push_back(std::move(p));
+    }
+
+    // Hop distance per internal edge (XY routing => Manhattan distance).
+    double hop_sum = 0.0;
+    for (const auto &e : group.internalEdges) {
+        const auto &pf = mapping.placements[placement_of.at(e.from)];
+        const auto &pt = mapping.placements[placement_of.at(e.to)];
+        u32 hops = static_cast<u32>(std::lround(
+            std::abs(pf.centroidX - pt.centroidX) +
+            std::abs(pf.centroidY - pt.centroidY)));
+        mapping.edgeHops.push_back(std::max<u32>(1, hops));
+        hop_sum += mapping.edgeHops.back();
+    }
+
+    // Distance from the buffer crossbar (column 0 side) to each op.
+    double buf_hops = 0.0;
+    for (const auto &p : mapping.placements)
+        buf_hops += p.centroidX + 1.0;
+    mapping.avgBufferHops =
+        mapping.placements.empty()
+            ? 1.0
+            : buf_hops / static_cast<double>(mapping.placements.size());
+    return mapping;
+}
+
+}  // namespace crophe::map

@@ -1,0 +1,47 @@
+#ifndef CROPHE_MAP_MAPPER_H_
+#define CROPHE_MAP_MAPPER_H_
+
+/**
+ * @file
+ * Operator placement onto the 2D PE array (Section IV-B).
+ *
+ * Consecutive operators are placed column-major from left to right so
+ * forwarded data moves short distances; operators downstream of a
+ * transpose are placed right-to-left starting at the transpose unit's
+ * side, and multiple transposes split the array into horizontal bands.
+ */
+
+#include <vector>
+
+#include "hw/config.h"
+#include "sched/group.h"
+
+namespace crophe::map {
+
+/** PE rectangle assigned to one operator. */
+struct PePlacement
+{
+    graph::OpId op = graph::kNoOp;
+    std::vector<u32> peIds;  ///< pe id = y * meshX + x
+    double centroidX = 0.0;
+    double centroidY = 0.0;
+};
+
+/** Placement of one spatial group. */
+struct GroupMapping
+{
+    std::vector<PePlacement> placements;
+    /** Manhattan hop count per internal edge (parallel to
+     *  SpatialGroup::internalEdges). */
+    std::vector<u32> edgeHops;
+    /** Average hops from the array edge (buffer crossbar) to each op. */
+    double avgBufferHops = 0.0;
+};
+
+/** Place one analyzed spatial group on the array of @p cfg. */
+GroupMapping mapGroup(const sched::SpatialGroup &group,
+                      const graph::Graph &g, const hw::HwConfig &cfg);
+
+}  // namespace crophe::map
+
+#endif  // CROPHE_MAP_MAPPER_H_

@@ -1,0 +1,26 @@
+#ifndef CROPHE_SCHED_DATAFLOW_REPORT_H_
+#define CROPHE_SCHED_DATAFLOW_REPORT_H_
+
+/**
+ * @file
+ * Human-readable dataflow result output (Section VI: "The scheduler
+ * outputs a dataflow result file that details the optimized
+ * spatial/temporal pipelining/sharing schemes for all the operators").
+ */
+
+#include <string>
+
+#include "sched/group.h"
+
+namespace crophe::sched {
+
+/** Render one schedule as a dataflow result report. */
+std::string dataflowReport(const Schedule &sched, const hw::HwConfig &cfg);
+
+/** Write the report to @p path; returns false on I/O failure. */
+bool writeDataflowReport(const Schedule &sched, const hw::HwConfig &cfg,
+                         const std::string &path);
+
+}  // namespace crophe::sched
+
+#endif  // CROPHE_SCHED_DATAFLOW_REPORT_H_

@@ -1,0 +1,92 @@
+#include "sched/enumerator.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace crophe::sched {
+
+using graph::OpId;
+
+GroupEnumerator::GroupEnumerator(const graph::Graph &g,
+                                 const hw::HwConfig &cfg, bool mad,
+                                 u32 max_ops)
+    : g_(&g), cfg_(&cfg), mad_(mad), maxOps_(max_ops),
+      topo_(g.topoOrderAuxAffinity())
+{
+    CROPHE_ASSERT(maxOps_ >= 1, "maxOps must be positive");
+}
+
+namespace {
+
+/** Convert an analyzed group to a position-indexed canonical form. */
+SpatialGroup
+canonicalize(const SpatialGroup &group, const std::vector<OpId> &window)
+{
+    std::map<OpId, OpId> pos;
+    for (u32 i = 0; i < window.size(); ++i)
+        pos[window[i]] = i;
+    SpatialGroup out = group;
+    for (auto &a : out.allocs)
+        a.op = pos.at(a.op);
+    for (auto &e : out.internalEdges) {
+        e.from = pos.at(e.from);
+        e.to = pos.at(e.to);
+    }
+    return out;
+}
+
+/** Re-bind a canonical group to concrete window op ids. */
+SpatialGroup
+materialize(const SpatialGroup &canonical, const std::vector<OpId> &window)
+{
+    SpatialGroup out = canonical;
+    for (auto &a : out.allocs)
+        a.op = window[a.op];
+    for (auto &e : out.internalEdges) {
+        e.from = window[e.from];
+        e.to = window[e.to];
+    }
+    return out;
+}
+
+}  // namespace
+
+const SpatialGroup *
+GroupEnumerator::window(u32 begin, u32 len)
+{
+    if (len == 0 || len > maxOps_ || begin + len > topo_.size())
+        return nullptr;
+
+    u64 wkey = static_cast<u64>(begin) * (maxOps_ + 1) + len;
+    auto wit = byWindow_.find(wkey);
+    if (wit != byWindow_.end())
+        return wit->second ? &*wit->second : nullptr;
+
+    std::vector<OpId> ops(topo_.begin() + begin, topo_.begin() + begin + len);
+    u64 h = g_->structuralHash(ops);
+
+    auto mit = memo_.find(h);
+    std::optional<SpatialGroup> result;
+    if (mit != memo_.end()) {
+        ++hits_;
+        if (mit->second)
+            result = materialize(*mit->second, ops);
+    } else {
+        ++analyzed_;
+        SpatialGroup group;
+        if (analyzeSpatialGroup(*g_, ops, *cfg_, mad_, group)) {
+            memo_.emplace(h, canonicalize(group, ops));
+            result = std::move(group);
+        } else {
+            memo_.emplace(h, std::nullopt);
+        }
+    }
+
+    auto [it, ok] = byWindow_.emplace(wkey, std::move(result));
+    (void)ok;
+    return it->second ? &*it->second : nullptr;
+}
+
+}  // namespace crophe::sched

@@ -1,0 +1,60 @@
+#ifndef CROPHE_SCHED_ENUMERATOR_H_
+#define CROPHE_SCHED_ENUMERATOR_H_
+
+/**
+ * @file
+ * Bottom-up spatial-group candidate enumeration (Section V-D).
+ *
+ * Candidates are contiguous windows of the topological order, up to the
+ * configured maximum size. Analysis results are memoized by structural
+ * hash so that the many isomorphic subgraphs of FHE workloads (every
+ * KeySwitch looks alike) are each analyzed only once — the paper's
+ * redundant-subgraph merging.
+ */
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/group.h"
+
+namespace crophe::sched {
+
+/** Memoizing candidate factory over one graph. */
+class GroupEnumerator
+{
+  public:
+    GroupEnumerator(const graph::Graph &g, const hw::HwConfig &cfg, bool mad,
+                    u32 max_ops);
+
+    const graph::Graph &graph() const { return *g_; }
+    const std::vector<graph::OpId> &topo() const { return topo_; }
+    u32 maxOps() const { return maxOps_; }
+
+    /**
+     * Analyzed group for topo window [begin, begin+len); nullptr when the
+     * window exceeds the graph or is infeasible.
+     */
+    const SpatialGroup *window(u32 begin, u32 len);
+
+    /** Unique subgraph analyses performed (memoization effectiveness). */
+    u64 analyzedCount() const { return analyzed_; }
+    u64 memoHits() const { return hits_; }
+
+  private:
+    const graph::Graph *g_;
+    const hw::HwConfig *cfg_;
+    bool mad_;
+    u32 maxOps_;
+    std::vector<graph::OpId> topo_;
+    /** structural hash -> analysis (nullopt = infeasible). */
+    std::unordered_map<u64, std::optional<SpatialGroup>> memo_;
+    /** window key (begin*K+len) -> materialized result with real op ids. */
+    std::unordered_map<u64, std::optional<SpatialGroup>> byWindow_;
+    u64 analyzed_ = 0;
+    u64 hits_ = 0;
+};
+
+}  // namespace crophe::sched
+
+#endif  // CROPHE_SCHED_ENUMERATOR_H_

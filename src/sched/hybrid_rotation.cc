@@ -1,0 +1,47 @@
+#include "sched/hybrid_rotation.h"
+
+#include <limits>
+
+#include "sched/scheduler.h"
+
+namespace crophe::sched {
+
+std::vector<u32>
+rHybCandidates(u32 n1_max)
+{
+    std::vector<u32> out;
+    for (u32 r = 2; r <= n1_max; r <<= 1)
+        out.push_back(r);
+    return out;
+}
+
+RotationChoice
+chooseRotationScheme(const std::string &workload,
+                     const graph::FheParams &params, const hw::HwConfig &cfg,
+                     const SchedOptions &opt, bool allow_hybrid)
+{
+    RotationChoice best;
+    best.result.stats.cycles = std::numeric_limits<double>::infinity();
+
+    auto consider = [&](graph::RotMode mode, u32 r_hyb) {
+        graph::WorkloadOptions wopt;
+        wopt.rotMode = mode;
+        wopt.rHyb = r_hyb;
+        graph::Workload w = graph::buildWorkload(workload, params, wopt);
+        WorkloadResult res = scheduleWorkload(w, cfg, opt);
+        if (res.stats.cycles < best.result.stats.cycles) {
+            best.mode = mode;
+            best.rHyb = r_hyb;
+            best.result = std::move(res);
+        }
+    };
+
+    consider(graph::RotMode::MinKs, 0);
+    consider(graph::RotMode::Hoisting, 0);
+    if (allow_hybrid)
+        for (u32 r : rHybCandidates())
+            consider(graph::RotMode::Hybrid, r);
+    return best;
+}
+
+}  // namespace crophe::sched

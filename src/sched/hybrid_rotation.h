@@ -1,0 +1,46 @@
+#ifndef CROPHE_SCHED_HYBRID_ROTATION_H_
+#define CROPHE_SCHED_HYBRID_ROTATION_H_
+
+/**
+ * @file
+ * Hybrid-rotation search (Sections V-C, V-D).
+ *
+ * r_hyb changes the workload graph itself (coarse Min-KS chain + fine
+ * hoisted steps), so the scheduler enumerates it "at the very beginning":
+ * one workload graph is generated per candidate r_hyb and each is
+ * scheduled independently; the cheapest wins.
+ */
+
+#include <vector>
+
+#include "graph/workloads.h"
+#include "sched/cost_model.h"
+#include "sched/group.h"
+
+namespace crophe::sched {
+
+/** Outcome of the rotation-scheme search. */
+struct RotationChoice
+{
+    graph::RotMode mode = graph::RotMode::MinKs;
+    u32 rHyb = 0;
+    WorkloadResult result;
+};
+
+/** Candidate r_hyb values (powers of two up to a sane baby-step bound). */
+std::vector<u32> rHybCandidates(u32 n1_max = 16);
+
+/**
+ * Build the workload named @p workload for every rotation scheme allowed
+ * by @p allow_hybrid (always including Min-KS and Hoisting) and return the
+ * fastest on @p cfg.
+ */
+RotationChoice chooseRotationScheme(const std::string &workload,
+                                    const graph::FheParams &params,
+                                    const hw::HwConfig &cfg,
+                                    const SchedOptions &opt,
+                                    bool allow_hybrid);
+
+}  // namespace crophe::sched
+
+#endif  // CROPHE_SCHED_HYBRID_ROTATION_H_

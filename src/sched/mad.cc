@@ -1,0 +1,40 @@
+#include "sched/mad.h"
+
+#include "sched/scheduler.h"
+
+namespace crophe::sched {
+
+SchedOptions
+madOptions()
+{
+    SchedOptions opt;
+    opt.crossOpDataflow = false;
+    opt.nttDecomp = false;
+    opt.maxGroupOps = 3;
+    opt.clusters = 1;
+    opt.shareAuxAcrossClusters = false;
+    return opt;
+}
+
+graph::WorkloadOptions
+madWorkloadOptions()
+{
+    graph::WorkloadOptions wopt;
+    wopt.rotMode = graph::RotMode::Hoisting;
+    wopt.rHyb = 0;
+    return wopt;
+}
+
+Schedule
+scheduleGraphMad(const graph::Graph &g, const hw::HwConfig &cfg)
+{
+    return scheduleGraph(g, cfg, madOptions());
+}
+
+WorkloadResult
+scheduleWorkloadMad(const graph::Workload &w, const hw::HwConfig &cfg)
+{
+    return scheduleWorkload(w, cfg, madOptions());
+}
+
+}  // namespace crophe::sched

@@ -1,0 +1,76 @@
+#include "sched/ntt_decomp.h"
+
+#include <map>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "graph/op.h"
+
+namespace crophe::sched {
+
+using graph::Graph;
+using graph::Op;
+using graph::OpId;
+using graph::OpKind;
+
+std::vector<u64>
+nttDecompositionOptions(u64 n, u32 lanes)
+{
+    std::vector<u64> options;
+    if (!isPow2(n))
+        return options;
+    for (u64 n1 = lanes; n1 * lanes <= n; n1 <<= 1)
+        options.push_back(n1);
+    return options;
+}
+
+Graph
+rewriteNttDecomposition(const Graph &g, u64 n1)
+{
+    Graph out;
+    // first/last node of each original op in the rewritten graph.
+    std::map<OpId, OpId> head, tail;
+
+    for (OpId id : g.topoOrder()) {
+        const Op &op = g.op(id);
+        bool is_fwd = op.kind == OpKind::Ntt;
+        bool is_inv = op.kind == OpKind::INtt;
+        if ((is_fwd || is_inv) && op.n % n1 == 0 && op.n / n1 >= 2) {
+            const u64 n2 = op.n / n1;
+            OpId col = out.add(graph::makeNttStep(
+                is_fwd ? OpKind::NttCol : OpKind::INttCol, n1, n2,
+                op.limbsIn));
+            OpId tw = out.add(graph::makeTwiddle(op.n, op.limbsIn));
+            OpId tr = out.add(graph::makeTranspose(op.n, op.limbsIn));
+            OpId row = out.add(graph::makeNttStep(
+                is_fwd ? OpKind::NttRow : OpKind::INttRow, n1, n2,
+                op.limbsIn));
+            out.connect(col, tw);
+            out.connect(tw, tr);
+            out.connect(tr, row);
+            head[id] = col;
+            tail[id] = row;
+        } else {
+            OpId nid = out.add(op);
+            head[id] = nid;
+            tail[id] = nid;
+        }
+    }
+
+    for (OpId id = 0; id < g.size(); ++id)
+        for (OpId c : g.consumers(id))
+            out.connect(tail[id], head[c]);
+    return out;
+}
+
+u32
+countMonolithicNtts(const Graph &g)
+{
+    u32 count = 0;
+    for (const auto &op : g.ops())
+        if (op.kind == OpKind::Ntt || op.kind == OpKind::INtt)
+            ++count;
+    return count;
+}
+
+}  // namespace crophe::sched

@@ -1,0 +1,37 @@
+#ifndef CROPHE_SCHED_NTT_DECOMP_H_
+#define CROPHE_SCHED_NTT_DECOMP_H_
+
+/**
+ * @file
+ * NTT-decomposition graph rewriting (Section V-B).
+ *
+ * Each monolithic (i)NTT node is replaced by the four-step structure
+ * col-(i)NTT → twiddle → transpose → row-(i)NTT with N = N1 × N2. The
+ * column step streams on the N1 instance loop and the row step on N2, so
+ * each end of the decomposed transform pipelines with its neighbours and
+ * orientation switches drop from 4 to 2 per iNTT→BConv→NTT sequence
+ * (Figure 7).
+ */
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace crophe::sched {
+
+/**
+ * Candidate N1 factors for an NTT of size @p n: powers of two with both
+ * N1 and N2 at least @p lanes (smaller sub-NTTs cannot fill a PE's lanes,
+ * Section V-D).
+ */
+std::vector<u64> nttDecompositionOptions(u64 n, u32 lanes);
+
+/** Rewrite every monolithic NTT/iNTT of @p g with factor @p n1. */
+graph::Graph rewriteNttDecomposition(const graph::Graph &g, u64 n1);
+
+/** Count monolithic NTT nodes (for tests and reporting). */
+u32 countMonolithicNtts(const graph::Graph &g);
+
+}  // namespace crophe::sched
+
+#endif  // CROPHE_SCHED_NTT_DECOMP_H_

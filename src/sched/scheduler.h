@@ -1,0 +1,49 @@
+#ifndef CROPHE_SCHED_SCHEDULER_H_
+#define CROPHE_SCHED_SCHEDULER_H_
+
+/**
+ * @file
+ * The CROPHE scheduler (Section V-D): bottom-up composition of spatial
+ * groups via dynamic programming over the topological order, temporal
+ * grouping for on-chip aux residency, NTT-decomposition choice, and the
+ * CROPHE-p data-parallel cluster decision.
+ */
+
+#include "graph/workloads.h"
+#include "sched/cost_model.h"
+#include "sched/group.h"
+
+namespace crophe::sched {
+
+/**
+ * Schedule one graph (a workload segment) on @p cfg.
+ *
+ * When opt.nttDecomp is set, every candidate N1 factor of the NTT
+ * decomposition is tried (including no decomposition) and the cheapest
+ * schedule wins.
+ */
+Schedule scheduleGraph(const graph::Graph &g, const hw::HwConfig &cfg,
+                       const SchedOptions &opt);
+
+/**
+ * Schedule a full workload: each unique segment once (redundancy
+ * merging), then aggregate over repetitions. With opt.clusters > 1 the
+ * segments are scheduled on a cluster-sized slice of the chip and run
+ * data-parallel (CROPHE-p).
+ */
+WorkloadResult scheduleWorkload(const graph::Workload &w,
+                                const hw::HwConfig &cfg,
+                                const SchedOptions &opt);
+
+/**
+ * CROPHE-p: try cluster counts {1, 2, 4} and return the fastest result
+ * (the scheduler "automatically determines" the partitioning,
+ * Section VII-A).
+ */
+WorkloadResult scheduleWorkloadAutoClusters(const graph::Workload &w,
+                                            const hw::HwConfig &cfg,
+                                            SchedOptions opt);
+
+}  // namespace crophe::sched
+
+#endif  // CROPHE_SCHED_SCHEDULER_H_

@@ -1,0 +1,42 @@
+#include "sim/dram.h"
+
+#include "common/math_util.h"
+
+namespace crophe::sim {
+
+DramModel::DramModel(const hw::HwConfig &cfg)
+    : wordsPerCycle_(cfg.dramGBs / (cfg.wordBytes() * cfg.freqGhz)),
+      rowMissPenalty_(40.0),
+      rowWords_(static_cast<u64>(2048.0 / cfg.wordBytes())),
+      channel_(cfg.dramGBs / (cfg.wordBytes() * cfg.freqGhz))
+{
+    for (auto &s : lastStream_)
+        s = ~0u;
+}
+
+SimTime
+DramModel::access(SimTime ready, u64 words, u32 stream_id)
+{
+    if (words == 0)
+        return ready;
+    totalWords_ += words;
+
+    // A requester switch on its pseudo-channel closes the open rows;
+    // within a stream, accesses are sequential and hit open rows except
+    // at row boundaries.
+    u32 ch = stream_id % kChannels;
+    u64 rows = std::max<u64>(1, ceilDiv(words, rowWords_));
+    double latency;
+    if (stream_id != lastStream_[ch]) {
+        latency = rowMissPenalty_;
+        ++rowMisses_;
+        rowHits_ += rows - 1;
+    } else {
+        latency = 0.0;
+        rowHits_ += rows;
+    }
+    lastStream_[ch] = stream_id;
+    return channel_.serve(ready, static_cast<double>(words), latency);
+}
+
+}  // namespace crophe::sim

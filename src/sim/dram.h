@@ -1,0 +1,53 @@
+#ifndef CROPHE_SIM_DRAM_H_
+#define CROPHE_SIM_DRAM_H_
+
+/**
+ * @file
+ * HBM off-chip memory model (the Ramulator 2 substitution documented in
+ * DESIGN.md): multiple pseudo-channels, burst granularity, and row
+ * hit/miss timing. Streaming accesses from one requester hit open rows;
+ * switching requesters costs row activations, so interleaved traffic
+ * sustains less than peak bandwidth — the first-order behaviour the
+ * paper's evaluation relies on.
+ */
+
+#include "hw/config.h"
+#include "sim/event_queue.h"
+
+namespace crophe::sim {
+
+/** HBM timing/bandwidth model. */
+class DramModel
+{
+  public:
+    explicit DramModel(const hw::HwConfig &cfg);
+
+    /**
+     * Request @p words for requester @p stream_id at time @p ready;
+     * returns completion time.
+     */
+    SimTime access(SimTime ready, u64 words, u32 stream_id);
+
+    double busyCycles() const { return channel_.busyCycles(); }
+    u64 totalWords() const { return totalWords_; }
+    u64 rowHits() const { return rowHits_; }
+    u64 rowMisses() const { return rowMisses_; }
+
+  private:
+    /** HBM pseudo-channels: concurrent streams retain row locality as
+     *  long as they map to different channels. */
+    static constexpr u32 kChannels = 16;
+
+    double wordsPerCycle_;
+    double rowMissPenalty_;  ///< cycles per row activation
+    u64 rowWords_;           ///< words per DRAM row
+    Server channel_;
+    u32 lastStream_[kChannels];
+    u64 totalWords_ = 0;
+    u64 rowHits_ = 0;
+    u64 rowMisses_ = 0;
+};
+
+}  // namespace crophe::sim
+
+#endif  // CROPHE_SIM_DRAM_H_

@@ -1,0 +1,34 @@
+#include "sim/event_queue.h"
+
+#include "common/logging.h"
+
+namespace crophe::sim {
+
+void
+EventQueue::schedule(SimTime when, Handler handler)
+{
+    CROPHE_ASSERT(when >= 0.0, "negative event time");
+    queue_.push({when, nextSeq_++, std::move(handler)});
+}
+
+SimTime
+EventQueue::runNext()
+{
+    CROPHE_ASSERT(!queue_.empty(), "runNext on empty queue");
+    Event ev = queue_.top();
+    queue_.pop();
+    ++processed_;
+    ev.handler(ev.when);
+    return ev.when;
+}
+
+SimTime
+EventQueue::runAll()
+{
+    SimTime last = 0.0;
+    while (!queue_.empty())
+        last = runNext();
+    return last;
+}
+
+}  // namespace crophe::sim

@@ -1,0 +1,96 @@
+#ifndef CROPHE_SIM_EVENT_QUEUE_H_
+#define CROPHE_SIM_EVENT_QUEUE_H_
+
+/**
+ * @file
+ * Minimal discrete-event kernel: a time-ordered queue of callbacks.
+ */
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace crophe::sim {
+
+/** Simulated time in (fractional) accelerator cycles. */
+using SimTime = double;
+
+/** Time-ordered event queue with stable pop order for equal timestamps. */
+class EventQueue
+{
+  public:
+    using Handler = std::function<void(SimTime)>;
+
+    /** Schedule @p handler to run at @p when. */
+    void schedule(SimTime when, Handler handler);
+
+    /** True when no events remain. */
+    bool empty() const { return queue_.empty(); }
+
+    /** Pop and run the earliest event; returns its timestamp. */
+    SimTime runNext();
+
+    /** Run until the queue drains; returns the final event time. */
+    SimTime runAll();
+
+    u64 processed() const { return processed_; }
+
+  private:
+    struct Event
+    {
+        SimTime when;
+        u64 seq;
+        Handler handler;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            return a.when > b.when || (a.when == b.when && a.seq > b.seq);
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    u64 nextSeq_ = 0;
+    u64 processed_ = 0;
+};
+
+/** A FIFO bandwidth server: one resource serving requests in order. */
+class Server
+{
+  public:
+    explicit Server(double rate_per_cycle = 1.0) : rate_(rate_per_cycle) {}
+
+    /**
+     * Serve @p amount units arriving at @p ready (plus @p fixed_latency);
+     * returns the completion time.
+     */
+    SimTime
+    serve(SimTime ready, double amount, double fixed_latency = 0.0)
+    {
+        double duration = rate_ > 0 ? amount / rate_ : 0.0;
+        SimTime start = std::max(ready + fixed_latency, freeAt_);
+        freeAt_ = start + duration;
+        busy_ += duration;
+        served_ += amount;
+        return freeAt_;
+    }
+
+    double busyCycles() const { return busy_; }
+    double servedUnits() const { return served_; }
+    SimTime freeAt() const { return freeAt_; }
+
+  private:
+    double rate_;
+    SimTime freeAt_ = 0.0;
+    double busy_ = 0.0;
+    double served_ = 0.0;
+};
+
+}  // namespace crophe::sim
+
+#endif  // CROPHE_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,44 @@
+#ifndef CROPHE_SIM_NOC_H_
+#define CROPHE_SIM_NOC_H_
+
+/**
+ * @file
+ * Mesh NoC model (Section IV-A): packet-based hop-by-hop transfers with
+ * XY routing and multicast. Transfers pay a per-hop latency plus
+ * serialization on the aggregate mesh bandwidth; the producer-consumer
+ * routes are statically known from the mapping.
+ */
+
+#include "hw/config.h"
+#include "sim/event_queue.h"
+
+namespace crophe::sim {
+
+/** Aggregate mesh interconnect model. */
+class NocModel
+{
+  public:
+    explicit NocModel(const hw::HwConfig &cfg);
+
+    /**
+     * Transfer @p words over @p hops mesh hops starting at @p ready;
+     * multicast transfers (fanout > 1) send the data once and replicate
+     * at the routers, paying only the longest path.
+     */
+    SimTime transfer(SimTime ready, u64 words, u32 hops, u32 fanout = 1);
+
+    double busyCycles() const { return links_.busyCycles(); }
+    u64 totalWords() const { return totalWords_; }
+    double capacityWordsPerCycle() const { return capacity_; }
+
+  private:
+    static constexpr double kHopLatency = 1.0;  ///< cycles per hop
+
+    double capacity_;
+    Server links_;
+    u64 totalWords_ = 0;
+};
+
+}  // namespace crophe::sim
+
+#endif  // CROPHE_SIM_NOC_H_

@@ -1,0 +1,45 @@
+#ifndef CROPHE_SIM_PE_H_
+#define CROPHE_SIM_PE_H_
+
+/**
+ * @file
+ * PE-group execution model: the PEs allocated to one operator execute its
+ * chunks in order, fully pipelined at the lane level (Section IV-A).
+ */
+
+#include <vector>
+
+#include "hw/config.h"
+#include "map/trace.h"
+#include "sim/event_queue.h"
+
+namespace crophe::sim {
+
+/** The serial chunk executor for one operator's PE allocation. */
+class PeGroup
+{
+  public:
+    explicit PeGroup(const map::TraceOp &op) : op_(&op) {}
+
+    /** Execute chunk @p chunk once its inputs are ready at @p ready. */
+    SimTime
+    executeChunk(SimTime ready, u64 chunk)
+    {
+        (void)chunk;
+        SimTime start = std::max(ready, freeAt_);
+        freeAt_ = start + op_->computePerChunk;
+        busy_ += op_->computePerChunk;
+        return freeAt_;
+    }
+
+    double busyCycles() const { return busy_; }
+
+  private:
+    const map::TraceOp *op_;
+    SimTime freeAt_ = 0.0;
+    double busy_ = 0.0;
+};
+
+}  // namespace crophe::sim
+
+#endif  // CROPHE_SIM_PE_H_

@@ -1,0 +1,211 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "map/mapper.h"
+#include "map/trace.h"
+#include "sched/scheduler.h"
+#include "sim/dram.h"
+#include "sim/event_queue.h"
+#include "sim/noc.h"
+#include "sim/pe.h"
+#include "sim/sram.h"
+#include "sim/transpose_unit.h"
+
+namespace crophe::sim {
+
+namespace {
+
+/** Shared chip resources that persist across groups within one segment. */
+struct Chip
+{
+    explicit Chip(const hw::HwConfig &cfg)
+        : dram(cfg), sram(cfg), noc(cfg), transpose(cfg)
+    {
+    }
+
+    DramModel dram;
+    SramModel sram;
+    NocModel noc;
+    TransposeUnit transpose;
+};
+
+/**
+ * Simulate one spatial group starting at @p group_start; returns the
+ * group's completion time.
+ */
+SimTime
+simulateGroup(const sched::SpatialGroup &group, const graph::Graph &g,
+              const hw::HwConfig &cfg, Chip &chip, SimTime group_start,
+              EventQueue &queue, SimStats &stats)
+{
+    map::GroupMapping mapping = map::mapGroup(group, g, cfg);
+    map::GroupTrace trace = map::buildTrace(group, mapping, g, cfg);
+
+    const u32 num_ops = static_cast<u32>(trace.ops.size());
+    std::vector<PeGroup> pes;
+    pes.reserve(num_ops);
+    for (const auto &top : trace.ops)
+        pes.emplace_back(top);
+
+    // finish[i][c]: completion time of chunk c of op i (-1 = not done).
+    std::vector<std::vector<SimTime>> finish(num_ops);
+    std::vector<u64> next_chunk(num_ops, 0);
+    for (u32 i = 0; i < num_ops; ++i)
+        finish[i].assign(trace.ops[i].chunks, -1.0);
+
+    SimTime group_end = group_start;
+
+    // Readiness check for chunk c of op i.
+    auto dep_ready = [&](u32 i, u64 c, SimTime &ready) {
+        ready = group_start;
+        for (const auto &dep : trace.ops[i].deps) {
+            const auto &p = trace.ops[dep.producerIndex];
+            u64 needed;
+            if (dep.pipelined) {
+                // Chunk c consumes producer chunk floor(c·Cp/Ci).
+                needed = std::min<u64>(
+                    p.chunks - 1, c * p.chunks / trace.ops[i].chunks);
+            } else {
+                needed = p.chunks - 1;  // full-tensor barrier
+            }
+            SimTime f = finish[dep.producerIndex][needed];
+            if (f < 0)
+                return false;
+            ready = std::max(ready, f);
+        }
+        return true;
+    };
+
+    // Execute one chunk: acquire memory inputs, NoC, then the PE group.
+    std::function<void(u32, SimTime)> try_issue = [&](u32 i, SimTime now) {
+        while (next_chunk[i] < trace.ops[i].chunks) {
+            u64 c = next_chunk[i];
+            SimTime ready;
+            if (!dep_ready(i, c, ready))
+                return;
+            ready = std::max(ready, now);
+            const auto &top = trace.ops[i];
+            const auto &op = g.op(top.op);
+
+            // Off-chip and buffer traffic for this chunk.
+            SimTime t = chip.dram.access(ready, top.dramWordsPerChunk, i);
+            t = chip.sram.access(t, top.sramWordsPerChunk);
+            // Forwarded inputs traverse the mesh.
+            u32 hops = 1;
+            for (const auto &dep : top.deps)
+                hops = std::max(hops, dep.hops);
+            t = chip.noc.transfer(t, top.nocWordsPerChunk, hops);
+            // Transpose ops stream through the transpose unit instead of
+            // the PE datapath.
+            SimTime done;
+            if (op.kind == graph::OpKind::Transpose) {
+                done = chip.transpose.transpose(
+                    t, std::max<u64>(1, op.inputWords / top.chunks));
+                stats.transposeWords += op.inputWords / top.chunks;
+            } else {
+                done = pes[i].executeChunk(t, c);
+            }
+            finish[i][c] = done;
+            ++next_chunk[i];
+            group_end = std::max(group_end, done);
+
+            // Wake consumers.
+            for (u32 j = 0; j < num_ops; ++j) {
+                for (const auto &dep : trace.ops[j].deps) {
+                    if (dep.producerIndex == i && next_chunk[j] <
+                                                      trace.ops[j].chunks) {
+                        queue.schedule(done, [&, j](SimTime when) {
+                            try_issue(j, when);
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    };
+
+    // Seed all ops (those with deps will simply not issue yet).
+    for (u32 i = 0; i < num_ops; ++i)
+        queue.schedule(group_start,
+                       [&, i](SimTime when) { try_issue(i, when); });
+    queue.runAll();
+
+    for (u32 i = 0; i < num_ops; ++i) {
+        CROPHE_ASSERT(next_chunk[i] == trace.ops[i].chunks,
+                      "deadlock: op ", g.op(trace.ops[i].op).label,
+                      " stuck at chunk ", next_chunk[i]);
+        stats.peBusy += pes[i].busyCycles();
+    }
+    return group_end;
+}
+
+}  // namespace
+
+SimStats
+simulateSchedule(const sched::Schedule &sched, const hw::HwConfig &cfg)
+{
+    SimStats stats;
+    Chip chip(cfg);
+    EventQueue queue;
+
+    // Pipeline drain + reconfiguration cost of the fully synchronous
+    // group switch (Section IV-A).
+    constexpr double kGroupSwitchCycles = 64.0;
+
+    SimTime now = 0.0;
+    for (const auto &tg : sched.sequence) {
+        for (const auto &group : tg.groups) {
+            // Synchronous group switching: the next group starts after
+            // the previous completes on all PEs (Section IV-A).
+            now = simulateGroup(group, sched.graph, cfg, chip, now, queue,
+                                stats);
+            now += kGroupSwitchCycles;
+            stats.flops += group.flops;
+        }
+    }
+    stats.cycles = now;
+    stats.dramWords = chip.dram.totalWords();
+    stats.sramWords = chip.sram.totalWords();
+    stats.nocWords = chip.noc.totalWords();
+    stats.dramRowHits = chip.dram.rowHits();
+    stats.dramRowMisses = chip.dram.rowMisses();
+    stats.events = queue.processed();
+    return stats;
+}
+
+sched::WorkloadResult
+simulateWorkload(const graph::Workload &w, const hw::HwConfig &cfg,
+                 const sched::SchedOptions &opt)
+{
+    hw::HwConfig cluster_cfg = cfg;
+    if (opt.clusters > 1) {
+        cluster_cfg.numPes = std::max<u32>(1, cfg.numPes / opt.clusters);
+        cluster_cfg.meshY = std::max<u32>(1, cfg.meshY / opt.clusters);
+        cluster_cfg.sramGBs = cfg.sramGBs / opt.clusters;
+        cluster_cfg.dramGBs = cfg.dramGBs / opt.clusters;
+    }
+
+    std::vector<sched::Schedule> schedules;
+    schedules.reserve(w.segments.size());
+    for (const auto &seg : w.segments) {
+        sched::Schedule s =
+            sched::scheduleGraph(seg.graph, cluster_cfg, opt);
+        SimStats sim = simulateSchedule(s, cluster_cfg);
+        // Replace the analytical cycle estimate with the simulated one;
+        // warm repetitions scale by the same contention ratio.
+        double ratio = s.stats.cycles > 0 ? sim.cycles / s.stats.cycles
+                                          : 1.0;
+        ratio = std::max(1.0, ratio);
+        s.stats.cycles = sim.cycles;
+        s.warmStats.cycles *= ratio;
+        schedules.push_back(std::move(s));
+    }
+    return sched::aggregateWorkload(w, cfg, schedules, opt.clusters,
+                                    opt.shareAuxAcrossClusters);
+}
+
+}  // namespace crophe::sim

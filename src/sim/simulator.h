@@ -1,0 +1,35 @@
+#ifndef CROPHE_SIM_SIMULATOR_H_
+#define CROPHE_SIM_SIMULATOR_H_
+
+/**
+ * @file
+ * Cycle-level simulator (Section VI): consumes the mapper's traces and
+ * drives chunk execution over PE groups, the mesh NoC, the banked global
+ * buffer, the transpose unit, and the HBM model with a discrete-event
+ * kernel. Group switching is fully synchronous, as in the hardware.
+ */
+
+#include "graph/workloads.h"
+#include "sched/cost_model.h"
+#include "sched/group.h"
+#include "sim/stats.h"
+
+namespace crophe::sim {
+
+/** Simulate one scheduled segment on @p cfg. */
+SimStats simulateSchedule(const sched::Schedule &sched,
+                          const hw::HwConfig &cfg);
+
+/**
+ * Schedule and simulate a whole workload: every unique segment is
+ * scheduled and simulated once (cold), warm repetitions are scaled by the
+ * simulated-to-analytical ratio, and the totals are aggregated with the
+ * same cluster model as the scheduler.
+ */
+sched::WorkloadResult simulateWorkload(const graph::Workload &w,
+                                       const hw::HwConfig &cfg,
+                                       const sched::SchedOptions &opt);
+
+}  // namespace crophe::sim
+
+#endif  // CROPHE_SIM_SIMULATOR_H_

@@ -1,0 +1,21 @@
+#include "sim/sram.h"
+
+namespace crophe::sim {
+
+SramModel::SramModel(const hw::HwConfig &cfg)
+    : banks_(kBankEfficiency * cfg.sramGBs /
+             (cfg.wordBytes() * cfg.freqGhz)),
+      capacityWords_(cfg.sramWords())
+{
+}
+
+SimTime
+SramModel::access(SimTime ready, u64 words)
+{
+    if (words == 0)
+        return ready;
+    totalWords_ += words;
+    return banks_.serve(ready, static_cast<double>(words));
+}
+
+}  // namespace crophe::sim

@@ -1,0 +1,39 @@
+#ifndef CROPHE_SIM_SRAM_H_
+#define CROPHE_SIM_SRAM_H_
+
+/**
+ * @file
+ * Banked global-buffer model: single-ported banks at doubled frequency
+ * (Section VI). Bank conflicts degrade sustained bandwidth by a fixed
+ * efficiency factor.
+ */
+
+#include "hw/config.h"
+#include "sim/event_queue.h"
+
+namespace crophe::sim {
+
+/** Multi-bank SRAM global buffer. */
+class SramModel
+{
+  public:
+    explicit SramModel(const hw::HwConfig &cfg);
+
+    /** Move @p words through the buffer starting no earlier than @p ready. */
+    SimTime access(SimTime ready, u64 words);
+
+    double busyCycles() const { return banks_.busyCycles(); }
+    u64 totalWords() const { return totalWords_; }
+    u64 capacityWords() const { return capacityWords_; }
+
+  private:
+    static constexpr double kBankEfficiency = 0.9;
+
+    Server banks_;
+    u64 capacityWords_;
+    u64 totalWords_ = 0;
+};
+
+}  // namespace crophe::sim
+
+#endif  // CROPHE_SIM_SRAM_H_

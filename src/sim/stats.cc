@@ -1,0 +1,32 @@
+#include "sim/stats.h"
+
+#include <sstream>
+
+#include "sched/cost_model.h"
+
+namespace crophe::sim {
+
+sched::SchedStats
+SimStats::toSchedStats(const hw::HwConfig &cfg) const
+{
+    sched::SchedStats st;
+    st.cycles = cycles;
+    st.dramWords = dramWords;
+    st.sramWords = sramWords;
+    st.nocWords = nocWords;
+    st.flops = flops;
+    sched::fillUtilization(st, cfg);
+    return st;
+}
+
+std::string
+SimStats::toString() const
+{
+    std::ostringstream os;
+    os << "cycles=" << cycles << " dram=" << dramWords
+       << " sram=" << sramWords << " noc=" << nocWords
+       << " flops=" << flops << " events=" << events;
+    return os.str();
+}
+
+}  // namespace crophe::sim

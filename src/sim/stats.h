@@ -1,0 +1,40 @@
+#ifndef CROPHE_SIM_STATS_H_
+#define CROPHE_SIM_STATS_H_
+
+/**
+ * @file
+ * Simulation statistics: cycle counts plus per-resource busy/traffic
+ * numbers, convertible to the scheduler's SchedStats for apples-to-apples
+ * reporting (Table IV, Figure 11).
+ */
+
+#include <string>
+
+#include "hw/config.h"
+#include "sched/group.h"
+
+namespace crophe::sim {
+
+/** Result of simulating one schedule. */
+struct SimStats
+{
+    double cycles = 0.0;
+    u64 dramWords = 0;
+    u64 sramWords = 0;
+    u64 nocWords = 0;
+    u64 transposeWords = 0;
+    u64 flops = 0;
+    u64 events = 0;       ///< discrete events processed
+    double peBusy = 0.0;  ///< summed PE-group busy cycles
+    u64 dramRowHits = 0;
+    u64 dramRowMisses = 0;
+
+    /** Convert to SchedStats (fills utilizations for @p cfg). */
+    sched::SchedStats toSchedStats(const hw::HwConfig &cfg) const;
+
+    std::string toString() const;
+};
+
+}  // namespace crophe::sim
+
+#endif  // CROPHE_SIM_STATS_H_

@@ -1,0 +1,27 @@
+#include "sim/transpose_unit.h"
+
+#include "common/math_util.h"
+
+namespace crophe::sim {
+
+TransposeUnit::TransposeUnit(const hw::HwConfig &cfg)
+    : port_(static_cast<double>(cfg.lanes)),  // lane-wide read+write ports
+      capacityWords_(static_cast<u64>(cfg.transposeMB * 1024.0 * 1024.0 /
+                                      cfg.wordBytes()))
+{
+}
+
+SimTime
+TransposeUnit::transpose(SimTime ready, u64 words)
+{
+    if (words == 0)
+        return ready;
+    totalWords_ += words;
+    // Tiles larger than the staging buffer stream through in passes:
+    // write a tile, read it transposed (2x the port traffic).
+    u64 tiles = std::max<u64>(1, ceilDiv(words, capacityWords_));
+    (void)tiles;
+    return port_.serve(ready, 2.0 * static_cast<double>(words));
+}
+
+}  // namespace crophe::sim

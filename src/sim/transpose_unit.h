@@ -1,0 +1,37 @@
+#ifndef CROPHE_SIM_TRANSPOSE_UNIT_H_
+#define CROPHE_SIM_TRANSPOSE_UNIT_H_
+
+/**
+ * @file
+ * SRAM-based transpose unit (Section IV-A): stages a tensor and emits it
+ * in the transposed orientation. Its few-MB buffer bounds the tile it can
+ * hold at once; larger tensors stream through in tiles.
+ */
+
+#include "hw/config.h"
+#include "sim/event_queue.h"
+
+namespace crophe::sim {
+
+/** On-chip transpose unit. */
+class TransposeUnit
+{
+  public:
+    explicit TransposeUnit(const hw::HwConfig &cfg);
+
+    /** Transpose @p words starting at @p ready; returns completion. */
+    SimTime transpose(SimTime ready, u64 words);
+
+    double busyCycles() const { return port_.busyCycles(); }
+    u64 totalWords() const { return totalWords_; }
+    u64 capacityWords() const { return capacityWords_; }
+
+  private:
+    Server port_;
+    u64 capacityWords_;
+    u64 totalWords_ = 0;
+};
+
+}  // namespace crophe::sim
+
+#endif  // CROPHE_SIM_TRANSPOSE_UNIT_H_

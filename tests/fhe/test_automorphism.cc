@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fhe/automorphism.h"
+#include "fhe/encoding.h"
+#include "tests/fhe/test_util.h"
+
+namespace crophe::fhe {
+namespace {
+
+using test::smallContext;
+
+TEST(Automorphism, GaloisElements)
+{
+    const u64 n = 256;
+    EXPECT_EQ(galoisElementForRotation(0, n), 1u);
+    EXPECT_EQ(galoisElementForRotation(1, n), 5u);
+    EXPECT_EQ(galoisElementForRotation(2, n), 25u);
+    // Negative rotations wrap within the group of order n/2.
+    EXPECT_EQ(galoisElementForRotation(-1, n),
+              galoisElementForRotation(static_cast<i64>(n / 2) - 1, n));
+    EXPECT_EQ(galoisElementForConjugation(n), 2 * n - 1);
+}
+
+TEST(Automorphism, CoeffPermutationIsBijective)
+{
+    const FheContext &ctx = smallContext();
+    Rng rng(80);
+    RnsPoly a(ctx, ctx.qBasis(0));
+    a.uniformRandom(rng);
+
+    u64 g = galoisElementForRotation(3, ctx.n());
+    std::vector<u64> out;
+    applyAutomorphismCoeff(a.limb(0), out, g, ctx.mod(0));
+
+    // Every input magnitude appears exactly once (up to sign), so applying
+    // the inverse automorphism returns the original.
+    // g_inv: g * g_inv == 1 mod 2N.
+    u64 m = 2 * ctx.n();
+    u64 g_inv = 1;
+    for (u64 cand = 1; cand < m; cand += 2) {
+        if ((cand * g) % m == 1) {
+            g_inv = cand;
+            break;
+        }
+    }
+    std::vector<u64> back;
+    applyAutomorphismCoeff(out, back, g_inv, ctx.mod(0));
+    EXPECT_EQ(back, a.limb(0));
+}
+
+TEST(Automorphism, EvalTableIsPermutation)
+{
+    const u64 n = 256;
+    for (i64 r : {1, 2, 5, 63}) {
+        u64 g = galoisElementForRotation(r, n);
+        auto table = evalAutomorphismTable(g, n);
+        std::vector<bool> seen(n, false);
+        for (u64 k = 0; k < n; ++k) {
+            ASSERT_LT(table[k], n);
+            EXPECT_FALSE(seen[table[k]]) << "duplicate at r=" << r;
+            seen[table[k]] = true;
+        }
+    }
+}
+
+TEST(Automorphism, EvalDomainMatchesCoeffDomain)
+{
+    const FheContext &ctx = smallContext();
+    Rng rng(81);
+    RnsPoly a(ctx, ctx.qBasis(1));
+    a.uniformRandom(rng);
+
+    u64 g = galoisElementForRotation(7, ctx.n());
+
+    // Path 1: permute in coefficient domain, then NTT.
+    RnsPoly coeff_path = applyAutomorphism(a, g);
+    coeff_path.toEval();
+
+    // Path 2: NTT first, then permute in the evaluation domain.
+    RnsPoly eval_path = a;
+    eval_path.toEval();
+    eval_path = applyAutomorphism(eval_path, g);
+
+    for (u32 l = 0; l < a.limbCount(); ++l)
+        EXPECT_EQ(coeff_path.limb(l), eval_path.limb(l)) << "limb " << l;
+}
+
+TEST(Automorphism, RotatesPlaintextSlots)
+{
+    const FheContext &ctx = smallContext();
+    Encoder enc(ctx);
+    std::vector<double> v(enc.slots());
+    for (u64 i = 0; i < enc.slots(); ++i)
+        v[i] = static_cast<double>(i);
+
+    Plaintext pt = enc.encodeReal(v, 2);
+    const i64 r = 5;
+    u64 g = galoisElementForRotation(r, ctx.n());
+    pt.poly = applyAutomorphism(pt.poly, g);
+
+    auto got = enc.decode(pt);
+    for (u64 i = 0; i + r < enc.slots(); ++i)
+        EXPECT_NEAR(got[i].real(), v[i + r], 1e-5) << i;
+}
+
+TEST(Automorphism, ConjugationConjugatesSlots)
+{
+    const FheContext &ctx = smallContext();
+    Encoder enc(ctx);
+    Rng rng(82);
+    std::vector<Cplx> z(enc.slots());
+    for (auto &x : z)
+        x = Cplx(rng.nextDouble(), rng.nextDouble());
+
+    Plaintext pt = enc.encode(z, 2);
+    pt.poly = applyAutomorphism(pt.poly, galoisElementForConjugation(ctx.n()));
+    auto got = enc.decode(pt);
+    for (u64 i = 0; i < enc.slots(); ++i) {
+        EXPECT_NEAR(got[i].real(), z[i].real(), 1e-5);
+        EXPECT_NEAR(got[i].imag(), -z[i].imag(), 1e-5);
+    }
+}
+
+}  // namespace
+}  // namespace crophe::fhe

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fhe/bconv.h"
+#include "tests/fhe/test_util.h"
+
+namespace crophe::fhe {
+namespace {
+
+using test::smallContext;
+
+TEST(BaseConverter, ExactForSmallValues)
+{
+    const FheContext &ctx = smallContext();
+    // Source: digit {q0, q1}; target: the p basis.
+    BaseConverter conv(ctx, {0, 1}, ctx.pBasis());
+
+    RnsPoly in(ctx, {0, 1}, Rep::Coeff);
+    u64 value = 987654321987ull;
+    in.limb(0)[3] = ctx.mod(0).reduce64(value);
+    in.limb(1)[3] = ctx.mod(1).reduce64(value);
+
+    RnsPoly out = conv.convert(in);
+    for (u32 j = 0; j < out.limbCount(); ++j)
+        EXPECT_EQ(out.limb(j)[3], out.mod(j).reduce64(value));
+}
+
+TEST(BaseConverter, ExactForRandomValuesBelowM)
+{
+    const FheContext &ctx = smallContext();
+    Rng rng(50);
+    BaseConverter conv(ctx, {0, 1}, {2, 3, 5});
+
+    // Random values below q0*q1, placed via CRT residues.
+    for (int trial = 0; trial < 20; ++trial) {
+        BigUInt v = BigUInt::fromWords({rng.next(), rng.nextBounded(1 << 16)});
+        BigUInt m = productOf({ctx.modValue(0), ctx.modValue(1)});
+        while (!(v < m))
+            v = v.half();
+
+        RnsPoly in(ctx, {0, 1}, Rep::Coeff);
+        in.limb(0)[0] = v.modSmall(ctx.modValue(0));
+        in.limb(1)[0] = v.modSmall(ctx.modValue(1));
+        RnsPoly out = conv.convert(in);
+        for (u32 j = 0; j < out.limbCount(); ++j)
+            EXPECT_EQ(out.limb(j)[0], v.modSmall(out.mod(j).value()));
+    }
+}
+
+TEST(BaseConverter, FullPolynomialConversion)
+{
+    const FheContext &ctx = smallContext();
+    Rng rng(51);
+    BaseConverter conv(ctx, ctx.qBasis(2), ctx.pBasis());
+
+    RnsPoly in(ctx, ctx.qBasis(2), Rep::Coeff);
+    in.uniformRandom(rng);
+    RnsPoly out = conv.convert(in);
+
+    // Validate a sample of coefficients against BigUInt reconstruction.
+    for (u64 c : {0ull, 1ull, 17ull, 255ull}) {
+        BigUInt v = in.reconstructCoeff(c);
+        for (u32 j = 0; j < out.limbCount(); ++j)
+            EXPECT_EQ(out.limb(j)[c], v.modSmall(out.mod(j).value()))
+                << "coeff " << c;
+    }
+}
+
+TEST(ModUp, DigitExtensionPreservesValueModEverything)
+{
+    const FheContext &ctx = smallContext();
+    Rng rng(52);
+    const u32 level = 4;
+    RnsPoly d(ctx, ctx.qBasis(level), Rep::Coeff);
+    d.uniformRandom(rng);
+
+    for (u32 j = 0; j < ctx.digitCount(level); ++j) {
+        RnsPoly up = modUpDigit(ctx, d, j, level);
+        EXPECT_EQ(up.basis(), ctx.qpBasis(level));
+
+        auto digit = ctx.digitLimbs(j, level);
+        RnsPoly digit_poly = d.restrictedTo(digit);
+        for (u64 c : {0ull, 7ull, 100ull}) {
+            BigUInt v = digit_poly.reconstructCoeff(c);
+            for (u32 k = 0; k < up.limbCount(); ++k)
+                EXPECT_EQ(up.limb(k)[c], v.modSmall(up.mod(k).value()))
+                    << "digit " << j << " coeff " << c;
+        }
+    }
+}
+
+TEST(ModDown, DividesByPWithUnitError)
+{
+    const FheContext &ctx = smallContext();
+    Rng rng(53);
+    const u32 level = 2;
+
+    // Build x = y·P + r with y < Q known; then ModDown(x) should be y
+    // (up to rounding of r/P, i.e. off by at most one).
+    RnsPoly y(ctx, ctx.qBasis(level), Rep::Coeff);
+    y.uniformRandom(rng);
+
+    RnsPoly x(ctx, ctx.qpBasis(level), Rep::Coeff);
+    for (u64 c = 0; c < ctx.n(); ++c) {
+        BigUInt yv = y.reconstructCoeff(c);
+        BigUInt xv = yv;
+        // xv = yv * P (word-by-word multiply by each p prime).
+        for (u32 pi = 0; pi < ctx.pCount(); ++pi)
+            xv.mulSmallInplace(ctx.modValue(ctx.qCount() + pi));
+        for (u32 k = 0; k < x.limbCount(); ++k)
+            x.limb(k)[c] = xv.modSmall(x.mod(k).value());
+    }
+
+    RnsPoly got = modDown(ctx, x, level);
+    for (u64 c : {0ull, 3ull, 200ull}) {
+        for (u32 k = 0; k < got.limbCount(); ++k)
+            EXPECT_EQ(got.limb(k)[c], y.limb(k)[c]) << "coeff " << c;
+    }
+}
+
+TEST(Rescale, DividesByLastPrime)
+{
+    const FheContext &ctx = smallContext();
+    const u32 level = 3;
+
+    // x = y * q_level exactly; rescale must return y.
+    Rng rng(54);
+    RnsPoly y(ctx, ctx.qBasis(level - 1), Rep::Coeff);
+    y.uniformRandom(rng);
+
+    RnsPoly x(ctx, ctx.qBasis(level), Rep::Coeff);
+    u64 ql = ctx.modValue(level);
+    for (u64 c = 0; c < ctx.n(); ++c) {
+        BigUInt yv = y.reconstructCoeff(c);
+        BigUInt xv = yv;
+        xv.mulSmallInplace(ql);
+        for (u32 k = 0; k < x.limbCount(); ++k)
+            x.limb(k)[c] = xv.modSmall(x.mod(k).value());
+    }
+
+    RnsPoly got = rescalePoly(ctx, x, level);
+    for (u32 k = 0; k < got.limbCount(); ++k)
+        EXPECT_EQ(got.limb(k), y.limb(k));
+}
+
+}  // namespace
+}  // namespace crophe::fhe

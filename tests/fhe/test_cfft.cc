@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "fhe/cfft.h"
+
+namespace crophe::fhe {
+namespace {
+
+std::vector<Cplx>
+randomSlots(u64 count, Rng &rng)
+{
+    std::vector<Cplx> v(count);
+    for (auto &z : v)
+        z = Cplx(rng.nextDouble() * 2 - 1, rng.nextDouble() * 2 - 1);
+    return v;
+}
+
+double
+maxErr(const std::vector<Cplx> &a, const std::vector<Cplx> &b)
+{
+    double m = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+TEST(SpecialFft, RoundTripIsIdentity)
+{
+    Rng rng(60);
+    for (u64 n : {8ull, 64ull, 512ull}) {
+        SpecialFft fft(n);
+        auto z = randomSlots(fft.slots(), rng);
+        auto w = z;
+        fft.embedInverse(w);
+        fft.embed(w);
+        EXPECT_LT(maxErr(z, w), 1e-9) << "n=" << n;
+    }
+}
+
+TEST(SpecialFft, EmbedMatchesDirectEvaluation)
+{
+    Rng rng(61);
+    const u64 n = 64;
+    SpecialFft fft(n);
+
+    // Random real coefficient vector; pack as half-complex and embed.
+    std::vector<double> coeffs(n);
+    for (auto &c : coeffs)
+        c = rng.nextDouble() * 2 - 1;
+
+    std::vector<Cplx> vals(n / 2);
+    for (u64 j = 0; j < n / 2; ++j)
+        vals[j] = Cplx(coeffs[j], coeffs[j + n / 2]);
+    fft.embed(vals);
+
+    auto expect = embedDirect(coeffs);
+    EXPECT_LT(maxErr(vals, expect), 1e-9);
+}
+
+TEST(SpecialFft, InverseMatchesDirectInverse)
+{
+    Rng rng(62);
+    const u64 n = 32;
+    SpecialFft fft(n);
+
+    auto z = randomSlots(n / 2, rng);
+    auto w = z;
+    fft.embedInverse(w);
+
+    auto coeffs = embedInverseDirect(z, n);
+    for (u64 j = 0; j < n / 2; ++j) {
+        EXPECT_NEAR(w[j].real(), coeffs[j], 1e-9);
+        EXPECT_NEAR(w[j].imag(), coeffs[j + n / 2], 1e-9);
+    }
+}
+
+TEST(SpecialFft, DirectPairIsConsistent)
+{
+    Rng rng(63);
+    const u64 n = 16;
+    auto z = randomSlots(n / 2, rng);
+    auto coeffs = embedInverseDirect(z, n);
+    auto back = embedDirect(coeffs);
+    EXPECT_LT(maxErr(z, back), 1e-9);
+}
+
+TEST(SpecialFft, EmbeddingIsRingHomomorphismForAddition)
+{
+    Rng rng(64);
+    const u64 n = 64;
+    SpecialFft fft(n);
+    auto z1 = randomSlots(n / 2, rng);
+    auto z2 = randomSlots(n / 2, rng);
+
+    auto w1 = z1, w2 = z2;
+    fft.embedInverse(w1);
+    fft.embedInverse(w2);
+    std::vector<Cplx> sum(n / 2);
+    for (u64 i = 0; i < n / 2; ++i)
+        sum[i] = w1[i] + w2[i];
+    fft.embed(sum);
+    for (u64 i = 0; i < n / 2; ++i)
+        EXPECT_LT(std::abs(sum[i] - (z1[i] + z2[i])), 1e-9);
+}
+
+}  // namespace
+}  // namespace crophe::fhe

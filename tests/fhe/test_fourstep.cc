@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fhe/ntt.h"
+#include "fhe/ntt_fourstep.h"
+#include "fhe/primes.h"
+
+namespace crophe::fhe {
+namespace {
+
+TEST(FourStepNtt, RoundTripIsIdentity)
+{
+    Rng rng(21);
+    for (auto [n1, n2] : {std::pair<u64, u64>{4, 4},
+                          {8, 16},
+                          {16, 8},
+                          {32, 32},
+                          {2, 64}}) {
+        const u64 n = n1 * n2;
+        auto primes = generateNttPrimes(40, n, 1);
+        Modulus mod(primes[0]);
+        FourStepNtt fs(n1, n2, mod);
+
+        std::vector<u64> a(n);
+        for (auto &x : a)
+            x = rng.nextBounded(mod.value());
+        auto b = fs.inverse(fs.forward(a));
+        EXPECT_EQ(a, b) << "n1=" << n1 << " n2=" << n2;
+    }
+}
+
+TEST(FourStepNtt, PointwiseProductIsNegacyclicConvolution)
+{
+    Rng rng(22);
+    const u64 n1 = 16, n2 = 16, n = n1 * n2;
+    auto primes = generateNttPrimes(45, n, 1);
+    Modulus mod(primes[0]);
+    FourStepNtt fs(n1, n2, mod);
+
+    std::vector<u64> a(n), b(n);
+    for (auto &x : a)
+        x = rng.nextBounded(mod.value());
+    for (auto &x : b)
+        x = rng.nextBounded(mod.value());
+    auto expect = polyMulNaive(a, b, mod);
+
+    auto fa = fs.forward(a);
+    auto fb = fs.forward(b);
+    for (u64 i = 0; i < n; ++i)
+        fa[i] = mod.mul(fa[i], fb[i]);
+    auto got = fs.inverse(fa);
+    EXPECT_EQ(got, expect);
+}
+
+TEST(FourStepNtt, AllFactorizationsAgree)
+{
+    Rng rng(23);
+    const u64 n = 256;
+    auto primes = generateNttPrimes(40, n, 1);
+    Modulus mod(primes[0]);
+
+    std::vector<u64> a(n);
+    for (auto &x : a)
+        x = rng.nextBounded(mod.value());
+
+    // All decompositions compute the same natural-order transform because
+    // they share the deterministic primitive root from findPrimitiveRoot.
+    FourStepNtt ref(16, 16, mod);
+    auto expect = ref.forward(a);
+    for (auto [n1, n2] : {std::pair<u64, u64>{2, 128},
+                          {4, 64},
+                          {8, 32},
+                          {32, 8},
+                          {64, 4},
+                          {128, 2}}) {
+        FourStepNtt fs(n1, n2, mod);
+        EXPECT_EQ(fs.forward(a), expect) << "n1=" << n1;
+    }
+}
+
+TEST(FourStepNtt, MatchesNaiveReference)
+{
+    Rng rng(24);
+    const u64 n1 = 8, n2 = 8, n = n1 * n2;
+    auto primes = generateNttPrimes(40, n, 1);
+    Modulus mod(primes[0]);
+    FourStepNtt fs(n1, n2, mod);
+
+    std::vector<u64> a(n);
+    for (auto &x : a)
+        x = rng.nextBounded(mod.value());
+
+    u64 psi = findPrimitiveRoot(mod.value(), 2 * n);
+    auto expect = nttNaiveNegacyclic(a, mod, psi);
+    EXPECT_EQ(fs.forward(a), expect);
+}
+
+TEST(FourStepNtt, OrientationSwitchAccounting)
+{
+    EXPECT_EQ(FourStepNtt::orientationSwitchesDecomposed(), 2u);
+    EXPECT_EQ(FourStepNtt::orientationSwitchesMonolithic(), 4u);
+    EXPECT_LT(FourStepNtt::orientationSwitchesDecomposed(),
+              FourStepNtt::orientationSwitchesMonolithic());
+}
+
+}  // namespace
+}  // namespace crophe::fhe

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fhe/modarith.h"
+#include "fhe/primes.h"
+
+namespace crophe::fhe {
+namespace {
+
+TEST(Modarith, AddSubNegBasics)
+{
+    Modulus m(97);
+    EXPECT_EQ(m.add(50, 60), 13u);
+    EXPECT_EQ(m.add(0, 0), 0u);
+    EXPECT_EQ(m.sub(10, 20), 87u);
+    EXPECT_EQ(m.sub(20, 10), 10u);
+    EXPECT_EQ(m.neg(0), 0u);
+    EXPECT_EQ(m.neg(1), 96u);
+}
+
+TEST(Modarith, MulMatchesWideDivision)
+{
+    Rng rng(1);
+    for (u64 q : {97ull, (1ull << 35) - 19, (1ull << 50) - 27,
+                  (1ull << 59) - 55}) {
+        if (!isPrime(q))
+            continue;
+        Modulus m(q);
+        for (int i = 0; i < 2000; ++i) {
+            u64 a = rng.nextBounded(q);
+            u64 b = rng.nextBounded(q);
+            u64 expect = static_cast<u64>(static_cast<u128>(a) * b % q);
+            EXPECT_EQ(m.mul(a, b), expect) << "q=" << q;
+        }
+    }
+}
+
+TEST(Modarith, ReduceFull128Bits)
+{
+    Rng rng(2);
+    Modulus m((1ull << 49) + 21);  // not prime? value irrelevant for reduce
+    // Use a known prime instead.
+    auto primes = generateNttPrimes(49, 1 << 10, 1);
+    Modulus p(primes[0]);
+    for (int i = 0; i < 2000; ++i) {
+        u128 x = (static_cast<u128>(rng.next()) << 64) | rng.next();
+        EXPECT_EQ(p.reduce(x), static_cast<u64>(x % p.value()));
+    }
+}
+
+TEST(Modarith, PowAndInv)
+{
+    Modulus m(101);
+    EXPECT_EQ(m.pow(2, 10), 1024 % 101);
+    EXPECT_EQ(m.pow(7, 0), 1u);
+    for (u64 a = 1; a < 101; ++a)
+        EXPECT_EQ(m.mul(a, m.inv(a)), 1u);
+}
+
+TEST(Modarith, ShoupMatchesBarrett)
+{
+    Rng rng(3);
+    auto primes = generateNttPrimes(55, 1 << 10, 1);
+    Modulus m(primes[0]);
+    for (int i = 0; i < 200; ++i) {
+        u64 w = rng.nextBounded(m.value());
+        ShoupMul s(w, m);
+        for (int k = 0; k < 50; ++k) {
+            u64 a = rng.nextBounded(m.value());
+            EXPECT_EQ(s.mul(a, m.value()), m.mul(a, w));
+        }
+    }
+}
+
+TEST(ModarithDeath, RejectsBadModuli)
+{
+    EXPECT_DEATH({ Modulus m(4); (void)m; }, "modulus out of range");
+    EXPECT_DEATH({ Modulus m(1ull << 61); (void)m; }, "modulus out of range");
+}
+
+class ModarithPrimeSweep : public ::testing::TestWithParam<u32>
+{
+};
+
+TEST_P(ModarithPrimeSweep, MulExhaustiveAgainstReference)
+{
+    u32 bits = GetParam();
+    auto primes = generateNttPrimes(bits, 1 << 8, 2);
+    Rng rng(bits);
+    for (u64 q : primes) {
+        Modulus m(q);
+        for (int i = 0; i < 500; ++i) {
+            u64 a = rng.nextBounded(q);
+            u64 b = rng.nextBounded(q);
+            EXPECT_EQ(m.mul(a, b),
+                      static_cast<u64>(static_cast<u128>(a) * b % q));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(WordSizes, ModarithPrimeSweep,
+                         ::testing::Values(28u, 36u, 45u, 50u, 55u, 59u));
+
+}  // namespace
+}  // namespace crophe::fhe

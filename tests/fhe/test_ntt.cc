@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "fhe/ntt.h"
+#include "fhe/primes.h"
+
+namespace crophe::fhe {
+namespace {
+
+std::vector<u64>
+randomPoly(u64 n, u64 q, Rng &rng)
+{
+    std::vector<u64> a(n);
+    for (auto &x : a)
+        x = rng.nextBounded(q);
+    return a;
+}
+
+TEST(Ntt, RoundTripIsIdentity)
+{
+    Rng rng(7);
+    for (u64 n : {8ull, 64ull, 1024ull}) {
+        auto primes = generateNttPrimes(40, n, 1);
+        Modulus mod(primes[0]);
+        NttTables ntt(n, mod);
+        auto a = randomPoly(n, mod.value(), rng);
+        auto b = a;
+        ntt.forward(b);
+        ntt.inverse(b);
+        EXPECT_EQ(a, b) << "n=" << n;
+    }
+}
+
+TEST(Ntt, ForwardMatchesNaiveUpToBitReversal)
+{
+    Rng rng(8);
+    const u64 n = 64;
+    auto primes = generateNttPrimes(40, n, 1);
+    Modulus mod(primes[0]);
+    NttTables ntt(n, mod);
+
+    auto a = randomPoly(n, mod.value(), rng);
+    auto fast = a;
+    ntt.forward(fast);
+    auto naive = nttNaiveNegacyclic(a, mod, ntt.psi());
+
+    u32 logn = log2Exact(n);
+    for (u64 k = 0; k < n; ++k)
+        EXPECT_EQ(fast[k], naive[bitReverse(k, logn)]) << "k=" << k;
+}
+
+TEST(Ntt, PointwiseProductIsNegacyclicConvolution)
+{
+    Rng rng(9);
+    const u64 n = 128;
+    auto primes = generateNttPrimes(45, n, 1);
+    Modulus mod(primes[0]);
+    NttTables ntt(n, mod);
+
+    auto a = randomPoly(n, mod.value(), rng);
+    auto b = randomPoly(n, mod.value(), rng);
+    auto expect = polyMulNaive(a, b, mod);
+
+    auto fa = a, fb = b;
+    ntt.forward(fa);
+    ntt.forward(fb);
+    for (u64 i = 0; i < n; ++i)
+        fa[i] = mod.mul(fa[i], fb[i]);
+    ntt.inverse(fa);
+    EXPECT_EQ(fa, expect);
+}
+
+TEST(Ntt, LinearityOfTransform)
+{
+    Rng rng(10);
+    const u64 n = 256;
+    auto primes = generateNttPrimes(40, n, 1);
+    Modulus mod(primes[0]);
+    NttTables ntt(n, mod);
+
+    auto a = randomPoly(n, mod.value(), rng);
+    auto b = randomPoly(n, mod.value(), rng);
+    std::vector<u64> sum(n);
+    for (u64 i = 0; i < n; ++i)
+        sum[i] = mod.add(a[i], b[i]);
+
+    auto fa = a, fb = b, fs = sum;
+    ntt.forward(fa);
+    ntt.forward(fb);
+    ntt.forward(fs);
+    for (u64 i = 0; i < n; ++i)
+        EXPECT_EQ(fs[i], mod.add(fa[i], fb[i]));
+}
+
+TEST(Ntt, CyclicTransformMatchesDft)
+{
+    Rng rng(11);
+    const u64 n = 32;
+    auto primes = generateNttPrimes(40, n, 1);
+    Modulus mod(primes[0]);
+    u64 omega = findPrimitiveRoot(mod.value(), n);
+
+    auto a = randomPoly(n, mod.value(), rng);
+    auto fast = a;
+    cyclicNtt(fast.data(), n, mod, omega);
+
+    for (u64 k = 0; k < n; ++k) {
+        u64 acc = 0;
+        for (u64 i = 0; i < n; ++i)
+            acc = mod.add(acc, mod.mul(a[i], mod.pow(omega, (i * k) % n)));
+        EXPECT_EQ(fast[k], acc) << "k=" << k;
+    }
+}
+
+TEST(Ntt, CyclicRoundTrip)
+{
+    Rng rng(12);
+    const u64 n = 128;
+    auto primes = generateNttPrimes(40, n, 1);
+    Modulus mod(primes[0]);
+    u64 omega = findPrimitiveRoot(mod.value(), n);
+
+    auto a = randomPoly(n, mod.value(), rng);
+    auto b = a;
+    cyclicNtt(b.data(), n, mod, omega);
+    cyclicInverseNtt(b.data(), n, mod, omega);
+    EXPECT_EQ(a, b);
+}
+
+class NttSizeSweep : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(NttSizeSweep, RoundTripAndConvolution)
+{
+    const u64 n = GetParam();
+    Rng rng(n);
+    auto primes = generateNttPrimes(40, n, 1);
+    Modulus mod(primes[0]);
+    NttTables ntt(n, mod);
+
+    auto a = randomPoly(n, mod.value(), rng);
+    auto b = a;
+    ntt.forward(b);
+    ntt.inverse(b);
+    EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, NttSizeSweep,
+                         ::testing::Values(4ull, 8ull, 16ull, 32ull, 64ull,
+                                           128ull, 256ull, 512ull, 1024ull,
+                                           2048ull, 4096ull));
+
+}  // namespace
+}  // namespace crophe::fhe

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fhe/modarith.h"
+#include "fhe/primes.h"
+
+namespace crophe::fhe {
+namespace {
+
+TEST(Primes, IsPrimeSmall)
+{
+    EXPECT_FALSE(isPrime(0));
+    EXPECT_FALSE(isPrime(1));
+    EXPECT_TRUE(isPrime(2));
+    EXPECT_TRUE(isPrime(3));
+    EXPECT_FALSE(isPrime(4));
+    EXPECT_TRUE(isPrime(97));
+    EXPECT_FALSE(isPrime(91));  // 7*13
+    EXPECT_TRUE(isPrime((1ull << 61) - 1));  // Mersenne
+    EXPECT_FALSE(isPrime((1ull << 59) - 1));
+}
+
+TEST(Primes, GeneratedPrimesAreNttFriendly)
+{
+    const u64 n = 1 << 12;
+    auto primes = generateNttPrimes(40, n, 8);
+    ASSERT_EQ(primes.size(), 8u);
+    std::set<u64> distinct(primes.begin(), primes.end());
+    EXPECT_EQ(distinct.size(), 8u);
+    for (u64 q : primes) {
+        EXPECT_TRUE(isPrime(q));
+        EXPECT_EQ((q - 1) % (2 * n), 0u) << q;
+        EXPECT_GE(q, 1ull << 39);
+        EXPECT_LT(q, 1ull << 40);
+    }
+}
+
+TEST(Primes, SkipListIsHonored)
+{
+    const u64 n = 1 << 10;
+    auto first = generateNttPrimes(35, n, 3);
+    auto second = generateNttPrimes(35, n, 3, first);
+    for (u64 q : second)
+        for (u64 s : first)
+            EXPECT_NE(q, s);
+}
+
+TEST(Primes, PrimitiveRootHasExactOrder)
+{
+    const u64 n = 1 << 10;
+    auto primes = generateNttPrimes(45, n, 2);
+    for (u64 q : primes) {
+        Modulus m(q);
+        u64 root = findPrimitiveRoot(q, 2 * n);
+        EXPECT_EQ(m.pow(root, 2 * n), 1u);
+        EXPECT_NE(m.pow(root, n), 1u);
+        // psi^n must be -1 for the negacyclic structure.
+        EXPECT_EQ(m.pow(root, n), q - 1);
+    }
+}
+
+TEST(Primes, GeneratorGeneratesGroup)
+{
+    u64 q = 257;
+    u64 g = findGenerator(q);
+    Modulus m(q);
+    std::set<u64> seen;
+    u64 x = 1;
+    for (u64 i = 0; i < q - 1; ++i) {
+        seen.insert(x);
+        x = m.mul(x, g);
+    }
+    EXPECT_EQ(seen.size(), q - 1);
+}
+
+}  // namespace
+}  // namespace crophe::fhe

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fhe/ckks.h"
+#include "tests/fhe/test_util.h"
+
+namespace crophe::fhe {
+namespace {
+
+using test::smallContext;
+
+struct RotFixtureState
+{
+    const FheContext &ctx;
+    KeyGenerator keygen;
+    PublicKey pk;
+    Evaluator eval;
+
+    RotFixtureState()
+        : ctx(smallContext()), keygen(ctx, 2024), pk(keygen.makePublicKey()),
+          eval(ctx, 55)
+    {
+    }
+};
+
+RotFixtureState &
+state()
+{
+    static RotFixtureState s;
+    return s;
+}
+
+TEST(HRot, RotatesSlotsLeft)
+{
+    auto &s = state();
+    const u64 slots = s.ctx.n() / 2;
+    std::vector<double> v(slots);
+    for (u64 i = 0; i < slots; ++i)
+        v[i] = static_cast<double>(i % 31) * 0.1;
+
+    for (i64 r : {1, 2, 7}) {
+        auto rk = s.keygen.makeRotationKey(r);
+        auto ct = s.eval.encrypt(s.eval.encoder().encodeReal(v, 3), s.pk);
+        auto rot = s.eval.rotate(ct, r, rk);
+        EXPECT_EQ(rot.level, ct.level);
+        auto got = s.eval.encoder().decode(
+            s.eval.decrypt(rot, s.keygen.secretKey()));
+        for (u64 i = 0; i < slots; ++i)
+            EXPECT_NEAR(got[i].real(), v[(i + r) % slots], 1e-3)
+                << "r=" << r << " i=" << i;
+    }
+}
+
+TEST(HRot, CompositionOfRotations)
+{
+    auto &s = state();
+    const u64 slots = s.ctx.n() / 2;
+    std::vector<double> v(slots);
+    for (u64 i = 0; i < slots; ++i)
+        v[i] = (i % 17) * 0.25 - 1.0;
+
+    auto rk1 = s.keygen.makeRotationKey(1);
+    auto rk3 = s.keygen.makeRotationKey(3);
+    auto rk4 = s.keygen.makeRotationKey(4);
+
+    auto ct = s.eval.encrypt(s.eval.encoder().encodeReal(v, 2), s.pk);
+    auto path_a = s.eval.rotate(s.eval.rotate(ct, 1, rk1), 3, rk3);
+    auto path_b = s.eval.rotate(ct, 4, rk4);
+
+    auto ga = s.eval.encoder().decode(
+        s.eval.decrypt(path_a, s.keygen.secretKey()));
+    auto gb = s.eval.encoder().decode(
+        s.eval.decrypt(path_b, s.keygen.secretKey()));
+    for (u64 i = 0; i < slots; ++i)
+        EXPECT_NEAR(ga[i].real(), gb[i].real(), 1e-3) << i;
+}
+
+TEST(HRot, FullCycleIsIdentity)
+{
+    auto &s = state();
+    const u64 slots = s.ctx.n() / 2;
+    std::vector<double> v(slots);
+    for (u64 i = 0; i < slots; ++i)
+        v[i] = (i % 13) * 0.3;
+
+    // Rotating by slots/4 four times returns to the original layout.
+    i64 quarter = static_cast<i64>(slots / 4);
+    auto rk = s.keygen.makeRotationKey(quarter);
+    auto ct = s.eval.encrypt(s.eval.encoder().encodeReal(v, 2), s.pk);
+    auto cur = ct;
+    for (int k = 0; k < 4; ++k)
+        cur = s.eval.rotate(cur, quarter, rk);
+    auto got = s.eval.encoder().decode(
+        s.eval.decrypt(cur, s.keygen.secretKey()));
+    for (u64 i = 0; i < slots; ++i)
+        EXPECT_NEAR(got[i].real(), v[i], 1e-2) << i;
+}
+
+TEST(HRot, ConjugationKey)
+{
+    auto &s = state();
+    Rng rng(101);
+    const u64 slots = s.ctx.n() / 2;
+    std::vector<Cplx> z(slots);
+    for (auto &x : z)
+        x = Cplx(rng.nextDouble() - 0.5, rng.nextDouble() - 0.5);
+
+    auto ck = s.keygen.makeConjugationKey();
+    auto ct = s.eval.encrypt(s.eval.encoder().encode(z, 2), s.pk);
+    auto conj = s.eval.conjugate(ct, ck);
+    auto got = s.eval.encoder().decode(
+        s.eval.decrypt(conj, s.keygen.secretKey()));
+    for (u64 i = 0; i < slots; ++i) {
+        EXPECT_NEAR(got[i].real(), z[i].real(), 1e-3);
+        EXPECT_NEAR(got[i].imag(), -z[i].imag(), 1e-3);
+    }
+}
+
+TEST(HRot, RotationAtLowerLevels)
+{
+    auto &s = state();
+    const u64 slots = s.ctx.n() / 2;
+    std::vector<double> v(slots);
+    for (u64 i = 0; i < slots; ++i)
+        v[i] = (i % 7) * 0.5;
+
+    auto rk = s.keygen.makeRotationKey(2);
+    // Level 1 exercises the partial-digit path of key switching.
+    auto ct = s.eval.encrypt(s.eval.encoder().encodeReal(v, 1), s.pk);
+    auto rot = s.eval.rotate(ct, 2, rk);
+    auto got = s.eval.encoder().decode(
+        s.eval.decrypt(rot, s.keygen.secretKey()));
+    for (u64 i = 0; i < slots; ++i)
+        EXPECT_NEAR(got[i].real(), v[(i + 2) % slots], 1e-3) << i;
+}
+
+}  // namespace
+}  // namespace crophe::fhe

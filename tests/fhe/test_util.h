@@ -1,0 +1,45 @@
+#ifndef CROPHE_TESTS_FHE_TEST_UTIL_H_
+#define CROPHE_TESTS_FHE_TEST_UTIL_H_
+
+/** Shared fixtures/helpers for the FHE test binaries. */
+
+#include <memory>
+
+#include "fhe/rns.h"
+
+namespace crophe::fhe::test {
+
+/** A small but fully functional context: N=256, L=4, alpha=2. */
+inline FheContextParams
+smallParams()
+{
+    FheContextParams p;
+    p.n = 256;
+    p.levels = 4;
+    p.alpha = 2;
+    p.firstModulusBits = 50;
+    p.scalingModulusBits = 35;
+    p.specialModulusBits = 50;
+    p.scale = static_cast<double>(1ull << 35);
+    return p;
+}
+
+/** Context with alpha=1 (dnum == L+1), exercising per-prime digits. */
+inline FheContextParams
+smallParamsAlpha1()
+{
+    FheContextParams p = smallParams();
+    p.alpha = 1;
+    return p;
+}
+
+inline const FheContext &
+smallContext()
+{
+    static FheContext ctx(smallParams());
+    return ctx;
+}
+
+}  // namespace crophe::fhe::test
+
+#endif  // CROPHE_TESTS_FHE_TEST_UTIL_H_

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+
+namespace crophe::graph {
+namespace {
+
+Graph
+diamond()
+{
+    Graph g;
+    OpId in = g.add(makeInput(1 << 10, 4));
+    OpId l = g.add(makeEwBinary(OpKind::EwMul, 1 << 10, 4));
+    OpId r = g.add(makeEwBinary(OpKind::EwAdd, 1 << 10, 4));
+    OpId out = g.add(makeOutput(1 << 10, 4));
+    g.connect(in, l);
+    g.connect(in, r);
+    g.connect(l, out);
+    g.connect(r, out);
+    return g;
+}
+
+TEST(Graph, TopoOrderRespectsEdges)
+{
+    Graph g = diamond();
+    auto order = g.topoOrder();
+    ASSERT_EQ(order.size(), 4u);
+    std::vector<u32> pos(4);
+    for (u32 i = 0; i < 4; ++i)
+        pos[order[i]] = i;
+    EXPECT_LT(pos[0], pos[1]);
+    EXPECT_LT(pos[0], pos[2]);
+    EXPECT_LT(pos[1], pos[3]);
+    EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(GraphDeath, CycleIsDetected)
+{
+    Graph g;
+    OpId a = g.add(makeEwBinary(OpKind::EwAdd, 16, 1));
+    OpId b = g.add(makeEwBinary(OpKind::EwAdd, 16, 1));
+    g.connect(a, b);
+    g.connect(b, a);
+    EXPECT_DEATH(g.topoOrder(), "cycle");
+}
+
+TEST(Graph, TotalFlopsSums)
+{
+    Graph g = diamond();
+    EXPECT_EQ(g.totalFlops(), 2ull * 4 * (1 << 10));
+}
+
+TEST(Graph, AuxDeduplicatedByKey)
+{
+    Graph g;
+    OpId a = g.add(makeEwMulPlain(1 << 10, 4, "ptx:shared"));
+    OpId b = g.add(makeEwMulPlain(1 << 10, 4, "ptx:shared"));
+    OpId c = g.add(makeEwMulPlain(1 << 10, 4, "ptx:other"));
+    (void)a;
+    (void)b;
+    (void)c;
+    // With OF-Limb, each distinct plaintext key contributes N words.
+    EXPECT_EQ(g.totalAuxWords(), 2ull * (1 << 10));
+}
+
+TEST(Graph, PartitionCoversAllNodes)
+{
+    Graph g = diamond();
+    auto parts = g.partition(3);
+    u32 total = 0;
+    for (const auto &p : parts) {
+        EXPECT_LE(p.size(), 3u);
+        total += static_cast<u32>(p.size());
+    }
+    EXPECT_EQ(total, g.size());
+}
+
+TEST(Graph, StructuralHashMatchesIsomorphicSubgraphs)
+{
+    // Two copies of the same chain inside one graph hash identically.
+    Graph g;
+    OpId a1 = g.add(makeEwBinary(OpKind::EwMul, 1 << 10, 4));
+    OpId a2 = g.add(makeEwBinary(OpKind::EwAdd, 1 << 10, 4));
+    g.connect(a1, a2);
+    OpId b1 = g.add(makeEwBinary(OpKind::EwMul, 1 << 10, 4));
+    OpId b2 = g.add(makeEwBinary(OpKind::EwAdd, 1 << 10, 4));
+    g.connect(b1, b2);
+
+    EXPECT_EQ(g.structuralHash({a1, a2}), g.structuralHash({b1, b2}));
+    EXPECT_NE(g.structuralHash({a1, a2}), g.structuralHash({a2, a1}));
+    // Different shape => different hash.
+    Graph g2;
+    OpId c1 = g2.add(makeEwBinary(OpKind::EwMul, 1 << 10, 8));
+    OpId c2 = g2.add(makeEwBinary(OpKind::EwAdd, 1 << 10, 8));
+    g2.connect(c1, c2);
+    EXPECT_NE(g.structuralHash({a1, a2}), g2.structuralHash({c1, c2}));
+}
+
+TEST(Graph, ToStringMentionsEveryOp)
+{
+    Graph g = diamond();
+    std::string s = g.toString();
+    EXPECT_NE(s.find("EwMul"), std::string::npos);
+    EXPECT_NE(s.find("EwAdd"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crophe::graph

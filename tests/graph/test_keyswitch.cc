@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "graph/keyswitch_builder.h"
+
+namespace crophe::graph {
+namespace {
+
+TEST(KeySwitchGraph, OpCountMatchesFormula)
+{
+    FheParams p = paramsArk();
+    for (u32 level : {1u, 5u, 11u, 23u}) {
+        Graph g;
+        auto nodes = buildKeySwitch(g, p, level, kNoOp, "evk:test");
+        (void)nodes;
+        // +1 for the Input node buildKeySwitch adds when producer==kNoOp.
+        EXPECT_EQ(g.size(), keySwitchOpCount(p, level) + 1)
+            << "level " << level;
+    }
+}
+
+TEST(KeySwitchGraph, StructureIsAcyclicAndConnected)
+{
+    FheParams p = paramsSharp();
+    Graph g;
+    auto nodes = buildKeySwitch(g, p, 20, kNoOp, "evk:mult");
+    auto order = g.topoOrder();  // panics on cycles
+    EXPECT_EQ(order.size(), g.size());
+
+    // Every non-input node is reachable: it has at least one producer.
+    for (OpId v = 0; v < g.size(); ++v) {
+        if (g.op(v).kind != OpKind::Input)
+            EXPECT_FALSE(g.producers(v).empty()) << v;
+    }
+    EXPECT_NE(nodes.outB, nodes.outA);
+}
+
+TEST(KeySwitchGraph, EvkVolumeMatchesDigitShape)
+{
+    FheParams p = paramsArk();
+    const u32 level = p.L;
+    Graph g;
+    buildKeySwitch(g, p, level, kNoOp, "evk:mult");
+
+    u64 evk_words = 0;
+    u32 inner_count = 0;
+    for (const auto &op : g.ops()) {
+        if (op.kind == OpKind::KskInnerProd) {
+            evk_words += op.auxWords;
+            ++inner_count;
+        }
+    }
+    EXPECT_EQ(inner_count, 1u);
+    // 2 × β × (α+ℓ+1) × N, halved by PRNG regeneration of the a-halves.
+    EXPECT_EQ(evk_words,
+              1ull * p.betaAt(level) * p.extLimbsAt(level) * p.n());
+}
+
+TEST(KeySwitchGraph, BetaScalesWithLevel)
+{
+    FheParams p = paramsArk();
+    Graph low, high;
+    buildKeySwitch(low, p, 5, kNoOp, "k");
+    buildKeySwitch(high, p, 23, kNoOp, "k");
+    EXPECT_LT(low.size(), high.size());
+}
+
+}  // namespace
+}  // namespace crophe::graph

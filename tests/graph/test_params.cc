@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "graph/params.h"
+
+namespace crophe::graph {
+namespace {
+
+TEST(Params, TableIIIValues)
+{
+    FheParams bts = paramsBts();
+    EXPECT_EQ(bts.logN, 17u);
+    EXPECT_EQ(bts.L, 39u);
+    EXPECT_EQ(bts.Lboot, 19u);
+    EXPECT_EQ(bts.dnum, 2u);
+    EXPECT_EQ(bts.alpha, 20u);
+
+    FheParams ark = paramsArk();
+    EXPECT_EQ(ark.logN, 16u);
+    EXPECT_EQ(ark.L, 23u);
+    EXPECT_EQ(ark.alpha, 6u);
+
+    FheParams sharp = paramsSharp();
+    EXPECT_EQ(sharp.L, 35u);
+    EXPECT_EQ(sharp.dnum, 3u);
+
+    FheParams cl = paramsCraterLake();
+    EXPECT_EQ(cl.L, 59u);
+    EXPECT_EQ(cl.dnum, 1u);
+    EXPECT_EQ(cl.alpha, 60u);
+}
+
+TEST(Params, DerivedQuantities)
+{
+    FheParams ark = paramsArk();
+    EXPECT_EQ(ark.n(), 1ull << 16);
+    EXPECT_EQ(ark.slots(), 1ull << 15);
+    EXPECT_EQ(ark.limbsAt(23), 24u);
+    EXPECT_EQ(ark.betaAt(23), 4u);
+    EXPECT_EQ(ark.betaAt(5), 1u);
+    EXPECT_EQ(ark.extLimbsAt(23), 6 + 24u);
+}
+
+TEST(Params, DnumCoversAllLimbs)
+{
+    for (const auto &p : {paramsBts(), paramsArk(), paramsSharp(),
+                          paramsCraterLake()}) {
+        EXPECT_LE(p.betaAt(p.L), p.dnum) << p.name;
+        EXPECT_GE(p.dnum * p.alpha, p.L + 1) << p.name;
+    }
+}
+
+TEST(Params, LookupByName)
+{
+    EXPECT_EQ(paramsByName("ark").name, "ARK");
+    EXPECT_EQ(paramsByName("bts").logN, 17u);
+}
+
+}  // namespace
+}  // namespace crophe::graph

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "graph/workloads.h"
+
+namespace crophe::graph {
+namespace {
+
+WorkloadOptions
+hybridOpt(u32 r = 4)
+{
+    WorkloadOptions o;
+    o.rotMode = RotMode::Hybrid;
+    o.rHyb = r;
+    return o;
+}
+
+TEST(WorkloadGraphs, HMultIsValid)
+{
+    FheParams p = paramsArk();
+    Graph g = buildHMult(p, 10);
+    EXPECT_EQ(g.topoOrder().size(), g.size());
+    // Contains a KSKInP with the mult evk and two rescales.
+    u32 inner = 0, rescale = 0;
+    for (const auto &op : g.ops()) {
+        inner += op.kind == OpKind::KskInnerProd;
+        rescale += op.kind == OpKind::Rescale;
+    }
+    EXPECT_EQ(inner, 1u);
+    EXPECT_EQ(rescale, 2u);
+}
+
+TEST(WorkloadGraphs, HRotSharesDeclaredKey)
+{
+    FheParams p = paramsArk();
+    Graph g = buildHRot(p, 8, "evk:rot:7");
+    bool found = false;
+    for (const auto &op : g.ops())
+        if (op.kind == OpKind::KskInnerProd) {
+            EXPECT_EQ(op.auxKey, "evk:rot:7");
+            found = true;
+        }
+    EXPECT_TRUE(found);
+}
+
+TEST(WorkloadGraphs, RotationStrategiesChangeKeyCounts)
+{
+    FheParams p = paramsArk();
+    const u32 n1 = 8, n2 = 4, level = 10;
+
+    auto distinct_rot_keys = [](const Graph &g) {
+        std::set<std::string> keys;
+        for (const auto &op : g.ops())
+            if (op.kind == OpKind::KskInnerProd &&
+                op.auxKey.find("rot") != std::string::npos)
+                keys.insert(op.auxKey);
+        return keys.size();
+    };
+    auto modup_intts = [](const Graph &g) {
+        u32 count = 0;
+        for (const auto &op : g.ops())
+            count += op.kind == OpKind::INtt;
+        return count;
+    };
+
+    WorkloadOptions o;
+    o.rotMode = RotMode::MinKs;
+    Graph min_ks = buildPtMatVecMult(p, level, n1, n2, o.rotMode, 0);
+    o.rotMode = RotMode::Hoisting;
+    Graph hoist = buildPtMatVecMult(p, level, n1, n2, o.rotMode, 0);
+    Graph hybrid = buildPtMatVecMult(p, level, n1, n2, RotMode::Hybrid, 4);
+
+    // MinKS uses one baby-step key (+ giant keys); Hoisting one per baby
+    // distance; Hybrid in between.
+    EXPECT_LT(distinct_rot_keys(min_ks), distinct_rot_keys(hoist));
+    EXPECT_LT(distinct_rot_keys(hybrid), distinct_rot_keys(hoist));
+    EXPECT_GT(distinct_rot_keys(hybrid), distinct_rot_keys(min_ks));
+
+    // MinKS does the most ModUps (one per baby rotation); hoisting the
+    // fewest (shared).
+    EXPECT_GT(modup_intts(min_ks), modup_intts(hoist));
+    EXPECT_LE(modup_intts(hybrid), modup_intts(min_ks));
+}
+
+TEST(WorkloadGraphs, HybridFineKeysSharedAcrossCoarseGroups)
+{
+    FheParams p = paramsArk();
+    Graph g = buildPtMatVecMult(p, 10, 16, 2, RotMode::Hybrid, 4);
+    // Fine keys appear once per (coarse group, distance); with 4 groups
+    // and distances 1..3, each fine key must be referenced 4 times.
+    std::map<std::string, u32> uses;
+    for (const auto &op : g.ops())
+        if (op.kind == OpKind::KskInnerProd &&
+            op.auxKey.find("fine") != std::string::npos)
+            ++uses[op.auxKey];
+    ASSERT_EQ(uses.size(), 3u);  // distances 1, 2, 3
+    for (const auto &[key, count] : uses)
+        EXPECT_EQ(count, 4u) << key;
+}
+
+TEST(Workloads, AllFourBuildAndAreNonTrivial)
+{
+    FheParams p = paramsArk();
+    auto opt = hybridOpt();
+    for (const char *name :
+         {"bootstrap", "helr", "resnet20", "resnet110"}) {
+        Workload w = buildWorkload(name, p, opt);
+        EXPECT_EQ(w.name, name);
+        EXPECT_FALSE(w.segments.empty()) << name;
+        EXPECT_GT(w.totalOps(), 50u) << name;
+        EXPECT_GT(w.totalFlops(), 1ull << 30) << name;
+        for (const auto &seg : w.segments)
+            EXPECT_EQ(seg.graph.topoOrder().size(), seg.graph.size())
+                << name << "/" << seg.name;
+    }
+}
+
+TEST(Workloads, ResNet110IsProportionallyLarger)
+{
+    FheParams p = paramsSharp();
+    auto opt = hybridOpt();
+    Workload r20 = buildResNet20(p, opt);
+    Workload r110 = buildResNet110(p, opt);
+    EXPECT_GT(r110.totalFlops(), 4 * r20.totalFlops());
+    EXPECT_LT(r110.totalFlops(), 8 * r20.totalFlops());
+    // Segment merging keeps the unique-graph count identical.
+    EXPECT_EQ(r20.segments.size(), r110.segments.size());
+}
+
+TEST(Workloads, BootstrapDominatedByRotations)
+{
+    FheParams p = paramsSharp();
+    Workload w = buildBootstrapping(p, hybridOpt());
+    u64 evk_words = 0;
+    for (const auto &seg : w.segments)
+        evk_words += seg.graph.totalAuxWords() * seg.repetitions;
+    EXPECT_GT(evk_words, 1ull << 25);  // evks are the dominant constants
+}
+
+}  // namespace
+}  // namespace crophe::graph

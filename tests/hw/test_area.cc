@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "hw/area_model.h"
+
+namespace crophe::hw {
+namespace {
+
+/** Table II anchors: the model must reproduce the published CROPHE-36
+ *  breakdown closely (it is calibrated to it). */
+TEST(AreaModel, Crophe36PeMatchesTableII)
+{
+    PeBreakdown pe = peAreaPower(configCrophe36());
+    EXPECT_NEAR(pe.multipliersUm2, 337650.31, 1.0);
+    EXPECT_NEAR(pe.addersUm2, 27784.55, 1.0);
+    EXPECT_NEAR(pe.regFileUm2, 67242.02, 1.0);
+    EXPECT_NEAR(pe.interLaneUm2, 15806.76, 1.0);
+    EXPECT_NEAR(pe.totalUm2, 448483.64, 2.0);
+    EXPECT_NEAR(pe.totalMw, 497.62, 1.0);
+}
+
+TEST(AreaModel, Crophe36ChipMatchesTableII)
+{
+    AreaPower chip = chipAreaPower(configCrophe36());
+    EXPECT_NEAR(chip.totalAreaMm2, 251.13, 2.0);
+    EXPECT_NEAR(chip.totalPowerW, 181.11, 3.0);
+
+    double pes = 0, noc = 0, sram = 0;
+    for (const auto &row : chip.rows) {
+        if (row.component == "PEs")
+            pes = row.areaMm2;
+        if (row.component == "Inter-PE NoC & crossbars")
+            noc = row.areaMm2;
+        if (row.component == "Global buffer")
+            sram = row.areaMm2;
+    }
+    EXPECT_NEAR(pes, 57.40, 0.5);
+    EXPECT_NEAR(noc, 40.70, 0.5);
+    EXPECT_NEAR(sram, 116.05, 0.5);
+}
+
+TEST(AreaModel, WordWidthScalesMultiplierArea)
+{
+    HwConfig c36 = configCrophe36();
+    HwConfig c64 = configCrophe64();
+    PeBreakdown pe36 = peAreaPower(c36);
+    PeBreakdown pe64 = peAreaPower(c64);
+    // 64-bit multipliers are ~(64/36)^2 ≈ 3.2x the 36-bit ones.
+    double ratio = pe64.multipliersUm2 / pe36.multipliersUm2;
+    EXPECT_NEAR(ratio, (64.0 / 36.0) * (64.0 / 36.0), 0.01);
+}
+
+TEST(AreaModel, CropheVariantsLandNearTableIAreas)
+{
+    // Table I: CROPHE-64 total 362.8 mm², CROPHE-36 total 251.1 mm².
+    // Our SRAM density constant is calibrated to the published CROPHE-36
+    // breakdown; at 512 MB that is conservative versus Table I's 64-bit
+    // design, so the 64-bit bound is loose on the high side.
+    AreaPower c64 = chipAreaPower(configCrophe64());
+    EXPECT_GT(c64.totalAreaMm2, 300.0);
+    EXPECT_LT(c64.totalAreaMm2, 500.0);
+
+    AreaPower c36 = chipAreaPower(configCrophe36());
+    EXPECT_GT(c36.totalAreaMm2, 240.0);
+    EXPECT_LT(c36.totalAreaMm2, 265.0);
+}
+
+TEST(AreaModel, SramDominatesAtLargeCapacity)
+{
+    AreaPower big = chipAreaPower(withSramMB(configCrophe64(), 512));
+    AreaPower small = chipAreaPower(withSramMB(configCrophe64(), 64));
+    EXPECT_GT(big.totalAreaMm2 - small.totalAreaMm2, 200.0);
+}
+
+}  // namespace
+}  // namespace crophe::hw

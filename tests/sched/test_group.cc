@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "graph/keyswitch_builder.h"
+#include "graph/workloads.h"
+#include "hw/config.h"
+#include "sched/group.h"
+
+namespace crophe::sched {
+namespace {
+
+using graph::Graph;
+using graph::OpId;
+using graph::OpKind;
+
+Graph
+ewChain(u32 len, u64 n = 1 << 16, u32 limbs = 24)
+{
+    Graph g;
+    OpId prev = g.add(graph::makeInput(n, limbs));
+    for (u32 i = 0; i < len; ++i) {
+        OpId next = g.add(graph::makeEwBinary(OpKind::EwMul, n, limbs));
+        g.connect(prev, next);
+        prev = next;
+    }
+    return g;
+}
+
+TEST(SpatialGroup, AllocationsSumToAtMostAllPes)
+{
+    Graph g = ewChain(6);
+    auto cfg = hw::configCrophe64();
+    auto topo = g.topoOrder();
+    SpatialGroup group;
+    ASSERT_TRUE(analyzeSpatialGroup(g, topo, cfg, false, group));
+
+    u32 total = 0;
+    for (const auto &a : group.allocs) {
+        EXPECT_GE(a.pes, 1u);
+        total += a.pes;
+    }
+    EXPECT_LE(total, cfg.numPes);
+}
+
+TEST(SpatialGroup, PipeliningOverlapsCompute)
+{
+    // A chain of k equal element-wise ops pipelined spatially should take
+    // far less than k times one op's latency.
+    auto cfg = hw::configCrophe64();
+    Graph one = ewChain(1);
+    Graph many = ewChain(6);
+    SpatialGroup g1, g6;
+    ASSERT_TRUE(analyzeSpatialGroup(one, one.topoOrder(), cfg, false, g1));
+    ASSERT_TRUE(analyzeSpatialGroup(many, many.topoOrder(), cfg, false, g6));
+    // Six pipelined ops on 1/6 of the PEs each: ~6x one op on all PEs,
+    // but far less than 6x one op *sequentially* on shares (36x).
+    EXPECT_LT(g6.computeCycles, 10 * g1.computeCycles);
+}
+
+TEST(SpatialGroup, MadRejectsTransformFusion)
+{
+    graph::FheParams p = graph::paramsArk();
+    Graph g;
+    graph::buildKeySwitch(g, p, 10, graph::kNoOp, "evk");
+    auto topo = g.topoOrder();
+    std::vector<OpId> window(topo.begin(), topo.begin() + 4);
+
+    SpatialGroup group;
+    EXPECT_FALSE(analyzeSpatialGroup(g, window, hw::configArk(), true,
+                                     group));
+    // Single ops always pass under MAD.
+    for (OpId id : window)
+        EXPECT_TRUE(analyzeSpatialGroup(g, {id}, hw::configArk(), true,
+                                        group));
+}
+
+TEST(SpatialGroup, AuxSharingDedupesWithinGroup)
+{
+    // Two PMults with the same plaintext key: CROPHE fetches once, MAD
+    // twice.
+    Graph g;
+    OpId in = g.add(graph::makeInput(1 << 16, 24));
+    OpId a = g.add(graph::makeEwMulPlain(1 << 16, 24, "ptx:same"));
+    OpId b = g.add(graph::makeEwMulPlain(1 << 16, 24, "ptx:same"));
+    g.connect(in, a);
+    g.connect(in, b);
+    auto cfg = hw::configCrophe64();
+
+    SpatialGroup crophe, mad_a, mad_b;
+    ASSERT_TRUE(analyzeSpatialGroup(g, g.topoOrder(), cfg, false, crophe));
+    ASSERT_TRUE(analyzeSpatialGroup(g, {a}, cfg, true, mad_a));
+    ASSERT_TRUE(analyzeSpatialGroup(g, {b}, cfg, true, mad_b));
+
+    u64 aux = g.op(a).auxWords;
+    // CROPHE's group carries the input once and the aux once.
+    EXPECT_EQ(crophe.dramWords, g.op(in).outputWords + aux);
+    // MAD pays the aux in both groups.
+    EXPECT_GE(mad_a.dramWords + mad_b.dramWords, 2 * aux);
+}
+
+TEST(SpatialGroup, SpecializedHardwareSerializesSameClassWork)
+{
+    // Two NTTs on specialized hardware cannot exceed the NTT-class
+    // capacity even if allocated different PEs.
+    Graph g;
+    OpId in = g.add(graph::makeInput(1 << 16, 24));
+    OpId n1 = g.add(graph::makeNtt(OpKind::Ntt, 1 << 16, 24));
+    OpId n2 = g.add(graph::makeNtt(OpKind::Ntt, 1 << 16, 24));
+    g.connect(in, n1);
+    g.connect(in, n2);
+
+    auto sharp = hw::configSharp();
+    auto crophe = hw::configCrophe36();
+    SpatialGroup sp, cr;
+    ASSERT_TRUE(analyzeSpatialGroup(g, g.topoOrder(), sharp, false, sp));
+    ASSERT_TRUE(analyzeSpatialGroup(g, g.topoOrder(), crophe, false, cr));
+
+    double flops = static_cast<double>(g.op(n1).flops + g.op(n2).flops);
+    EXPECT_GE(sp.computeCycles,
+              flops / (sharp.multsPerCycle() *
+                       sharp.fuFraction[static_cast<u32>(
+                           hw::FuClass::Ntt)]) -
+                  1.0);
+    // Homogeneous CROPHE spreads the work over every lane.
+    EXPECT_LT(cr.computeCycles, sp.computeCycles);
+}
+
+TEST(SpatialGroup, BufferOverflowIsInfeasible)
+{
+    // Materialized edge volume beyond SRAM capacity must be rejected.
+    Graph g;
+    OpId intt = g.add(graph::makeNtt(OpKind::INtt, 1 << 17, 40));
+    OpId bconv = g.add(graph::makeBConv(1 << 17, 40, 80));
+    g.connect(intt, bconv);
+
+    auto tiny = hw::withSramMB(hw::configCrophe64(), 8.0);
+    SpatialGroup group;
+    EXPECT_FALSE(analyzeSpatialGroup(g, g.topoOrder(), tiny, false, group));
+    // With the full 512 MB it is fine.
+    EXPECT_TRUE(analyzeSpatialGroup(g, g.topoOrder(), hw::configCrophe64(),
+                                    false, group));
+}
+
+TEST(SpatialGroup, StatsAreConsistent)
+{
+    Graph g = ewChain(4);
+    SpatialGroup group;
+    auto cfg = hw::configCrophe64();
+    ASSERT_TRUE(analyzeSpatialGroup(g, g.topoOrder(), cfg, false, group));
+    EXPECT_EQ(group.flops, g.totalFlops());
+    EXPECT_GE(group.cycles, group.computeCycles);
+    EXPECT_GE(group.cycles, dramCycles(cfg, group.dramWords) - 1e-9);
+}
+
+}  // namespace
+}  // namespace crophe::sched

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "graph/keyswitch_builder.h"
+#include "graph/workloads.h"
+#include "sched/loopnest.h"
+#include "sched/ntt_decomp.h"
+
+namespace crophe::sched {
+namespace {
+
+using graph::Graph;
+using graph::OpId;
+using graph::OpKind;
+
+TEST(NttDecomp, OptionsRespectLaneBound)
+{
+    auto opts = nttDecompositionOptions(1 << 16, 256);
+    ASSERT_FALSE(opts.empty());
+    for (u64 n1 : opts) {
+        EXPECT_GE(n1, 256u);
+        EXPECT_GE((1ull << 16) / n1, 256u);
+    }
+    EXPECT_TRUE(nttDecompositionOptions(1000, 256).empty());  // non-pow2
+}
+
+TEST(NttDecomp, RewritePreservesFlops)
+{
+    graph::FheParams p = graph::paramsArk();
+    Graph g;
+    graph::buildKeySwitch(g, p, p.L, graph::kNoOp, "evk");
+    Graph rw = rewriteNttDecomposition(g, 256);
+
+    EXPECT_EQ(countMonolithicNtts(rw), 0u);
+    EXPECT_GT(rw.size(), g.size());
+    // Twiddle multiplies add work; everything else is preserved.
+    u64 tw_flops = 0;
+    for (const auto &op : rw.ops())
+        if (op.kind == OpKind::Twiddle)
+            tw_flops += op.flops;
+    EXPECT_EQ(rw.totalFlops(), g.totalFlops() + tw_flops);
+}
+
+TEST(NttDecomp, RewriteKeepsGraphAcyclic)
+{
+    graph::FheParams p = graph::paramsSharp();
+    Graph g = graph::buildHMult(p, 20);
+    Graph rw = rewriteNttDecomposition(g, 512);
+    EXPECT_EQ(rw.topoOrder().size(), rw.size());
+}
+
+TEST(NttDecomp, DecompositionReducesMaterializedEdges)
+{
+    // Count materialized (global-buffer) words across an iNTT→BConv→NTT
+    // chain, before and after decomposition.
+    graph::FheParams p = graph::paramsArk();
+    auto cfg = hw::configCrophe64();
+
+    auto materialized_words = [&](const Graph &g) {
+        u64 words = 0;
+        for (OpId v = 0; v < g.size(); ++v) {
+            for (OpId c : g.consumers(v)) {
+                EdgePlan plan = planEdge(g, v, c, cfg);
+                if (plan.mode == EdgeMode::Materialized &&
+                    g.op(c).kind != OpKind::Transpose)
+                    words += plan.volumeWords;
+            }
+        }
+        return words;
+    };
+
+    Graph g;
+    graph::buildKeySwitch(g, p, p.L, graph::kNoOp, "evk");
+    Graph rw = rewriteNttDecomposition(g, 256);
+    EXPECT_LT(materialized_words(rw), materialized_words(g) / 2)
+        << "decomposition must at least halve orientation-switch volume";
+}
+
+TEST(NttDecomp, RewriteIsStableForGraphsWithoutNtts)
+{
+    Graph g;
+    OpId a = g.add(graph::makeEwBinary(OpKind::EwMul, 1 << 16, 4));
+    OpId b = g.add(graph::makeEwBinary(OpKind::EwAdd, 1 << 16, 4));
+    g.connect(a, b);
+    Graph rw = rewriteNttDecomposition(g, 256);
+    EXPECT_EQ(rw.size(), g.size());
+    EXPECT_EQ(rw.totalFlops(), g.totalFlops());
+}
+
+}  // namespace
+}  // namespace crophe::sched

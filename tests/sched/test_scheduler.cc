@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "graph/keyswitch_builder.h"
+#include "graph/workloads.h"
+#include "sched/enumerator.h"
+#include "sched/hybrid_rotation.h"
+#include "sched/mad.h"
+#include "sched/scheduler.h"
+
+namespace crophe::sched {
+namespace {
+
+using graph::FheParams;
+using graph::Graph;
+using graph::RotMode;
+using graph::Workload;
+using graph::WorkloadOptions;
+
+SchedOptions
+cropheOptions()
+{
+    SchedOptions opt;
+    opt.crossOpDataflow = true;
+    opt.nttDecomp = true;
+    opt.maxGroupOps = 8;
+    return opt;
+}
+
+TEST(Enumerator, MemoizationMergesRedundantSubgraphs)
+{
+    // A Min-KS BSGS graph repeats identical key-switch subgraphs (same
+    // evk); the enumerator must analyze far fewer unique windows than it
+    // is asked about.
+    FheParams p = graph::paramsArk();
+    Graph g = graph::buildPtMatVecMult(p, 10, 8, 1, RotMode::MinKs, 0);
+    GroupEnumerator e(g, hw::configCrophe64(), false, 6);
+
+    u64 windows = 0;
+    for (u32 begin = 0; begin < g.size(); ++begin)
+        for (u32 len = 1; len <= 6; ++len)
+            if (e.window(begin, len))
+                ++windows;
+    EXPECT_GT(windows, 0u);
+    EXPECT_LT(e.analyzedCount(), windows / 2)
+        << "structural memoization should kick in heavily";
+    EXPECT_GT(e.memoHits(), 0u);
+}
+
+TEST(Scheduler, CoversEveryOpExactlyOnce)
+{
+    FheParams p = graph::paramsArk();
+    Graph g = graph::buildHMult(p, 15);
+    Schedule s = scheduleGraph(g, hw::configCrophe64(), cropheOptions());
+
+    u32 covered = 0;
+    for (const auto &tg : s.sequence)
+        for (const auto &sg : tg.groups)
+            covered += static_cast<u32>(sg.allocs.size());
+    // NTT decomposition may rewrite the graph, so coverage is >= original.
+    EXPECT_GE(covered, g.size());
+    EXPECT_GT(s.stats.cycles, 0.0);
+    EXPECT_GT(s.stats.flops, 0u);
+}
+
+TEST(Scheduler, CropheBeatsMadOnCropheHardware)
+{
+    FheParams p = graph::paramsArk();
+    Graph g = graph::buildPtMatVecMult(p, 12, 8, 4, RotMode::Hoisting, 0);
+    auto cfg = hw::configCrophe64();
+
+    Schedule crophe = scheduleGraph(g, cfg, cropheOptions());
+    Schedule mad = scheduleGraphMad(g, cfg);
+
+    EXPECT_LT(crophe.stats.cycles, mad.stats.cycles);
+    EXPECT_LE(crophe.stats.dramWords, mad.stats.dramWords);
+}
+
+TEST(Scheduler, NttDecompositionHelps)
+{
+    FheParams p = graph::paramsArk();
+    Graph g = graph::buildHMult(p, p.L);
+    auto cfg = hw::withSramMB(hw::configCrophe64(), 64.0);
+
+    SchedOptions with = cropheOptions();
+    SchedOptions without = cropheOptions();
+    without.nttDecomp = false;
+
+    Schedule dec = scheduleGraph(g, cfg, with);
+    Schedule mono = scheduleGraph(g, cfg, without);
+    // Decomposition can only be selected when it is at least as fast; it
+    // trades global-buffer materialization for transpose-unit streaming,
+    // so SRAM *capacity pressure* (buffers) drops even where SRAM traffic
+    // may rise.
+    EXPECT_LE(dec.stats.cycles, mono.stats.cycles);
+}
+
+TEST(Scheduler, AuxResidencyMakesWarmRepetitionsCheap)
+{
+    // Repeated HRots with the same evk: with ample SRAM the key stays
+    // resident, so warm repetitions fetch no aux at all; with tiny SRAM
+    // the key cannot be cached and every repetition refetches it.
+    FheParams p = graph::paramsArk();
+    Graph g;
+    graph::OpId in = g.add(graph::makeInput(p.n(), 2 * (10 + 1), "ct"));
+    graph::OpId cur = in;
+    for (int i = 0; i < 3; ++i) {
+        auto ks = graph::buildKeySwitch(g, p, 10, cur, "evk:rot:unit");
+        cur = ks.outB;
+    }
+
+    auto big = hw::configCrophe64();  // 512 MB
+    Schedule s_big = scheduleGraph(g, big, cropheOptions());
+    EXPECT_GT(s_big.stats.auxDramWords, 0u);
+    EXPECT_EQ(s_big.warmStats.auxDramWords, 0u);
+    EXPECT_LE(s_big.warmStats.cycles, s_big.stats.cycles);
+
+    auto tiny = hw::withSramMB(big, 2.0);
+    Schedule s_tiny = scheduleGraph(g, tiny, cropheOptions());
+    EXPECT_EQ(s_tiny.warmStats.auxDramWords, s_tiny.stats.auxDramWords);
+    EXPECT_GT(s_tiny.warmStats.auxDramWords, 0u);
+}
+
+TEST(Scheduler, WorkloadAggregationScalesWithReps)
+{
+    FheParams p = graph::paramsArk();
+    WorkloadOptions wopt;
+    wopt.rotMode = RotMode::MinKs;
+    Workload w = graph::buildBootstrapping(p, wopt);
+
+    auto cfg = hw::configCrophe64();
+    auto res = scheduleWorkload(w, cfg, cropheOptions());
+    EXPECT_GT(res.stats.cycles, 0.0);
+    EXPECT_EQ(res.perSegment.size(), w.segments.size());
+    EXPECT_GT(res.seconds, 0.0);
+
+    // Doubling every repetition roughly doubles the time.
+    Workload w2 = w;
+    for (auto &seg : w2.segments)
+        seg.repetitions *= 2;
+    auto res2 = scheduleWorkload(w2, cfg, cropheOptions());
+    EXPECT_NEAR(res2.stats.cycles / res.stats.cycles, 2.0, 0.2);
+}
+
+TEST(Scheduler, AutoClustersNeverHurts)
+{
+    FheParams p = graph::paramsArk();
+    WorkloadOptions wopt;
+    wopt.rotMode = RotMode::Hybrid;
+    wopt.rHyb = 4;
+    Workload w = graph::buildBootstrapping(p, wopt);
+    auto cfg = hw::configCrophe64();
+
+    SchedOptions opt = cropheOptions();
+    auto plain = scheduleWorkload(w, cfg, opt);
+    auto autop = scheduleWorkloadAutoClusters(w, cfg, opt);
+    EXPECT_LE(autop.stats.cycles, plain.stats.cycles * 1.0001);
+}
+
+TEST(HybridRotation, ChoiceIsAtLeastAsGoodAsPureSchemes)
+{
+    FheParams p = graph::paramsArk();
+    auto cfg = hw::withSramMB(hw::configCrophe64(), 64.0);
+    SchedOptions opt = cropheOptions();
+
+    auto pure = chooseRotationScheme("bootstrap", p, cfg, opt, false);
+    auto hybrid = chooseRotationScheme("bootstrap", p, cfg, opt, true);
+    EXPECT_LE(hybrid.result.stats.cycles, pure.result.stats.cycles * 1.0001);
+}
+
+TEST(HybridRotation, CandidatesArePowersOfTwo)
+{
+    auto c = rHybCandidates(16);
+    EXPECT_EQ(c, (std::vector<u32>{2, 4, 8, 16}));
+}
+
+}  // namespace
+}  // namespace crophe::sched

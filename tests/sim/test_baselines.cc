@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "baselines/baseline.h"
+
+namespace crophe::baselines {
+namespace {
+
+TEST(Baselines, RegistriesMatchFigure9)
+{
+    auto d64 = designs64();
+    ASSERT_EQ(d64.size(), 5u);
+    EXPECT_EQ(d64[0].name, "BTS+MAD");
+    EXPECT_EQ(d64[1].name, "ARK+MAD");
+    EXPECT_EQ(d64[3].name, "CROPHE-64");
+    EXPECT_TRUE(d64[4].dataParallel);
+
+    auto d36 = designs36();
+    ASSERT_EQ(d36.size(), 5u);
+    EXPECT_EQ(d36[1].name, "SHARP+MAD");
+    for (const auto &d : d36)
+        EXPECT_LE(d.cfg.wordBits, 36u);
+}
+
+TEST(Baselines, MadDesignsUseSpecializedOrHomogeneousCorrectly)
+{
+    EXPECT_FALSE(designByName("ARK+MAD").cfg.homogeneous);
+    EXPECT_FALSE(designByName("SHARP+MAD").cfg.homogeneous);
+    EXPECT_TRUE(designByName("CROPHE-64").cfg.homogeneous);
+    EXPECT_TRUE(designByName("CROPHE-hw+MAD").cfg.homogeneous);
+}
+
+TEST(Baselines, RunDesignProducesComparableResults)
+{
+    auto ark = runDesign(designByName("ARK+MAD"), "bootstrap");
+    auto crophe = runDesign(designByName("CROPHE-64"), "bootstrap");
+    EXPECT_GT(ark.stats.cycles, 0.0);
+    EXPECT_GT(crophe.stats.cycles, 0.0);
+    // The headline claim, at analytical level: CROPHE wins.
+    EXPECT_LT(crophe.stats.cycles, ark.stats.cycles);
+    EXPECT_LT(crophe.stats.dramWords, ark.stats.dramWords);
+}
+
+TEST(Baselines, CrophePNoSlowerThanCrophe)
+{
+    auto c = runDesign(designByName("CROPHE-64"), "bootstrap");
+    auto p = runDesign(designByName("CROPHE-p-64"), "bootstrap");
+    EXPECT_LE(p.stats.cycles, c.stats.cycles * 1.0001);
+}
+
+TEST(Baselines, SramSweepIncreasesCropheAdvantage)
+{
+    auto sharp = designByName("SHARP+MAD");
+    auto crophe = designByName("CROPHE-36");
+
+    double speedup_big =
+        runDesign(sharp, "bootstrap").stats.cycles /
+        runDesign(crophe, "bootstrap").stats.cycles;
+    double speedup_small =
+        runDesign(withSram(sharp, 45.0), "bootstrap").stats.cycles /
+        runDesign(withSram(crophe, 45.0), "bootstrap").stats.cycles;
+    EXPECT_GT(speedup_small, speedup_big)
+        << "CROPHE's benefit must grow as SRAM shrinks (Figure 10)";
+}
+
+}  // namespace
+}  // namespace crophe::baselines

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+
+namespace crophe::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5.0, [&](SimTime) { order.push_back(2); });
+    q.schedule(1.0, [&](SimTime) { order.push_back(0); });
+    q.schedule(3.0, [&](SimTime) { order.push_back(1); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(q.processed(), 3u);
+}
+
+TEST(EventQueue, StableForEqualTimestamps)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(2.0, [&, i](SimTime) { order.push_back(i); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HandlersCanScheduleMoreEvents)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void(SimTime)> chain = [&](SimTime t) {
+        if (++count < 4)
+            q.schedule(t + 1.0, chain);
+    };
+    q.schedule(0.0, chain);
+    SimTime last = q.runAll();
+    EXPECT_EQ(count, 4);
+    EXPECT_DOUBLE_EQ(last, 3.0);
+}
+
+TEST(Server, FifoBandwidthSemantics)
+{
+    Server s(10.0);  // 10 units/cycle
+    EXPECT_DOUBLE_EQ(s.serve(0.0, 100.0), 10.0);
+    // Second request arrives early but queues behind the first.
+    EXPECT_DOUBLE_EQ(s.serve(5.0, 50.0), 15.0);
+    // Third arrives after the server idles.
+    EXPECT_DOUBLE_EQ(s.serve(20.0, 10.0), 21.0);
+    EXPECT_DOUBLE_EQ(s.busyCycles(), 16.0);
+    EXPECT_DOUBLE_EQ(s.servedUnits(), 160.0);
+}
+
+TEST(Server, FixedLatencyDelaysStart)
+{
+    Server s(1.0);
+    EXPECT_DOUBLE_EQ(s.serve(0.0, 1.0, 40.0), 41.0);
+}
+
+}  // namespace
+}  // namespace crophe::sim

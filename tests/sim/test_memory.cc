@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "sim/dram.h"
+#include "sim/noc.h"
+#include "sim/sram.h"
+#include "sim/transpose_unit.h"
+
+namespace crophe::sim {
+namespace {
+
+TEST(Dram, StreamingHitsRows)
+{
+    DramModel dram(hw::configCrophe64());
+    dram.access(0.0, 1 << 20, /*stream=*/1);
+    dram.access(0.0, 1 << 20, /*stream=*/1);
+    EXPECT_EQ(dram.rowMisses(), 1u);  // only the first access misses
+    EXPECT_GT(dram.rowHits(), 1000u);
+}
+
+TEST(Dram, StreamSwitchesCostActivations)
+{
+    DramModel a(hw::configCrophe64());
+    DramModel b(hw::configCrophe64());
+    for (int i = 0; i < 64; ++i) {
+        a.access(0.0, 4096, 0);                      // one stream
+        b.access(0.0, 4096, static_cast<u32>(i % 2));  // ping-pong
+    }
+    EXPECT_LT(a.rowMisses(), b.rowMisses());
+    EXPECT_GT(b.busyCycles(), 0.0);
+}
+
+TEST(Dram, BandwidthBoundsThroughput)
+{
+    auto cfg = hw::configCrophe64();
+    DramModel dram(cfg);
+    u64 words = 1 << 24;
+    SimTime t = dram.access(0.0, words, 0);
+    double min_cycles = static_cast<double>(words) * cfg.wordBytes() *
+                        cfg.freqGhz / cfg.dramGBs;
+    EXPECT_GE(t, min_cycles);
+    EXPECT_LT(t, min_cycles * 1.1);
+}
+
+TEST(Sram, CapacityAndTraffic)
+{
+    auto cfg = hw::configCrophe36();
+    SramModel sram(cfg);
+    EXPECT_EQ(sram.capacityWords(), cfg.sramWords());
+    SimTime t = sram.access(0.0, 1 << 20);
+    EXPECT_GT(t, 0.0);
+    EXPECT_EQ(sram.totalWords(), 1ull << 20);
+    // SRAM is much faster than DRAM for the same volume.
+    DramModel dram(cfg);
+    EXPECT_LT(t, dram.access(0.0, 1 << 20, 0));
+}
+
+TEST(Noc, HopLatencyAndSerialization)
+{
+    NocModel noc(hw::configCrophe64());
+    SimTime one_hop = noc.transfer(0.0, 1024, 1);
+    NocModel noc2(hw::configCrophe64());
+    SimTime ten_hops = noc2.transfer(0.0, 1024, 10);
+    EXPECT_GT(ten_hops, one_hop);
+    EXPECT_NEAR(ten_hops - one_hop, 9.0, 1e-9);
+}
+
+TEST(Transpose, RoundTripTraffic)
+{
+    TransposeUnit tr(hw::configCrophe64());
+    SimTime t = tr.transpose(0.0, 1 << 16);
+    EXPECT_GT(t, 0.0);
+    EXPECT_EQ(tr.totalWords(), 1ull << 16);
+    EXPECT_GT(tr.capacityWords(), 0u);
+}
+
+}  // namespace
+}  // namespace crophe::sim

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ckks_ops.dir/bench_ckks_ops.cc.o"
+  "CMakeFiles/bench_ckks_ops.dir/bench_ckks_ops.cc.o.d"
+  "bench_ckks_ops"
+  "bench_ckks_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ckks_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

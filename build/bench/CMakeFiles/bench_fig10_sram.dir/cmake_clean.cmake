@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_sram.dir/bench_fig10_sram.cc.o"
+  "CMakeFiles/bench_fig10_sram.dir/bench_fig10_sram.cc.o.d"
+  "bench_fig10_sram"
+  "bench_fig10_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

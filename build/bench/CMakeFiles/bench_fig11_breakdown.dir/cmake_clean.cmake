@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_breakdown.dir/bench_fig11_breakdown.cc.o"
+  "CMakeFiles/bench_fig11_breakdown.dir/bench_fig11_breakdown.cc.o.d"
+  "bench_fig11_breakdown"
+  "bench_fig11_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ntt.dir/bench_ntt.cc.o"
+  "CMakeFiles/bench_ntt.dir/bench_ntt.cc.o.d"
+  "bench_ntt"
+  "bench_ntt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ntt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_configs.dir/bench_table1_configs.cc.o"
+  "CMakeFiles/bench_table1_configs.dir/bench_table1_configs.cc.o.d"
+  "bench_table1_configs"
+  "bench_table1_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_utilization.dir/bench_table4_utilization.cc.o"
+  "CMakeFiles/bench_table4_utilization.dir/bench_table4_utilization.cc.o.d"
+  "bench_table4_utilization"
+  "bench_table4_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

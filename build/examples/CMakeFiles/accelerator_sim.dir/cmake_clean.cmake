@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_sim.dir/accelerator_sim.cpp.o"
+  "CMakeFiles/accelerator_sim.dir/accelerator_sim.cpp.o.d"
+  "accelerator_sim"
+  "accelerator_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

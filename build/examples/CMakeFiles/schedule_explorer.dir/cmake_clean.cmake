@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_explorer.dir/schedule_explorer.cpp.o"
+  "CMakeFiles/schedule_explorer.dir/schedule_explorer.cpp.o.d"
+  "schedule_explorer"
+  "schedule_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baseline.cc" "src/CMakeFiles/crophe.dir/baselines/baseline.cc.o" "gcc" "src/CMakeFiles/crophe.dir/baselines/baseline.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/crophe.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/crophe.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/crophe.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/crophe.dir/common/rng.cc.o.d"
+  "/root/repo/src/fhe/automorphism.cc" "src/CMakeFiles/crophe.dir/fhe/automorphism.cc.o" "gcc" "src/CMakeFiles/crophe.dir/fhe/automorphism.cc.o.d"
+  "/root/repo/src/fhe/bconv.cc" "src/CMakeFiles/crophe.dir/fhe/bconv.cc.o" "gcc" "src/CMakeFiles/crophe.dir/fhe/bconv.cc.o.d"
+  "/root/repo/src/fhe/biguint.cc" "src/CMakeFiles/crophe.dir/fhe/biguint.cc.o" "gcc" "src/CMakeFiles/crophe.dir/fhe/biguint.cc.o.d"
+  "/root/repo/src/fhe/bsgs.cc" "src/CMakeFiles/crophe.dir/fhe/bsgs.cc.o" "gcc" "src/CMakeFiles/crophe.dir/fhe/bsgs.cc.o.d"
+  "/root/repo/src/fhe/cfft.cc" "src/CMakeFiles/crophe.dir/fhe/cfft.cc.o" "gcc" "src/CMakeFiles/crophe.dir/fhe/cfft.cc.o.d"
+  "/root/repo/src/fhe/chebyshev.cc" "src/CMakeFiles/crophe.dir/fhe/chebyshev.cc.o" "gcc" "src/CMakeFiles/crophe.dir/fhe/chebyshev.cc.o.d"
+  "/root/repo/src/fhe/ckks.cc" "src/CMakeFiles/crophe.dir/fhe/ckks.cc.o" "gcc" "src/CMakeFiles/crophe.dir/fhe/ckks.cc.o.d"
+  "/root/repo/src/fhe/encoding.cc" "src/CMakeFiles/crophe.dir/fhe/encoding.cc.o" "gcc" "src/CMakeFiles/crophe.dir/fhe/encoding.cc.o.d"
+  "/root/repo/src/fhe/keys.cc" "src/CMakeFiles/crophe.dir/fhe/keys.cc.o" "gcc" "src/CMakeFiles/crophe.dir/fhe/keys.cc.o.d"
+  "/root/repo/src/fhe/modarith.cc" "src/CMakeFiles/crophe.dir/fhe/modarith.cc.o" "gcc" "src/CMakeFiles/crophe.dir/fhe/modarith.cc.o.d"
+  "/root/repo/src/fhe/ntt.cc" "src/CMakeFiles/crophe.dir/fhe/ntt.cc.o" "gcc" "src/CMakeFiles/crophe.dir/fhe/ntt.cc.o.d"
+  "/root/repo/src/fhe/ntt_fourstep.cc" "src/CMakeFiles/crophe.dir/fhe/ntt_fourstep.cc.o" "gcc" "src/CMakeFiles/crophe.dir/fhe/ntt_fourstep.cc.o.d"
+  "/root/repo/src/fhe/primes.cc" "src/CMakeFiles/crophe.dir/fhe/primes.cc.o" "gcc" "src/CMakeFiles/crophe.dir/fhe/primes.cc.o.d"
+  "/root/repo/src/fhe/rns.cc" "src/CMakeFiles/crophe.dir/fhe/rns.cc.o" "gcc" "src/CMakeFiles/crophe.dir/fhe/rns.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/crophe.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/crophe.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/keyswitch_builder.cc" "src/CMakeFiles/crophe.dir/graph/keyswitch_builder.cc.o" "gcc" "src/CMakeFiles/crophe.dir/graph/keyswitch_builder.cc.o.d"
+  "/root/repo/src/graph/op.cc" "src/CMakeFiles/crophe.dir/graph/op.cc.o" "gcc" "src/CMakeFiles/crophe.dir/graph/op.cc.o.d"
+  "/root/repo/src/graph/params.cc" "src/CMakeFiles/crophe.dir/graph/params.cc.o" "gcc" "src/CMakeFiles/crophe.dir/graph/params.cc.o.d"
+  "/root/repo/src/graph/workloads.cc" "src/CMakeFiles/crophe.dir/graph/workloads.cc.o" "gcc" "src/CMakeFiles/crophe.dir/graph/workloads.cc.o.d"
+  "/root/repo/src/hw/area_model.cc" "src/CMakeFiles/crophe.dir/hw/area_model.cc.o" "gcc" "src/CMakeFiles/crophe.dir/hw/area_model.cc.o.d"
+  "/root/repo/src/hw/config.cc" "src/CMakeFiles/crophe.dir/hw/config.cc.o" "gcc" "src/CMakeFiles/crophe.dir/hw/config.cc.o.d"
+  "/root/repo/src/map/mapper.cc" "src/CMakeFiles/crophe.dir/map/mapper.cc.o" "gcc" "src/CMakeFiles/crophe.dir/map/mapper.cc.o.d"
+  "/root/repo/src/map/trace.cc" "src/CMakeFiles/crophe.dir/map/trace.cc.o" "gcc" "src/CMakeFiles/crophe.dir/map/trace.cc.o.d"
+  "/root/repo/src/sched/cost_model.cc" "src/CMakeFiles/crophe.dir/sched/cost_model.cc.o" "gcc" "src/CMakeFiles/crophe.dir/sched/cost_model.cc.o.d"
+  "/root/repo/src/sched/dataflow_report.cc" "src/CMakeFiles/crophe.dir/sched/dataflow_report.cc.o" "gcc" "src/CMakeFiles/crophe.dir/sched/dataflow_report.cc.o.d"
+  "/root/repo/src/sched/enumerator.cc" "src/CMakeFiles/crophe.dir/sched/enumerator.cc.o" "gcc" "src/CMakeFiles/crophe.dir/sched/enumerator.cc.o.d"
+  "/root/repo/src/sched/group.cc" "src/CMakeFiles/crophe.dir/sched/group.cc.o" "gcc" "src/CMakeFiles/crophe.dir/sched/group.cc.o.d"
+  "/root/repo/src/sched/hybrid_rotation.cc" "src/CMakeFiles/crophe.dir/sched/hybrid_rotation.cc.o" "gcc" "src/CMakeFiles/crophe.dir/sched/hybrid_rotation.cc.o.d"
+  "/root/repo/src/sched/loopnest.cc" "src/CMakeFiles/crophe.dir/sched/loopnest.cc.o" "gcc" "src/CMakeFiles/crophe.dir/sched/loopnest.cc.o.d"
+  "/root/repo/src/sched/mad.cc" "src/CMakeFiles/crophe.dir/sched/mad.cc.o" "gcc" "src/CMakeFiles/crophe.dir/sched/mad.cc.o.d"
+  "/root/repo/src/sched/ntt_decomp.cc" "src/CMakeFiles/crophe.dir/sched/ntt_decomp.cc.o" "gcc" "src/CMakeFiles/crophe.dir/sched/ntt_decomp.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/CMakeFiles/crophe.dir/sched/scheduler.cc.o" "gcc" "src/CMakeFiles/crophe.dir/sched/scheduler.cc.o.d"
+  "/root/repo/src/sim/dram.cc" "src/CMakeFiles/crophe.dir/sim/dram.cc.o" "gcc" "src/CMakeFiles/crophe.dir/sim/dram.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/crophe.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/crophe.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/noc.cc" "src/CMakeFiles/crophe.dir/sim/noc.cc.o" "gcc" "src/CMakeFiles/crophe.dir/sim/noc.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/crophe.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/crophe.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/sram.cc" "src/CMakeFiles/crophe.dir/sim/sram.cc.o" "gcc" "src/CMakeFiles/crophe.dir/sim/sram.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/crophe.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/crophe.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/transpose_unit.cc" "src/CMakeFiles/crophe.dir/sim/transpose_unit.cc.o" "gcc" "src/CMakeFiles/crophe.dir/sim/transpose_unit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

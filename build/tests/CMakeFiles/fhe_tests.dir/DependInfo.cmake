@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fhe/test_automorphism.cc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_automorphism.cc.o" "gcc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_automorphism.cc.o.d"
+  "/root/repo/tests/fhe/test_bconv.cc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_bconv.cc.o" "gcc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_bconv.cc.o.d"
+  "/root/repo/tests/fhe/test_biguint.cc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_biguint.cc.o" "gcc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_biguint.cc.o.d"
+  "/root/repo/tests/fhe/test_bsgs.cc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_bsgs.cc.o" "gcc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_bsgs.cc.o.d"
+  "/root/repo/tests/fhe/test_cfft.cc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_cfft.cc.o" "gcc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_cfft.cc.o.d"
+  "/root/repo/tests/fhe/test_chebyshev.cc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_chebyshev.cc.o" "gcc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_chebyshev.cc.o.d"
+  "/root/repo/tests/fhe/test_ckks.cc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_ckks.cc.o" "gcc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_ckks.cc.o.d"
+  "/root/repo/tests/fhe/test_encoding.cc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_encoding.cc.o" "gcc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_encoding.cc.o.d"
+  "/root/repo/tests/fhe/test_fourstep.cc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_fourstep.cc.o" "gcc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_fourstep.cc.o.d"
+  "/root/repo/tests/fhe/test_modarith.cc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_modarith.cc.o" "gcc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_modarith.cc.o.d"
+  "/root/repo/tests/fhe/test_ntt.cc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_ntt.cc.o" "gcc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_ntt.cc.o.d"
+  "/root/repo/tests/fhe/test_primes.cc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_primes.cc.o" "gcc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_primes.cc.o.d"
+  "/root/repo/tests/fhe/test_rns.cc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_rns.cc.o" "gcc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_rns.cc.o.d"
+  "/root/repo/tests/fhe/test_rotation.cc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_rotation.cc.o" "gcc" "tests/CMakeFiles/fhe_tests.dir/fhe/test_rotation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crophe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhe_tests.dir/fhe/test_automorphism.cc.o"
+  "CMakeFiles/fhe_tests.dir/fhe/test_automorphism.cc.o.d"
+  "CMakeFiles/fhe_tests.dir/fhe/test_bconv.cc.o"
+  "CMakeFiles/fhe_tests.dir/fhe/test_bconv.cc.o.d"
+  "CMakeFiles/fhe_tests.dir/fhe/test_biguint.cc.o"
+  "CMakeFiles/fhe_tests.dir/fhe/test_biguint.cc.o.d"
+  "CMakeFiles/fhe_tests.dir/fhe/test_bsgs.cc.o"
+  "CMakeFiles/fhe_tests.dir/fhe/test_bsgs.cc.o.d"
+  "CMakeFiles/fhe_tests.dir/fhe/test_cfft.cc.o"
+  "CMakeFiles/fhe_tests.dir/fhe/test_cfft.cc.o.d"
+  "CMakeFiles/fhe_tests.dir/fhe/test_chebyshev.cc.o"
+  "CMakeFiles/fhe_tests.dir/fhe/test_chebyshev.cc.o.d"
+  "CMakeFiles/fhe_tests.dir/fhe/test_ckks.cc.o"
+  "CMakeFiles/fhe_tests.dir/fhe/test_ckks.cc.o.d"
+  "CMakeFiles/fhe_tests.dir/fhe/test_encoding.cc.o"
+  "CMakeFiles/fhe_tests.dir/fhe/test_encoding.cc.o.d"
+  "CMakeFiles/fhe_tests.dir/fhe/test_fourstep.cc.o"
+  "CMakeFiles/fhe_tests.dir/fhe/test_fourstep.cc.o.d"
+  "CMakeFiles/fhe_tests.dir/fhe/test_modarith.cc.o"
+  "CMakeFiles/fhe_tests.dir/fhe/test_modarith.cc.o.d"
+  "CMakeFiles/fhe_tests.dir/fhe/test_ntt.cc.o"
+  "CMakeFiles/fhe_tests.dir/fhe/test_ntt.cc.o.d"
+  "CMakeFiles/fhe_tests.dir/fhe/test_primes.cc.o"
+  "CMakeFiles/fhe_tests.dir/fhe/test_primes.cc.o.d"
+  "CMakeFiles/fhe_tests.dir/fhe/test_rns.cc.o"
+  "CMakeFiles/fhe_tests.dir/fhe/test_rns.cc.o.d"
+  "CMakeFiles/fhe_tests.dir/fhe/test_rotation.cc.o"
+  "CMakeFiles/fhe_tests.dir/fhe/test_rotation.cc.o.d"
+  "fhe_tests"
+  "fhe_tests.pdb"
+  "fhe_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhe_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/test_graph.cc" "tests/CMakeFiles/graph_tests.dir/graph/test_graph.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/test_graph.cc.o.d"
+  "/root/repo/tests/graph/test_keyswitch.cc" "tests/CMakeFiles/graph_tests.dir/graph/test_keyswitch.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/test_keyswitch.cc.o.d"
+  "/root/repo/tests/graph/test_op.cc" "tests/CMakeFiles/graph_tests.dir/graph/test_op.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/test_op.cc.o.d"
+  "/root/repo/tests/graph/test_params.cc" "tests/CMakeFiles/graph_tests.dir/graph/test_params.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/test_params.cc.o.d"
+  "/root/repo/tests/graph/test_workloads.cc" "tests/CMakeFiles/graph_tests.dir/graph/test_workloads.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/test_workloads.cc.o.d"
+  "/root/repo/tests/hw/test_area.cc" "tests/CMakeFiles/graph_tests.dir/hw/test_area.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/hw/test_area.cc.o.d"
+  "/root/repo/tests/hw/test_config.cc" "tests/CMakeFiles/graph_tests.dir/hw/test_config.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/hw/test_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crophe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

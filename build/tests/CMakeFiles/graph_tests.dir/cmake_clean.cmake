@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_tests.dir/graph/test_graph.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/test_graph.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/test_keyswitch.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/test_keyswitch.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/test_op.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/test_op.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/test_params.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/test_params.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/test_workloads.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/test_workloads.cc.o.d"
+  "CMakeFiles/graph_tests.dir/hw/test_area.cc.o"
+  "CMakeFiles/graph_tests.dir/hw/test_area.cc.o.d"
+  "CMakeFiles/graph_tests.dir/hw/test_config.cc.o"
+  "CMakeFiles/graph_tests.dir/hw/test_config.cc.o.d"
+  "graph_tests"
+  "graph_tests.pdb"
+  "graph_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/test_dataflow_report.cc" "tests/CMakeFiles/sched_tests.dir/sched/test_dataflow_report.cc.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/test_dataflow_report.cc.o.d"
+  "/root/repo/tests/sched/test_group.cc" "tests/CMakeFiles/sched_tests.dir/sched/test_group.cc.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/test_group.cc.o.d"
+  "/root/repo/tests/sched/test_loopnest.cc" "tests/CMakeFiles/sched_tests.dir/sched/test_loopnest.cc.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/test_loopnest.cc.o.d"
+  "/root/repo/tests/sched/test_nttdec.cc" "tests/CMakeFiles/sched_tests.dir/sched/test_nttdec.cc.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/test_nttdec.cc.o.d"
+  "/root/repo/tests/sched/test_properties.cc" "tests/CMakeFiles/sched_tests.dir/sched/test_properties.cc.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/test_properties.cc.o.d"
+  "/root/repo/tests/sched/test_scheduler.cc" "tests/CMakeFiles/sched_tests.dir/sched/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/test_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crophe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_tests.dir/sched/test_dataflow_report.cc.o"
+  "CMakeFiles/sched_tests.dir/sched/test_dataflow_report.cc.o.d"
+  "CMakeFiles/sched_tests.dir/sched/test_group.cc.o"
+  "CMakeFiles/sched_tests.dir/sched/test_group.cc.o.d"
+  "CMakeFiles/sched_tests.dir/sched/test_loopnest.cc.o"
+  "CMakeFiles/sched_tests.dir/sched/test_loopnest.cc.o.d"
+  "CMakeFiles/sched_tests.dir/sched/test_nttdec.cc.o"
+  "CMakeFiles/sched_tests.dir/sched/test_nttdec.cc.o.d"
+  "CMakeFiles/sched_tests.dir/sched/test_properties.cc.o"
+  "CMakeFiles/sched_tests.dir/sched/test_properties.cc.o.d"
+  "CMakeFiles/sched_tests.dir/sched/test_scheduler.cc.o"
+  "CMakeFiles/sched_tests.dir/sched/test_scheduler.cc.o.d"
+  "sched_tests"
+  "sched_tests.pdb"
+  "sched_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

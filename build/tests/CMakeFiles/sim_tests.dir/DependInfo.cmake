@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_baselines.cc" "tests/CMakeFiles/sim_tests.dir/sim/test_baselines.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_baselines.cc.o.d"
+  "/root/repo/tests/sim/test_event_queue.cc" "tests/CMakeFiles/sim_tests.dir/sim/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_event_queue.cc.o.d"
+  "/root/repo/tests/sim/test_mapper.cc" "tests/CMakeFiles/sim_tests.dir/sim/test_mapper.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_mapper.cc.o.d"
+  "/root/repo/tests/sim/test_memory.cc" "tests/CMakeFiles/sim_tests.dir/sim/test_memory.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_memory.cc.o.d"
+  "/root/repo/tests/sim/test_simulator.cc" "tests/CMakeFiles/sim_tests.dir/sim/test_simulator.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crophe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/test_baselines.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/test_baselines.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_event_queue.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/test_event_queue.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_mapper.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/test_mapper.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_memory.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/test_memory.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_simulator.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/test_simulator.cc.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -5,9 +5,19 @@
  * and DRAM access traffic — MAD on CROPHE hardware, the basic
  * cross-operator dataflow ("Base"), +NTT decomposition, +hybrid rotation,
  * and both combined; against the corresponding baseline accelerator.
+ *
+ * With --stats-out FILE the per-technique totals (fig11.*), the
+ * scheduler's search telemetry (sched.search.*, sched.enum.*) and the
+ * simulated sim.* totals of the winning configuration are dumped as JSON,
+ * so the figure can be regenerated straight from telemetry. With
+ * --trace-out FILE the winning configuration's cycle-level simulation is
+ * recorded as Perfetto-loadable Chrome trace JSON.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "baselines/baseline.h"
 #include "bench/bench_util.h"
@@ -16,14 +26,32 @@
 #include "sched/hybrid_rotation.h"
 #include "sched/mad.h"
 #include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 
 using namespace crophe;
 
 namespace {
 
+/** Record one technique's Figure 11 bars into the stats registry. */
+void
+recordBars(telemetry::StatsRegistry *reg, const std::string &group,
+           const char *label, const sched::SchedStats &stats)
+{
+    if (reg == nullptr)
+        return;
+    std::string prefix = "fig11." + group + "." + label;
+    reg->scalar(prefix + ".cycles", "end-to-end cycles").set(stats.cycles);
+    reg->counter(prefix + ".sramWords", "global-buffer words")
+        .set(stats.sramWords);
+    reg->counter(prefix + ".dramWords", "off-chip words")
+        .set(stats.dramWords);
+}
+
 void
 breakdown(const char *baseline_name, const char *crophe_name,
-          double sram_mb)
+          double sram_mb, telemetry::SimTelemetry *telem,
+          telemetry::SearchTelemetry *search)
 {
     auto baseline = baselines::withSram(
         baselines::designByName(baseline_name), sram_mb);
@@ -41,6 +69,8 @@ breakdown(const char *baseline_name, const char *crophe_name,
                     label, r.stats.cycles, base / r.stats.cycles,
                     static_cast<double>(r.stats.sramWords),
                     static_cast<double>(r.stats.dramWords));
+        recordBars(telem != nullptr ? telem->registry : nullptr,
+                   baseline_name, label, r.stats);
     };
 
     // Baseline accelerator with MAD.
@@ -58,28 +88,100 @@ breakdown(const char *baseline_name, const char *crophe_name,
     }
 
     sched::SchedOptions opt;  // cross-operator dataflow on
+    opt.search = search;
+    sched::RotationChoice best_choice;
     auto run_mode = [&](const char *label, bool nttdec, bool hybrot) {
         opt.nttDecomp = nttdec;
         auto choice = sched::chooseRotationScheme("bootstrap", params,
                                                   crophe.cfg, opt, hybrot);
         choice.result.design = label;
         report(label, choice.result, base.stats.cycles);
+        return choice;
     };
     run_mode("Base", false, false);
     run_mode("+NTTDec", true, false);
     run_mode("+HybRot", false, true);
-    run_mode("Both", true, true);
+    best_choice = run_mode("Both", true, true);
+
+    // Regenerate the winning configuration's breakdown from the
+    // cycle-level simulator, feeding the trace/stats telemetry.
+    if (telem != nullptr) {
+        graph::WorkloadOptions wopt;
+        wopt.rotMode = best_choice.mode;
+        wopt.rHyb = best_choice.rHyb;
+        auto w = graph::buildBootstrapping(params, wopt);
+        opt.nttDecomp = true;
+        telem->statsPrefix = "sim." + std::string(baseline_name);
+        auto sim = sim::simulateWorkload(w, crophe.cfg, opt, telem);
+        std::printf("  simulated winner (%s): %.3e cycles\n",
+                    best_choice.result.design.c_str(), sim.stats.cycles);
+    }
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--trace-out FILE] [--stats-out FILE]\n", argv0);
+    return 1;
 }
 
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string trace_out, stats_out;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
+            trace_out = argv[++i];
+        else if (std::strcmp(argv[i], "--stats-out") == 0 && i + 1 < argc)
+            stats_out = argv[++i];
+        else
+            return usage(argv[0]);
+    }
+
+    telemetry::TraceRecorder recorder;
+    telemetry::StatsRegistry registry;
+    telemetry::SearchTelemetry search;
+    telemetry::SimTelemetry telem;
+    if (!trace_out.empty())
+        telem.trace = &recorder;
+    if (!stats_out.empty())
+        telem.registry = &registry;
+    bool telemetry_on = telem.trace != nullptr || telem.registry != nullptr;
+
     setVerbose(false);
     bench::printHeader("Figure 11: technique breakdown, bootstrapping");
-    breakdown("ARK+MAD", "CROPHE-64", 64.0);
+    breakdown("ARK+MAD", "CROPHE-64", 64.0,
+              telemetry_on ? &telem : nullptr,
+              telemetry_on ? &search : nullptr);
     std::printf("\n");
-    breakdown("SHARP+MAD", "CROPHE-36", 45.0);
+    breakdown("SHARP+MAD", "CROPHE-36", 45.0,
+              telemetry_on ? &telem : nullptr,
+              telemetry_on ? &search : nullptr);
+
+    if (!stats_out.empty()) {
+        search.registerStats(registry);
+        std::ofstream os(stats_out);
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n", stats_out.c_str());
+            return 1;
+        }
+        registry.dumpJson(os);
+        os << "\n";
+        std::printf("\nwrote %zu stats to %s\n", registry.size(),
+                    stats_out.c_str());
+    }
+    if (!trace_out.empty()) {
+        std::ofstream os(trace_out);
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+            return 1;
+        }
+        recorder.writeJson(os);
+        std::printf("wrote %zu trace events to %s\n",
+                    recorder.events().size(), trace_out.c_str());
+    }
     return 0;
 }

@@ -3,26 +3,71 @@
  * Drive the cycle-level simulator: schedule ResNet-20 on CROPHE-36, run
  * every unique segment through the event-driven model, and report
  * cycles, traffic and resource utilization (the Table IV view).
+ *
+ * With --trace-out FILE the per-segment simulations are recorded as
+ * Chrome trace-event JSON (open in https://ui.perfetto.dev): one process
+ * per segment with one track per PE group, the NoC, the SRAM bank group,
+ * the transpose unit and each busy DRAM channel. With --stats-out FILE
+ * the telemetry registry (sim.* totals matching SimStats, sched.search.*
+ * and sched.enum.* from the scheduler) is dumped as nested JSON; the
+ * text form goes to stdout.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
 
 #include "baselines/baseline.h"
 #include "common/logging.h"
 #include "graph/workloads.h"
 #include "sched/scheduler.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 
 using namespace crophe;
 
+namespace {
+
 int
-main()
+usage(const char *argv0)
 {
+    std::fprintf(stderr,
+                 "usage: %s [--trace-out FILE] [--stats-out FILE]\n", argv0);
+    return 1;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string trace_out, stats_out;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
+            trace_out = argv[++i];
+        else if (std::strcmp(argv[i], "--stats-out") == 0 && i + 1 < argc)
+            stats_out = argv[++i];
+        else
+            return usage(argv[0]);
+    }
+
     setVerbose(false);
     auto design = baselines::designByName("CROPHE-36");
     std::printf("simulating ResNet-20 on %s (%u PEs x %u lanes, %.0f MB)\n",
                 design.cfg.name.c_str(), design.cfg.numPes,
                 design.cfg.lanes, design.cfg.sramMB);
+
+    telemetry::TraceRecorder recorder;
+    telemetry::StatsRegistry registry;
+    telemetry::SearchTelemetry search;
+    telemetry::SimTelemetry telem;
+    if (!trace_out.empty())
+        telem.trace = &recorder;
+    if (!stats_out.empty())
+        telem.registry = &registry;
+    bool telemetry_on = telem.trace != nullptr || telem.registry != nullptr;
 
     // Per-segment cycle-level simulation detail.
     graph::WorkloadOptions wopt;
@@ -30,19 +75,22 @@ main()
     wopt.rHyb = 4;
     auto w = graph::buildResNet20(design.params, wopt);
     sched::SchedOptions opt;
+    if (telemetry_on)
+        opt.search = &search;
     std::printf("\n%-16s %6s %12s %12s %10s\n", "segment", "reps",
                 "sim cycles", "events", "row hit%");
     for (const auto &seg : w.segments) {
+        if (telem.trace != nullptr)
+            telem.trace->beginProcess(seg.name);
         auto sched = sched::scheduleGraph(seg.graph, design.cfg, opt);
-        auto sim = sim::simulateSchedule(sched, design.cfg);
-        double hits = static_cast<double>(sim.dramRowHits);
-        double total = hits + sim.dramRowMisses;
+        auto sim = sim::simulateSchedule(sched, design.cfg,
+                                         telemetry_on ? &telem : nullptr);
         std::printf("%-16s %6llu %12.3e %12llu %9.1f%%\n",
                     seg.name.c_str(),
                     static_cast<unsigned long long>(seg.repetitions),
                     sim.cycles,
                     static_cast<unsigned long long>(sim.events),
-                    total > 0 ? 100.0 * hits / total : 0.0);
+                    100.0 * sim.dramRowHitRate());
     }
 
     // End-to-end, with the rotation-scheme search.
@@ -55,5 +103,30 @@ main()
                 100 * result.stats.peUtil, 100 * result.stats.nocUtil,
                 100 * result.stats.sramBwUtil,
                 100 * result.stats.dramBwUtil);
+
+    if (!stats_out.empty()) {
+        search.registerStats(registry);
+        std::ofstream os(stats_out);
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n", stats_out.c_str());
+            return 1;
+        }
+        registry.dumpJson(os);
+        os << "\n";
+        std::printf("\ntelemetry registry (%zu stats, JSON in %s):\n",
+                    registry.size(), stats_out.c_str());
+        registry.dumpText(std::cout);
+    }
+    if (!trace_out.empty()) {
+        std::ofstream os(trace_out);
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+            return 1;
+        }
+        recorder.writeJson(os);
+        std::printf("\nwrote %zu trace events to %s "
+                    "(load in ui.perfetto.dev)\n",
+                    recorder.events().size(), trace_out.c_str());
+    }
     return 0;
 }

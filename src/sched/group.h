@@ -16,6 +16,10 @@
 #include "hw/config.h"
 #include "sched/loopnest.h"
 
+namespace crophe::telemetry {
+class SearchTelemetry;
+}  // namespace crophe::telemetry
+
 namespace crophe::sched {
 
 /** Scheduler knobs. */
@@ -31,6 +35,9 @@ struct SchedOptions
     u32 clusters = 1;
     /** Share aux constants (evks) across clusters in CROPHE-p. */
     bool shareAuxAcrossClusters = true;
+    /** Optional search observer: candidate costs and enumerator memo
+     *  effectiveness are recorded here (null = no telemetry). */
+    telemetry::SearchTelemetry *search = nullptr;
 };
 
 /** PE allocation for one operator inside a spatial group. */

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "sched/scheduler.h"
+#include "telemetry/search_telemetry.h"
 
 namespace crophe::sched {
 
@@ -29,6 +30,14 @@ chooseRotationScheme(const std::string &workload,
         wopt.rHyb = r_hyb;
         graph::Workload w = graph::buildWorkload(workload, params, wopt);
         WorkloadResult res = scheduleWorkload(w, cfg, opt);
+        if (opt.search != nullptr) {
+            std::string label = mode == graph::RotMode::MinKs ? "rot=minks"
+                                : mode == graph::RotMode::Hoisting
+                                    ? "rot=hoisting"
+                                    : "rot=hybrid r=" + std::to_string(r_hyb);
+            opt.search->recordCandidate(workload + "/" + label,
+                                       res.stats.cycles);
+        }
         if (res.stats.cycles < best.result.stats.cycles) {
             best.mode = mode;
             best.rHyb = r_hyb;

@@ -8,6 +8,7 @@
 #include "common/math_util.h"
 #include "sched/enumerator.h"
 #include "sched/ntt_decomp.h"
+#include "telemetry/search_telemetry.h"
 
 namespace crophe::sched {
 
@@ -332,6 +333,9 @@ scheduleOneGraph(const Graph &g, const hw::HwConfig &cfg,
                                /*mad=*/!opt.crossOpDataflow,
                                opt.crossOpDataflow ? opt.maxGroupOps : 3);
     auto groups = coverByDp(enumerator);
+    if (opt.search != nullptr)
+        opt.search->addEnumeration(enumerator.analyzedCount(),
+                                   enumerator.memoHits());
     double peak_live =
         applyBufferSpill(g, groups, cfg, opt.crossOpDataflow);
 
@@ -369,6 +373,8 @@ scheduleGraph(const Graph &g, const hw::HwConfig &cfg,
               const SchedOptions &opt)
 {
     Schedule best = scheduleOneGraph(g, cfg, opt);
+    if (opt.search != nullptr)
+        opt.search->recordCandidate("base", best.stats.cycles);
     if (!opt.nttDecomp || !opt.crossOpDataflow)
         return best;
 
@@ -384,6 +390,9 @@ scheduleGraph(const Graph &g, const hw::HwConfig &cfg,
     for (u64 n1 : nttDecompositionOptions(n, cfg.lanes)) {
         Graph rewritten = rewriteNttDecomposition(g, n1);
         Schedule cand = scheduleOneGraph(rewritten, cfg, opt);
+        if (opt.search != nullptr)
+            opt.search->recordCandidate("nttdec n1=" + std::to_string(n1),
+                                        cand.stats.cycles);
         if (cand.stats.cycles < best.stats.cycles)
             best = std::move(cand);
     }
@@ -425,6 +434,9 @@ scheduleWorkloadAutoClusters(const graph::Workload &w,
             continue;
         opt.clusters = k;
         WorkloadResult res = scheduleWorkload(w, cfg, opt);
+        if (opt.search != nullptr)
+            opt.search->recordCandidate("clusters=" + std::to_string(k),
+                                        res.stats.cycles);
         if (res.stats.cycles < best.stats.cycles)
             best = std::move(res);
     }

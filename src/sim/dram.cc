@@ -1,6 +1,9 @@
 #include "sim/dram.h"
 
+#include <string>
+
 #include "common/math_util.h"
+#include "telemetry/trace_recorder.h"
 
 namespace crophe::sim {
 
@@ -27,7 +30,8 @@ DramModel::access(SimTime ready, u64 words, u32 stream_id)
     u32 ch = stream_id % kChannels;
     u64 rows = std::max<u64>(1, ceilDiv(words, rowWords_));
     double latency;
-    if (stream_id != lastStream_[ch]) {
+    bool row_hit = stream_id == lastStream_[ch];
+    if (!row_hit) {
         latency = rowMissPenalty_;
         ++rowMisses_;
         rowHits_ += rows - 1;
@@ -36,7 +40,29 @@ DramModel::access(SimTime ready, u64 words, u32 stream_id)
         rowHits_ += rows;
     }
     lastStream_[ch] = stream_id;
-    return channel_.serve(ready, static_cast<double>(words), latency);
+    SimTime done = channel_.serve(ready, static_cast<double>(words), latency);
+    if (trace_ != nullptr)
+        recordBurst(ch, words, row_hit);
+    return done;
+}
+
+void
+DramModel::attachTrace(telemetry::TraceRecorder *rec)
+{
+    trace_ = rec;
+}
+
+void
+DramModel::recordBurst(u32 ch, u64 words, bool row_hit)
+{
+    if (chTrack_[ch] == 0)
+        chTrack_[ch] = trace_->track("DRAM ch" + std::to_string(ch));
+    // The shared channel server serializes all bursts, so per-channel
+    // spans never overlap.
+    SimTime start = channel_.lastStart();
+    trace_->complete(chTrack_[ch], "burst", start, channel_.freeAt() - start,
+                     {{"words", static_cast<double>(words)},
+                      {"rowHit", row_hit ? 1.0 : 0.0}});
 }
 
 }  // namespace crophe::sim

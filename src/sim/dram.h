@@ -28,6 +28,10 @@ class DramModel
      */
     SimTime access(SimTime ready, u64 words, u32 stream_id);
 
+    /** Record every burst as a span on one trace track per pseudo-channel
+     *  (with word count and row hit/miss as span arguments). */
+    void attachTrace(telemetry::TraceRecorder *rec);
+
     double busyCycles() const { return channel_.busyCycles(); }
     u64 totalWords() const { return totalWords_; }
     u64 rowHits() const { return rowHits_; }
@@ -38,6 +42,8 @@ class DramModel
      *  long as they map to different channels. */
     static constexpr u32 kChannels = 16;
 
+    void recordBurst(u32 ch, u64 words, bool row_hit);
+
     double wordsPerCycle_;
     double rowMissPenalty_;  ///< cycles per row activation
     u64 rowWords_;           ///< words per DRAM row
@@ -46,6 +52,8 @@ class DramModel
     u64 totalWords_ = 0;
     u64 rowHits_ = 0;
     u64 rowMisses_ = 0;
+    telemetry::TraceRecorder *trace_ = nullptr;
+    u32 chTrack_[kChannels] = {};  ///< lazily created trace track ids
 };
 
 }  // namespace crophe::sim

@@ -1,8 +1,14 @@
 #include "sim/event_queue.h"
 
 #include "common/logging.h"
+#include "telemetry/trace_recorder.h"
 
 namespace crophe::sim {
+
+namespace {
+/** Sampling period for the queue-depth trace counter. */
+constexpr u64 kDepthSampleMask = 0xFF;
+}  // namespace
 
 void
 EventQueue::schedule(SimTime when, Handler handler)
@@ -18,8 +24,17 @@ EventQueue::runNext()
     Event ev = queue_.top();
     queue_.pop();
     ++processed_;
+    if (trace_ != nullptr && (processed_ & kDepthSampleMask) == 0)
+        sampleDepth(ev.when);
     ev.handler(ev.when);
     return ev.when;
+}
+
+void
+EventQueue::sampleDepth(SimTime now) const
+{
+    trace_->counter("events.queued", now,
+                    static_cast<double>(queue_.size()));
 }
 
 SimTime
@@ -29,6 +44,12 @@ EventQueue::runAll()
     while (!queue_.empty())
         last = runNext();
     return last;
+}
+
+void
+Server::recordSpan(SimTime start, double duration) const
+{
+    trace_->complete(traceTrack_, traceName_, start, duration);
 }
 
 }  // namespace crophe::sim

@@ -13,6 +13,10 @@
 
 #include "common/types.h"
 
+namespace crophe::telemetry {
+class TraceRecorder;
+}  // namespace crophe::telemetry
+
 namespace crophe::sim {
 
 /** Simulated time in (fractional) accelerator cycles. */
@@ -38,7 +42,16 @@ class EventQueue
 
     u64 processed() const { return processed_; }
 
+    /**
+     * Periodically sample the queue depth as a trace counter while
+     * running (null recorder = no work). Observation only; event order
+     * and timing are unaffected.
+     */
+    void attachTrace(telemetry::TraceRecorder *rec) { trace_ = rec; }
+
   private:
+    void sampleDepth(SimTime now) const;
+
     struct Event
     {
         SimTime when;
@@ -57,6 +70,7 @@ class EventQueue
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
     u64 nextSeq_ = 0;
     u64 processed_ = 0;
+    telemetry::TraceRecorder *trace_ = nullptr;
 };
 
 /** A FIFO bandwidth server: one resource serving requests in order. */
@@ -77,18 +91,43 @@ class Server
         freeAt_ = start + duration;
         busy_ += duration;
         served_ += amount;
+        lastStart_ = start;
+        if (trace_ != nullptr && duration > 0.0)
+            recordSpan(start, duration);
         return freeAt_;
+    }
+
+    /**
+     * Record every busy interval as a span named @p span_name on @p track
+     * of @p rec. Purely observational: the serve timing above is computed
+     * before recording and never depends on it.
+     */
+    void
+    attachTrace(telemetry::TraceRecorder *rec, u32 track,
+                const char *span_name)
+    {
+        trace_ = rec;
+        traceTrack_ = track;
+        traceName_ = span_name;
     }
 
     double busyCycles() const { return busy_; }
     double servedUnits() const { return served_; }
     SimTime freeAt() const { return freeAt_; }
+    /** Start time of the most recent serve() (for span recording). */
+    SimTime lastStart() const { return lastStart_; }
 
   private:
+    void recordSpan(SimTime start, double duration) const;
+
     double rate_;
     SimTime freeAt_ = 0.0;
     double busy_ = 0.0;
     double served_ = 0.0;
+    SimTime lastStart_ = 0.0;
+    telemetry::TraceRecorder *trace_ = nullptr;
+    u32 traceTrack_ = 0;
+    const char *traceName_ = "serve";
 };
 
 }  // namespace crophe::sim

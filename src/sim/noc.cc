@@ -1,5 +1,7 @@
 #include "sim/noc.h"
 
+#include "telemetry/trace_recorder.h"
+
 namespace crophe::sim {
 
 NocModel::NocModel(const hw::HwConfig &cfg)
@@ -19,6 +21,12 @@ NocModel::transfer(SimTime ready, u64 words, u32 hops, u32 fanout)
     // but does not occupy link bandwidth.
     return links_.serve(ready, static_cast<double>(words)) +
            kHopLatency * hops;
+}
+
+void
+NocModel::attachTrace(telemetry::TraceRecorder *rec)
+{
+    links_.attachTrace(rec, rec->track("NoC"), "transfer");
 }
 
 }  // namespace crophe::sim

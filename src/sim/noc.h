@@ -27,6 +27,9 @@ class NocModel
      */
     SimTime transfer(SimTime ready, u64 words, u32 hops, u32 fanout = 1);
 
+    /** Record link-occupancy spans on a "NoC" trace track. */
+    void attachTrace(telemetry::TraceRecorder *rec);
+
     double busyCycles() const { return links_.busyCycles(); }
     u64 totalWords() const { return totalWords_; }
     double capacityWordsPerCycle() const { return capacity_; }

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "common/logging.h"
@@ -14,6 +15,7 @@
 #include "sim/pe.h"
 #include "sim/sram.h"
 #include "sim/transpose_unit.h"
+#include "telemetry/telemetry.h"
 
 namespace crophe::sim {
 
@@ -40,7 +42,8 @@ struct Chip
 SimTime
 simulateGroup(const sched::SpatialGroup &group, const graph::Graph &g,
               const hw::HwConfig &cfg, Chip &chip, SimTime group_start,
-              EventQueue &queue, SimStats &stats)
+              EventQueue &queue, SimStats &stats,
+              telemetry::TraceRecorder *rec)
 {
     map::GroupMapping mapping = map::mapGroup(group, g, cfg);
     map::GroupTrace trace = map::buildTrace(group, mapping, g, cfg);
@@ -50,6 +53,15 @@ simulateGroup(const sched::SpatialGroup &group, const graph::Graph &g,
     pes.reserve(num_ops);
     for (const auto &top : trace.ops)
         pes.emplace_back(top);
+
+    // One trace track per PE group; ids are memoized by name, so group
+    // slot i maps to the same track across all spatial groups.
+    std::vector<u32> pe_tracks;
+    if (rec != nullptr) {
+        pe_tracks.resize(num_ops);
+        for (u32 i = 0; i < num_ops; ++i)
+            pe_tracks[i] = rec->track("PE group " + std::to_string(i));
+    }
 
     // finish[i][c]: completion time of chunk c of op i (-1 = not done).
     std::vector<std::vector<SimTime>> finish(num_ops);
@@ -108,6 +120,12 @@ simulateGroup(const sched::SpatialGroup &group, const graph::Graph &g,
                 stats.transposeWords += op.inputWords / top.chunks;
             } else {
                 done = pes[i].executeChunk(t, c);
+                if (rec != nullptr && top.computePerChunk > 0.0) {
+                    rec->complete(pe_tracks[i], op.label,
+                                  done - top.computePerChunk,
+                                  top.computePerChunk,
+                                  {{"chunk", static_cast<double>(c)}});
+                }
             }
             finish[i][c] = done;
             ++next_chunk[i];
@@ -146,11 +164,28 @@ simulateGroup(const sched::SpatialGroup &group, const graph::Graph &g,
 }  // namespace
 
 SimStats
-simulateSchedule(const sched::Schedule &sched, const hw::HwConfig &cfg)
+simulateSchedule(const sched::Schedule &sched, const hw::HwConfig &cfg,
+                 const telemetry::SimTelemetry *telem)
 {
     SimStats stats;
     Chip chip(cfg);
     EventQueue queue;
+
+    telemetry::TraceRecorder *rec = telem ? telem->trace : nullptr;
+    if (rec != nullptr) {
+        chip.dram.attachTrace(rec);
+        chip.sram.attachTrace(rec);
+        chip.noc.attachTrace(rec);
+        chip.transpose.attachTrace(rec);
+        queue.attachTrace(rec);
+    }
+    telemetry::Histogram *group_hist = nullptr;
+    if (telem != nullptr && telem->registry != nullptr) {
+        group_hist = &telem->registry->histogram(
+            telem->statsPrefix + ".group.log2cycles",
+            "log2(cycles) distribution of spatial-group durations", 0.0,
+            32.0, 32);
+    }
 
     // Pipeline drain + reconfiguration cost of the fully synchronous
     // group switch (Section IV-A).
@@ -161,8 +196,21 @@ simulateSchedule(const sched::Schedule &sched, const hw::HwConfig &cfg)
         for (const auto &group : tg.groups) {
             // Synchronous group switching: the next group starts after
             // the previous completes on all PEs (Section IV-A).
+            SimTime group_start = now;
             now = simulateGroup(group, sched.graph, cfg, chip, now, queue,
-                                stats);
+                                stats, rec);
+            if (rec != nullptr) {
+                rec->instant("group switch", now);
+                rec->counter("dram.words", now,
+                             static_cast<double>(chip.dram.totalWords()));
+                rec->counter("sram.words", now,
+                             static_cast<double>(chip.sram.totalWords()));
+                rec->counter("noc.words", now,
+                             static_cast<double>(chip.noc.totalWords()));
+            }
+            if (group_hist != nullptr)
+                group_hist->sample(
+                    std::log2(std::max(1.0, now - group_start)));
             now += kGroupSwitchCycles;
             stats.flops += group.flops;
         }
@@ -174,12 +222,15 @@ simulateSchedule(const sched::Schedule &sched, const hw::HwConfig &cfg)
     stats.dramRowHits = chip.dram.rowHits();
     stats.dramRowMisses = chip.dram.rowMisses();
     stats.events = queue.processed();
+    if (telem != nullptr && telem->registry != nullptr)
+        stats.accumulateInto(*telem->registry, telem->statsPrefix);
     return stats;
 }
 
 sched::WorkloadResult
 simulateWorkload(const graph::Workload &w, const hw::HwConfig &cfg,
-                 const sched::SchedOptions &opt)
+                 const sched::SchedOptions &opt,
+                 const telemetry::SimTelemetry *telem)
 {
     hw::HwConfig cluster_cfg = cfg;
     if (opt.clusters > 1) {
@@ -192,9 +243,11 @@ simulateWorkload(const graph::Workload &w, const hw::HwConfig &cfg,
     std::vector<sched::Schedule> schedules;
     schedules.reserve(w.segments.size());
     for (const auto &seg : w.segments) {
+        if (telem != nullptr && telem->trace != nullptr)
+            telem->trace->beginProcess(seg.name);
         sched::Schedule s =
             sched::scheduleGraph(seg.graph, cluster_cfg, opt);
-        SimStats sim = simulateSchedule(s, cluster_cfg);
+        SimStats sim = simulateSchedule(s, cluster_cfg, telem);
         // Replace the analytical cycle estimate with the simulated one;
         // warm repetitions scale by the same contention ratio.
         double ratio = s.stats.cycles > 0 ? sim.cycles / s.stats.cycles

@@ -14,21 +14,36 @@
 #include "sched/group.h"
 #include "sim/stats.h"
 
+namespace crophe::telemetry {
+struct SimTelemetry;
+}  // namespace crophe::telemetry
+
 namespace crophe::sim {
 
-/** Simulate one scheduled segment on @p cfg. */
+/**
+ * Simulate one scheduled segment on @p cfg.
+ *
+ * With @p telem set, per-resource busy spans (PE groups, NoC, SRAM,
+ * transpose unit, DRAM channels), group-switch instants and traffic
+ * counters are recorded into its trace, and the run's SimStats are
+ * accumulated into its registry. Null (the default) records nothing and
+ * leaves simulated timing bit-identical.
+ */
 SimStats simulateSchedule(const sched::Schedule &sched,
-                          const hw::HwConfig &cfg);
+                          const hw::HwConfig &cfg,
+                          const telemetry::SimTelemetry *telem = nullptr);
 
 /**
  * Schedule and simulate a whole workload: every unique segment is
  * scheduled and simulated once (cold), warm repetitions are scaled by the
  * simulated-to-analytical ratio, and the totals are aggregated with the
- * same cluster model as the scheduler.
+ * same cluster model as the scheduler. Each segment becomes one trace
+ * process when @p telem is set.
  */
-sched::WorkloadResult simulateWorkload(const graph::Workload &w,
-                                       const hw::HwConfig &cfg,
-                                       const sched::SchedOptions &opt);
+sched::WorkloadResult simulateWorkload(
+    const graph::Workload &w, const hw::HwConfig &cfg,
+    const sched::SchedOptions &opt,
+    const telemetry::SimTelemetry *telem = nullptr);
 
 }  // namespace crophe::sim
 

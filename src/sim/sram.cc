@@ -1,5 +1,7 @@
 #include "sim/sram.h"
 
+#include "telemetry/trace_recorder.h"
+
 namespace crophe::sim {
 
 SramModel::SramModel(const hw::HwConfig &cfg)
@@ -16,6 +18,12 @@ SramModel::access(SimTime ready, u64 words)
         return ready;
     totalWords_ += words;
     return banks_.serve(ready, static_cast<double>(words));
+}
+
+void
+SramModel::attachTrace(telemetry::TraceRecorder *rec)
+{
+    banks_.attachTrace(rec, rec->track("SRAM banks"), "access");
 }
 
 }  // namespace crophe::sim

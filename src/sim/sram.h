@@ -22,6 +22,9 @@ class SramModel
     /** Move @p words through the buffer starting no earlier than @p ready. */
     SimTime access(SimTime ready, u64 words);
 
+    /** Record bank-group occupancy spans on an "SRAM banks" trace track. */
+    void attachTrace(telemetry::TraceRecorder *rec);
+
     double busyCycles() const { return banks_.busyCycles(); }
     u64 totalWords() const { return totalWords_; }
     u64 capacityWords() const { return capacityWords_; }

@@ -1,8 +1,10 @@
 #include "sim/stats.h"
 
+#include <iomanip>
 #include <sstream>
 
 #include "sched/cost_model.h"
+#include "telemetry/stats_registry.h"
 
 namespace crophe::sim {
 
@@ -19,13 +21,58 @@ SimStats::toSchedStats(const hw::HwConfig &cfg) const
     return st;
 }
 
+double
+SimStats::dramRowHitRate() const
+{
+    u64 rows = dramRowHits + dramRowMisses;
+    return rows ? static_cast<double>(dramRowHits) /
+                      static_cast<double>(rows)
+                : 0.0;
+}
+
+void
+SimStats::accumulateInto(telemetry::StatsRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.scalar(prefix + ".cycles", "simulated cycles") += cycles;
+    reg.counter(prefix + ".flops", "modular multiplications retired") +=
+        flops;
+    reg.counter(prefix + ".events", "discrete events processed") += events;
+    reg.scalar(prefix + ".pe.busyCycles", "summed PE-group busy cycles") +=
+        peBusy;
+    reg.counter(prefix + ".dram.words", "off-chip words transferred") +=
+        dramWords;
+    telemetry::Counter &hits =
+        reg.counter(prefix + ".dram.rowHits", "DRAM row-buffer hits");
+    hits += dramRowHits;
+    telemetry::Counter &misses =
+        reg.counter(prefix + ".dram.rowMisses", "DRAM row activations");
+    misses += dramRowMisses;
+    if (!reg.has(prefix + ".dram.rowHitRate")) {
+        reg.addFormula(prefix + ".dram.rowHitRate",
+                       "row hits / (hits + misses)", [&hits, &misses] {
+                           u64 rows = hits.count() + misses.count();
+                           return rows ? static_cast<double>(hits.count()) /
+                                             static_cast<double>(rows)
+                                       : 0.0;
+                       });
+    }
+    reg.counter(prefix + ".sram.words", "global-buffer words transferred") +=
+        sramWords;
+    reg.counter(prefix + ".noc.words", "mesh-forwarded words") += nocWords;
+    reg.counter(prefix + ".transpose.words",
+                "words streamed through the transpose unit") +=
+        transposeWords;
+}
+
 std::string
 SimStats::toString() const
 {
     std::ostringstream os;
     os << "cycles=" << cycles << " dram=" << dramWords
        << " sram=" << sramWords << " noc=" << nocWords
-       << " flops=" << flops << " events=" << events;
+       << " flops=" << flops << " events=" << events << " rowHit%="
+       << std::fixed << std::setprecision(1) << 100.0 * dramRowHitRate();
     return os.str();
 }
 

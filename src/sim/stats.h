@@ -13,6 +13,10 @@
 #include "hw/config.h"
 #include "sched/group.h"
 
+namespace crophe::telemetry {
+class StatsRegistry;
+}  // namespace crophe::telemetry
+
 namespace crophe::sim {
 
 /** Result of simulating one schedule. */
@@ -31,6 +35,17 @@ struct SimStats
 
     /** Convert to SchedStats (fills utilizations for @p cfg). */
     sched::SchedStats toSchedStats(const hw::HwConfig &cfg) const;
+
+    /** DRAM row-buffer hit fraction (0 when no rows were touched). */
+    double dramRowHitRate() const;
+
+    /**
+     * Accumulate (+=) these stats into @p reg under dotted paths below
+     * @p prefix ("sim.cycles", "sim.dram.words", ...). Repeated calls sum,
+     * so a multi-segment run's registry holds the workload totals.
+     */
+    void accumulateInto(telemetry::StatsRegistry &reg,
+                        const std::string &prefix = "sim") const;
 
     std::string toString() const;
 };

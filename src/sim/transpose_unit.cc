@@ -1,6 +1,7 @@
 #include "sim/transpose_unit.h"
 
 #include "common/math_util.h"
+#include "telemetry/trace_recorder.h"
 
 namespace crophe::sim {
 
@@ -22,6 +23,12 @@ TransposeUnit::transpose(SimTime ready, u64 words)
     u64 tiles = std::max<u64>(1, ceilDiv(words, capacityWords_));
     (void)tiles;
     return port_.serve(ready, 2.0 * static_cast<double>(words));
+}
+
+void
+TransposeUnit::attachTrace(telemetry::TraceRecorder *rec)
+{
+    port_.attachTrace(rec, rec->track("Transpose unit"), "transpose");
 }
 
 }  // namespace crophe::sim

@@ -22,6 +22,9 @@ class TransposeUnit
     /** Transpose @p words starting at @p ready; returns completion. */
     SimTime transpose(SimTime ready, u64 words);
 
+    /** Record staging-port occupancy spans on a "Transpose unit" track. */
+    void attachTrace(telemetry::TraceRecorder *rec);
+
     double busyCycles() const { return port_.busyCycles(); }
     u64 totalWords() const { return totalWords_; }
     u64 capacityWords() const { return capacityWords_; }

@@ -1,0 +1,52 @@
+#include "telemetry/json_util.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace crophe::telemetry {
+
+void
+jsonString(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\r': os << "\\r"; break;
+        case '\t': os << "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    // %.17g round-trips doubles and is always valid JSON syntax.
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    os << buf;
+}
+
+void
+jsonNumber(std::ostream &os, u64 v)
+{
+    os << v;
+}
+
+}  // namespace crophe::telemetry

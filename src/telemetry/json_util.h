@@ -1,0 +1,29 @@
+#ifndef CROPHE_TELEMETRY_JSON_UTIL_H_
+#define CROPHE_TELEMETRY_JSON_UTIL_H_
+
+/**
+ * @file
+ * Minimal JSON emission helpers shared by the stats registry and the
+ * trace recorder. Output is plain RFC 8259 JSON: strings are escaped,
+ * non-finite numbers degrade to null (JSON has no Inf/NaN).
+ */
+
+#include <ostream>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace crophe::telemetry {
+
+/** Write @p s as a quoted, escaped JSON string literal. */
+void jsonString(std::ostream &os, std::string_view s);
+
+/** Write @p v as a JSON number; non-finite values become null. */
+void jsonNumber(std::ostream &os, double v);
+
+/** Write @p v as a JSON integer. */
+void jsonNumber(std::ostream &os, u64 v);
+
+}  // namespace crophe::telemetry
+
+#endif  // CROPHE_TELEMETRY_JSON_UTIL_H_

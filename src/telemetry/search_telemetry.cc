@@ -1,0 +1,79 @@
+#include "telemetry/search_telemetry.h"
+
+#include "telemetry/json_util.h"
+#include "telemetry/stats_registry.h"
+
+namespace crophe::telemetry {
+
+void
+SearchTelemetry::recordCandidate(const std::string &label, double cost)
+{
+    double best = curve_.empty() ? cost : std::min(best_, cost);
+    curve_.push_back({curve_.size(), label, cost, best});
+    best_ = best;
+}
+
+void
+SearchTelemetry::addEnumeration(u64 analyzed, u64 memo_hits)
+{
+    analyzed_ += analyzed;
+    memoHits_ += memo_hits;
+}
+
+double
+SearchTelemetry::memoHitRate() const
+{
+    u64 lookups = analyzed_ + memoHits_;
+    return lookups ? static_cast<double>(memoHits_) / lookups : 0.0;
+}
+
+void
+SearchTelemetry::registerStats(StatsRegistry &reg,
+                               const std::string &prefix) const
+{
+    reg.counter(prefix + ".search.candidates",
+                "candidate schedules evaluated")
+        .set(candidates());
+    reg.scalar(prefix + ".search.bestCycles",
+               "cheapest candidate schedule cost")
+        .set(best_);
+    Counter &analyzed = reg.counter(
+        prefix + ".enum.analyzed",
+        "unique subgraphs analyzed by the group enumerator");
+    analyzed.set(analyzed_);
+    Counter &hits = reg.counter(
+        prefix + ".enum.memoHits",
+        "group analyses served from the structural-hash memo");
+    hits.set(memoHits_);
+    if (!reg.has(prefix + ".enum.memoHitRate")) {
+        // Captures registry-owned counters, so the formula stays valid for
+        // the registry's whole lifetime.
+        reg.addFormula(prefix + ".enum.memoHitRate",
+                       "memo hits / total candidate-group lookups",
+                       [&analyzed, &hits] {
+                           u64 lookups = analyzed.count() + hits.count();
+                           return lookups ? static_cast<double>(hits.count()) /
+                                                static_cast<double>(lookups)
+                                          : 0.0;
+                       });
+    }
+}
+
+void
+SearchTelemetry::writeCurveJson(std::ostream &os) const
+{
+    os << "[";
+    for (std::size_t i = 0; i < curve_.size(); ++i) {
+        const SearchSample &s = curve_[i];
+        os << (i ? ",\n" : "\n") << "{\"step\":" << s.step << ",\"label\":";
+        jsonString(os, s.label);
+        os << ",\"cost\":";
+        jsonNumber(os, s.cost);
+        os << ",\"bestSoFar\":";
+        jsonNumber(os, s.bestSoFar);
+        os << "}";
+    }
+    os << "\n]";
+}
+
+}  // namespace crophe::telemetry

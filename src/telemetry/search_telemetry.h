@@ -1,0 +1,70 @@
+#ifndef CROPHE_TELEMETRY_SEARCH_TELEMETRY_H_
+#define CROPHE_TELEMETRY_SEARCH_TELEMETRY_H_
+
+/**
+ * @file
+ * Scheduler search observability: every candidate schedule the search
+ * evaluates (base dataflow, NTT-decomposition factors, rotation schemes,
+ * cluster counts) is recorded with its cost, yielding a best-cost-so-far
+ * curve, together with the group enumerator's memoization effectiveness
+ * (unique subgraphs analyzed vs memo hits — the paper's
+ * redundant-subgraph merging).
+ *
+ * Observers are attached via SchedOptions::search; a null pointer keeps
+ * the scheduler free of any telemetry work.
+ */
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace crophe::telemetry {
+
+class StatsRegistry;
+
+/** One evaluated candidate in the schedule search. */
+struct SearchSample
+{
+    u64 step;           ///< 0-based evaluation order
+    std::string label;  ///< e.g. "bootstrap/nttdec n1=64"
+    double cost;        ///< candidate cycles
+    double bestSoFar;   ///< min cost up to and including this step
+};
+
+/** Accumulates scheduler search progress across one or more searches. */
+class SearchTelemetry
+{
+  public:
+    /** Record one evaluated candidate schedule. */
+    void recordCandidate(const std::string &label, double cost);
+
+    /** Fold in one GroupEnumerator's counters after a search. */
+    void addEnumeration(u64 analyzed, u64 memo_hits);
+
+    u64 candidates() const { return curve_.size(); }
+    u64 analyzed() const { return analyzed_; }
+    u64 memoHits() const { return memoHits_; }
+    /** Fraction of candidate-group lookups served from the memo. */
+    double memoHitRate() const;
+    double bestCost() const { return best_; }
+    const std::vector<SearchSample> &curve() const { return curve_; }
+
+    /** Snapshot the counters into @p reg under @p prefix (idempotent). */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix = "sched") const;
+
+    /** Write the best-cost curve as a JSON array of samples. */
+    void writeCurveJson(std::ostream &os) const;
+
+  private:
+    std::vector<SearchSample> curve_;
+    double best_ = 0.0;
+    u64 analyzed_ = 0;
+    u64 memoHits_ = 0;
+};
+
+}  // namespace crophe::telemetry
+
+#endif  // CROPHE_TELEMETRY_SEARCH_TELEMETRY_H_

@@ -1,0 +1,276 @@
+#include "telemetry/stats_registry.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.h"
+#include "telemetry/json_util.h"
+
+namespace crophe::telemetry {
+
+void
+Stat::writeJsonValue(std::ostream &os) const
+{
+    jsonNumber(os, value());
+}
+
+std::string
+Stat::textValue() const
+{
+    std::ostringstream os;
+    os << std::setprecision(12) << value();
+    return os.str();
+}
+
+void
+Counter::writeJsonValue(std::ostream &os) const
+{
+    jsonNumber(os, count_);
+}
+
+std::string
+Counter::textValue() const
+{
+    return std::to_string(count_);
+}
+
+Histogram::Histogram(std::string name, std::string desc, double lo,
+                     double hi, u32 num_bins)
+    : Stat(std::move(name), std::move(desc)), lo_(lo), hi_(hi),
+      width_((hi - lo) / num_bins), bins_(num_bins, 0)
+{
+    CROPHE_ASSERT(num_bins > 0 && hi > lo, "bad histogram spec for ",
+                  this->name());
+}
+
+void
+Histogram::sample(double x, u64 weight)
+{
+    count_ += weight;
+    sum_ += x * static_cast<double>(weight);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    if (x < lo_) {
+        underflow_ += weight;
+    } else if (x >= hi_) {
+        overflow_ += weight;
+    } else {
+        auto bin = static_cast<std::size_t>((x - lo_) / width_);
+        bins_[std::min(bin, bins_.size() - 1)] += weight;
+    }
+}
+
+void
+Histogram::writeJsonValue(std::ostream &os) const
+{
+    os << "{\"count\":" << count_ << ",\"sum\":";
+    jsonNumber(os, sum_);
+    os << ",\"mean\":";
+    jsonNumber(os, mean());
+    os << ",\"min\":";
+    jsonNumber(os, count_ ? min_ : 0.0);
+    os << ",\"max\":";
+    jsonNumber(os, count_ ? max_ : 0.0);
+    os << ",\"lo\":";
+    jsonNumber(os, lo_);
+    os << ",\"hi\":";
+    jsonNumber(os, hi_);
+    os << ",\"underflow\":" << underflow_ << ",\"overflow\":" << overflow_
+       << ",\"bins\":[";
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+        os << (i ? "," : "") << bins_[i];
+    os << "]}";
+}
+
+std::string
+Histogram::textValue() const
+{
+    std::ostringstream os;
+    os << "count=" << count_ << " mean=" << std::setprecision(6) << mean()
+       << " min=" << (count_ ? min_ : 0.0)
+       << " max=" << (count_ ? max_ : 0.0);
+    return os.str();
+}
+
+void
+StatsRegistry::checkPathFree(const std::string &path) const
+{
+    CROPHE_ASSERT(!path.empty(), "empty stat path");
+    CROPHE_ASSERT(stats_.find(path) == stats_.end(), "duplicate stat path ",
+                  path);
+    // Ancestor conflict: some prefix of @p path is already a leaf.
+    for (std::size_t dot = path.find('.'); dot != std::string::npos;
+         dot = path.find('.', dot + 1)) {
+        CROPHE_ASSERT(stats_.find(path.substr(0, dot)) == stats_.end(),
+                      "stat path ", path, " nests under existing leaf ",
+                      path.substr(0, dot));
+    }
+    // Descendant conflict: @p path is an ancestor of an existing leaf.
+    auto it = stats_.lower_bound(path + ".");
+    CROPHE_ASSERT(it == stats_.end() ||
+                      it->first.compare(0, path.size() + 1, path + ".") != 0,
+                  "stat path ", path, " is an ancestor of existing ",
+                  it == stats_.end() ? "" : it->first);
+}
+
+template <typename T>
+T *
+StatsRegistry::findAs(const std::string &path) const
+{
+    auto it = stats_.find(path);
+    if (it == stats_.end())
+        return nullptr;
+    T *stat = dynamic_cast<T *>(it->second.get());
+    CROPHE_ASSERT(stat != nullptr, "stat ", path,
+                  " already registered with a different kind");
+    return stat;
+}
+
+Counter &
+StatsRegistry::addCounter(const std::string &path, const std::string &desc)
+{
+    checkPathFree(path);
+    auto stat = std::make_unique<Counter>(path, desc);
+    Counter &ref = *stat;
+    stats_.emplace(path, std::move(stat));
+    return ref;
+}
+
+Scalar &
+StatsRegistry::addScalar(const std::string &path, const std::string &desc)
+{
+    checkPathFree(path);
+    auto stat = std::make_unique<Scalar>(path, desc);
+    Scalar &ref = *stat;
+    stats_.emplace(path, std::move(stat));
+    return ref;
+}
+
+Histogram &
+StatsRegistry::addHistogram(const std::string &path, const std::string &desc,
+                            double lo, double hi, u32 num_bins)
+{
+    checkPathFree(path);
+    auto stat = std::make_unique<Histogram>(path, desc, lo, hi, num_bins);
+    Histogram &ref = *stat;
+    stats_.emplace(path, std::move(stat));
+    return ref;
+}
+
+Formula &
+StatsRegistry::addFormula(const std::string &path, const std::string &desc,
+                          std::function<double()> fn)
+{
+    checkPathFree(path);
+    auto stat = std::make_unique<Formula>(path, desc, std::move(fn));
+    Formula &ref = *stat;
+    stats_.emplace(path, std::move(stat));
+    return ref;
+}
+
+Counter &
+StatsRegistry::counter(const std::string &path, const std::string &desc)
+{
+    if (Counter *existing = findAs<Counter>(path))
+        return *existing;
+    return addCounter(path, desc);
+}
+
+Scalar &
+StatsRegistry::scalar(const std::string &path, const std::string &desc)
+{
+    if (Scalar *existing = findAs<Scalar>(path))
+        return *existing;
+    return addScalar(path, desc);
+}
+
+Histogram &
+StatsRegistry::histogram(const std::string &path, const std::string &desc,
+                         double lo, double hi, u32 num_bins)
+{
+    if (Histogram *existing = findAs<Histogram>(path))
+        return *existing;
+    return addHistogram(path, desc, lo, hi, num_bins);
+}
+
+const Stat *
+StatsRegistry::find(const std::string &path) const
+{
+    auto it = stats_.find(path);
+    return it == stats_.end() ? nullptr : it->second.get();
+}
+
+double
+StatsRegistry::value(const std::string &path) const
+{
+    const Stat *stat = find(path);
+    CROPHE_ASSERT(stat != nullptr, "unknown stat ", path);
+    return stat->value();
+}
+
+void
+StatsRegistry::dumpText(std::ostream &os) const
+{
+    std::size_t width = 0;
+    for (const auto &[path, stat] : stats_)
+        width = std::max(width, path.size());
+    for (const auto &[path, stat] : stats_) {
+        os << std::left << std::setw(static_cast<int>(width) + 2) << path
+           << std::right << std::setw(16) << stat->textValue();
+        if (!stat->description().empty())
+            os << "  # " << stat->description();
+        os << '\n';
+    }
+}
+
+void
+StatsRegistry::dumpJson(std::ostream &os) const
+{
+    // The map is path-sorted, so every dotted subtree is a contiguous
+    // range: walk it once, opening/closing nested objects as the shared
+    // prefix grows and shrinks.
+    auto segments = [](const std::string &path) {
+        std::vector<std::string> out;
+        std::size_t start = 0;
+        for (std::size_t dot = path.find('.'); dot != std::string::npos;
+             dot = path.find('.', start)) {
+            out.push_back(path.substr(start, dot - start));
+            start = dot + 1;
+        }
+        out.push_back(path.substr(start));
+        return out;
+    };
+
+    os << "{";
+    std::vector<std::string> open;  // currently open group names
+    bool first = true;
+    for (const auto &[path, stat] : stats_) {
+        std::vector<std::string> segs = segments(path);
+        std::size_t keep = 0;
+        while (keep < open.size() && keep + 1 < segs.size() &&
+               open[keep] == segs[keep])
+            ++keep;
+        while (open.size() > keep) {
+            os << "}";
+            open.pop_back();
+            first = false;
+        }
+        for (std::size_t i = keep; i + 1 < segs.size(); ++i) {
+            os << (first ? "" : ",");
+            jsonString(os, segs[i]);
+            os << ":{";
+            open.push_back(segs[i]);
+            first = true;
+        }
+        os << (first ? "" : ",");
+        jsonString(os, segs.back());
+        os << ":";
+        stat->writeJsonValue(os);
+        first = false;
+    }
+    for (std::size_t i = 0; i < open.size(); ++i)
+        os << "}";
+    os << "}";
+}
+
+}  // namespace crophe::telemetry

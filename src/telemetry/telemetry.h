@@ -1,0 +1,34 @@
+#ifndef CROPHE_TELEMETRY_TELEMETRY_H_
+#define CROPHE_TELEMETRY_TELEMETRY_H_
+
+/**
+ * @file
+ * Telemetry session bundle handed to the simulator.
+ *
+ * Both members are optional and null by default: a null trace recorder
+ * means the simulator's hot path does no recording work at all, and a
+ * null registry skips stat accumulation — simulated timing is identical
+ * either way (recording observes server start/finish times, it never
+ * participates in them).
+ */
+
+#include <string>
+
+#include "telemetry/search_telemetry.h"
+#include "telemetry/stats_registry.h"
+#include "telemetry/trace_recorder.h"
+
+namespace crophe::telemetry {
+
+/** Optional observers threaded through one simulation run. */
+struct SimTelemetry
+{
+    TraceRecorder *trace = nullptr;
+    StatsRegistry *registry = nullptr;
+    /** Dotted-path prefix for the simulator's stats. */
+    std::string statsPrefix = "sim";
+};
+
+}  // namespace crophe::telemetry
+
+#endif  // CROPHE_TELEMETRY_TELEMETRY_H_

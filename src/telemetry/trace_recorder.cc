@@ -1,0 +1,141 @@
+#include "telemetry/trace_recorder.h"
+
+#include "common/logging.h"
+#include "telemetry/json_util.h"
+
+namespace crophe::telemetry {
+
+TraceRecorder::TraceRecorder()
+{
+    processes_.push_back({"crophe", {}, {}});
+}
+
+u32
+TraceRecorder::beginProcess(const std::string &name)
+{
+    currentPid_ = static_cast<u32>(processes_.size());
+    processes_.push_back({name, {}, {}});
+    return currentPid_;
+}
+
+u32
+TraceRecorder::track(const std::string &name)
+{
+    Process &proc = processes_[currentPid_];
+    auto [it, inserted] = proc.trackIds.emplace(
+        name, static_cast<u32>(proc.trackNames.size()) + 1);
+    if (inserted)
+        proc.trackNames.push_back(name);
+    return it->second;
+}
+
+void
+TraceRecorder::complete(u32 tid, const std::string &name, double ts,
+                        double dur, Args args)
+{
+    events_.push_back(
+        {'X', currentPid_, tid, name, ts, dur, 0.0, std::move(args)});
+}
+
+void
+TraceRecorder::counter(const std::string &name, double ts, double value)
+{
+    events_.push_back({'C', currentPid_, 0, name, ts, 0.0, value, {}});
+}
+
+void
+TraceRecorder::instant(const std::string &name, double ts)
+{
+    events_.push_back({'i', currentPid_, 0, name, ts, 0.0, 0.0, {}});
+}
+
+std::string
+TraceRecorder::trackName(u32 pid, u32 tid) const
+{
+    if (pid >= processes_.size())
+        return "";
+    const auto &names = processes_[pid].trackNames;
+    if (tid == 0 || tid > names.size())
+        return "";
+    return names[tid - 1];
+}
+
+std::string
+TraceRecorder::processName(u32 pid) const
+{
+    return pid < processes_.size() ? processes_[pid].name : "";
+}
+
+void
+TraceRecorder::writeJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+    };
+
+    // Metadata: process and track names.
+    for (u32 pid = 0; pid < processes_.size(); ++pid) {
+        const Process &proc = processes_[pid];
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":" << pid
+           << ",\"name\":\"process_name\",\"args\":{\"name\":";
+        jsonString(os, proc.name);
+        os << "}}";
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":" << pid
+           << ",\"name\":\"process_sort_index\",\"args\":{\"sort_index\":"
+           << pid << "}}";
+        for (u32 tid = 1; tid <= proc.trackNames.size(); ++tid) {
+            sep();
+            os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+               << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+            jsonString(os, proc.trackNames[tid - 1]);
+            os << "}}";
+        }
+    }
+
+    for (const Event &ev : events_) {
+        sep();
+        os << "{\"ph\":\"" << ev.phase << "\",\"pid\":" << ev.pid
+           << ",\"tid\":" << ev.tid << ",\"name\":";
+        jsonString(os, ev.name);
+        os << ",\"cat\":\"sim\",\"ts\":";
+        jsonNumber(os, ev.ts);
+        switch (ev.phase) {
+        case 'X':
+            os << ",\"dur\":";
+            jsonNumber(os, ev.dur);
+            if (!ev.args.empty()) {
+                os << ",\"args\":{";
+                for (std::size_t i = 0; i < ev.args.size(); ++i) {
+                    if (i)
+                        os << ",";
+                    jsonString(os, ev.args[i].first);
+                    os << ":";
+                    jsonNumber(os, ev.args[i].second);
+                }
+                os << "}";
+            }
+            break;
+        case 'C':
+            os << ",\"args\":{\"value\":";
+            jsonNumber(os, ev.value);
+            os << "}";
+            break;
+        case 'i':
+            os << ",\"s\":\"p\"";
+            break;
+        default:
+            CROPHE_PANIC("unknown trace phase ", ev.phase);
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+}  // namespace crophe::telemetry

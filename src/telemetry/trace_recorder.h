@@ -1,0 +1,99 @@
+#ifndef CROPHE_TELEMETRY_TRACE_RECORDER_H_
+#define CROPHE_TELEMETRY_TRACE_RECORDER_H_
+
+/**
+ * @file
+ * In-memory recorder for Chrome trace-event JSON (loadable in Perfetto /
+ * chrome://tracing).
+ *
+ * The model maps onto the trace format as:
+ *   process (pid)  — one simulated segment / run phase
+ *   track (tid)    — one hardware resource: a PE group, the NoC, the SRAM
+ *                    bank group, the transpose unit, one DRAM channel
+ *   'X' complete   — a busy span on a track (begin + duration)
+ *   'C' counter    — a sampled counter value (cumulative traffic, queue
+ *                    depth)
+ *   'i' instant    — a point event (synchronous group switch)
+ *
+ * Timestamps are simulated accelerator cycles written into the `ts`/`dur`
+ * microsecond fields — the viewer's time unit reads as cycles. Recording
+ * is append-only and never alters simulation state; a null recorder
+ * pointer anywhere in the simulator means zero work.
+ */
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace crophe::telemetry {
+
+/** Chrome-trace recorder; see file comment for the mapping. */
+class TraceRecorder
+{
+  public:
+    /** Optional numeric span/counter arguments (words, chunk index...). */
+    using Args = std::vector<std::pair<std::string, double>>;
+
+    struct Event
+    {
+        char phase;        ///< 'X' complete, 'C' counter, 'i' instant
+        u32 pid;
+        u32 tid;           ///< 0 = the process-wide track
+        std::string name;
+        double ts;
+        double dur = 0.0;   ///< 'X' only
+        double value = 0.0; ///< 'C' only
+        Args args;          ///< 'X' extra arguments
+    };
+
+    TraceRecorder();
+
+    /**
+     * Open a new process scope named @p name (e.g. one workload segment)
+     * and make it current; returns its pid. Tracks are per process.
+     */
+    u32 beginProcess(const std::string &name);
+
+    /** Id of the track named @p name in the current process (created and
+     *  memoized on first use). */
+    u32 track(const std::string &name);
+
+    /** Record a busy span on @p tid. */
+    void complete(u32 tid, const std::string &name, double ts, double dur,
+                  Args args = {});
+
+    /** Record a counter sample on the current process. */
+    void counter(const std::string &name, double ts, double value);
+
+    /** Record an instant event on the current process. */
+    void instant(const std::string &name, double ts);
+
+    const std::vector<Event> &events() const { return events_; }
+    u32 currentPid() const { return currentPid_; }
+    /** Track name lookup for tests/tools (empty when unknown). */
+    std::string trackName(u32 pid, u32 tid) const;
+    std::string processName(u32 pid) const;
+
+    /** Write the full trace as Chrome trace-event JSON. */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    struct Process
+    {
+        std::string name;
+        std::map<std::string, u32> trackIds;
+        std::vector<std::string> trackNames;  ///< index = tid - 1
+    };
+
+    std::vector<Process> processes_;
+    u32 currentPid_ = 0;
+    std::vector<Event> events_;
+};
+
+}  // namespace crophe::telemetry
+
+#endif  // CROPHE_TELEMETRY_TRACE_RECORDER_H_

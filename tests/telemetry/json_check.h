@@ -1,0 +1,207 @@
+#ifndef CROPHE_TESTS_TELEMETRY_JSON_CHECK_H_
+#define CROPHE_TESTS_TELEMETRY_JSON_CHECK_H_
+
+/**
+ * @file
+ * Minimal recursive-descent JSON validator (RFC 8259 syntax only, no value
+ * tree) so the telemetry dump tests can assert well-formedness without an
+ * external JSON dependency.
+ */
+
+#include <cctype>
+#include <string>
+
+namespace crophe::testing {
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : text_(text) {}
+
+    /** True iff the whole input is exactly one valid JSON value. */
+    bool valid()
+    {
+        pos_ = 0;
+        bool ok = value();
+        skipWs();
+        return ok && pos_ == text_.size();
+    }
+
+  private:
+    bool eof() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    void skipWs()
+    {
+        while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                          peek() == '\r'))
+            ++pos_;
+    }
+
+    bool literal(const char *lit)
+    {
+        for (const char *p = lit; *p != '\0'; ++p, ++pos_)
+            if (eof() || peek() != *p)
+                return false;
+        return true;
+    }
+
+    bool string()
+    {
+        if (eof() || peek() != '"')
+            return false;
+        ++pos_;
+        while (!eof() && peek() != '"') {
+            unsigned char c = static_cast<unsigned char>(peek());
+            if (c < 0x20)
+                return false;  // raw control characters are illegal
+            if (c == '\\') {
+                ++pos_;
+                if (eof())
+                    return false;
+                char e = peek();
+                if (e == 'u') {
+                    ++pos_;
+                    for (int i = 0; i < 4; ++i, ++pos_)
+                        if (eof() || std::isxdigit(
+                                         static_cast<unsigned char>(peek())) == 0)
+                            return false;
+                    continue;
+                }
+                if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                    e != 'f' && e != 'n' && e != 'r' && e != 't')
+                    return false;
+            }
+            ++pos_;
+        }
+        if (eof())
+            return false;
+        ++pos_;  // closing quote
+        return true;
+    }
+
+    bool digits()
+    {
+        if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0)
+            return false;
+        while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0)
+            ++pos_;
+        return true;
+    }
+
+    bool number()
+    {
+        if (!eof() && peek() == '-')
+            ++pos_;
+        if (eof())
+            return false;
+        if (peek() == '0')
+            ++pos_;
+        else if (!digits())
+            return false;
+        if (!eof() && peek() == '.') {
+            ++pos_;
+            if (!digits())
+                return false;
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!eof() && (peek() == '+' || peek() == '-'))
+                ++pos_;
+            if (!digits())
+                return false;
+        }
+        return true;
+    }
+
+    bool object()
+    {
+        ++pos_;  // '{'
+        skipWs();
+        if (!eof() && peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (eof() || peek() != ':')
+                return false;
+            ++pos_;
+            if (!value())
+                return false;
+            skipWs();
+            if (eof())
+                return false;
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            if (peek() != ',')
+                return false;
+            ++pos_;
+        }
+    }
+
+    bool array()
+    {
+        ++pos_;  // '['
+        skipWs();
+        if (!eof() && peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            skipWs();
+            if (eof())
+                return false;
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            if (peek() != ',')
+                return false;
+            ++pos_;
+        }
+    }
+
+    bool value()
+    {
+        skipWs();
+        if (eof())
+            return false;
+        switch (peek()) {
+        case '{':
+            return object();
+        case '[':
+            return array();
+        case '"':
+            return string();
+        case 't':
+            return literal("true");
+        case 'f':
+            return literal("false");
+        case 'n':
+            return literal("null");
+        default:
+            return number();
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+inline bool
+isValidJson(const std::string &text)
+{
+    return JsonChecker(text).valid();
+}
+
+}  // namespace crophe::testing
+
+#endif  // CROPHE_TESTS_TELEMETRY_JSON_CHECK_H_

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telemetry/stats_registry.h"
+#include "tests/telemetry/json_check.h"
+
+namespace crophe::telemetry {
+namespace {
+
+TEST(StatsRegistry, RegistersAndLooksUpAllKinds)
+{
+    StatsRegistry reg;
+    Counter &c = reg.addCounter("sim.noc.words", "mesh words");
+    Scalar &s = reg.addScalar("sim.cycles", "cycles");
+    Histogram &h = reg.addHistogram("sim.lat", "latency", 0.0, 10.0, 5);
+    reg.addFormula("sim.rate", "words per cycle",
+                   [&c, &s] { return c.count() / s.value(); });
+
+    c += 120;
+    ++c;
+    s.set(11.0);
+    h.sample(3.0);
+    EXPECT_EQ(reg.size(), 4u);
+    EXPECT_TRUE(reg.has("sim.noc.words"));
+    EXPECT_FALSE(reg.has("sim.noc"));
+    EXPECT_DOUBLE_EQ(reg.value("sim.noc.words"), 121.0);
+    EXPECT_DOUBLE_EQ(reg.value("sim.cycles"), 11.0);
+    EXPECT_DOUBLE_EQ(reg.value("sim.rate"), 11.0);
+    EXPECT_EQ(reg.find("sim.lat")->name(), "sim.lat");
+    EXPECT_EQ(reg.find("missing"), nullptr);
+}
+
+TEST(StatsRegistryDeathTest, DuplicatePathPanics)
+{
+    StatsRegistry reg;
+    reg.addCounter("sim.noc.words", "");
+    EXPECT_DEATH(reg.addCounter("sim.noc.words", ""), "duplicate stat path");
+}
+
+TEST(StatsRegistryDeathTest, AncestorOfExistingPathPanics)
+{
+    StatsRegistry reg;
+    reg.addCounter("sim.noc.words", "");
+    // "sim.noc" would shadow the subtree that already holds a leaf.
+    EXPECT_DEATH(reg.addScalar("sim.noc", ""), "");
+}
+
+TEST(StatsRegistryDeathTest, DescendantOfExistingLeafPanics)
+{
+    StatsRegistry reg;
+    reg.addScalar("sim.cycles", "");
+    EXPECT_DEATH(reg.addCounter("sim.cycles.stall", ""), "");
+}
+
+TEST(StatsRegistryDeathTest, GetOrCreateKindMismatchPanics)
+{
+    StatsRegistry reg;
+    reg.counter("sim.words", "");
+    EXPECT_DEATH(reg.scalar("sim.words", ""), "");
+}
+
+TEST(StatsRegistry, GetOrCreateAccumulatesAcrossCalls)
+{
+    StatsRegistry reg;
+    reg.counter("sim.dram.words") += 10;
+    reg.counter("sim.dram.words") += 32;
+    reg.scalar("sim.cycles") += 1.5;
+    reg.scalar("sim.cycles") += 2.5;
+    reg.histogram("sim.lat", "", 0.0, 8.0, 4).sample(1.0);
+    reg.histogram("sim.lat", "", 0.0, 8.0, 4).sample(5.0);
+    EXPECT_DOUBLE_EQ(reg.value("sim.dram.words"), 42.0);
+    EXPECT_DOUBLE_EQ(reg.value("sim.cycles"), 4.0);
+    EXPECT_EQ(reg.size(), 3u);
+    const auto *h = dynamic_cast<const Histogram *>(reg.find("sim.lat"));
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 2u);
+}
+
+TEST(Histogram, BinsUnderflowOverflowAndMoments)
+{
+    Histogram h("h", "", 0.0, 10.0, 5);  // bins [0,2) [2,4) ... [8,10)
+    h.sample(-1.0);        // underflow
+    h.sample(0.0);         // bin 0
+    h.sample(1.999);       // bin 0
+    h.sample(2.0);         // bin 1
+    h.sample(9.999);       // bin 4
+    h.sample(10.0);        // overflow (hi is exclusive)
+    h.sample(25.0, 3);     // weighted overflow
+
+    ASSERT_EQ(h.bins().size(), 5u);
+    EXPECT_EQ(h.bins()[0], 2u);
+    EXPECT_EQ(h.bins()[1], 1u);
+    EXPECT_EQ(h.bins()[2], 0u);
+    EXPECT_EQ(h.bins()[3], 0u);
+    EXPECT_EQ(h.bins()[4], 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 4u);
+    EXPECT_EQ(h.count(), 9u);
+    EXPECT_DOUBLE_EQ(h.min(), -1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 25.0);
+    EXPECT_DOUBLE_EQ(h.sum(), -1.0 + 0.0 + 1.999 + 2.0 + 9.999 + 10.0 + 75.0);
+    EXPECT_DOUBLE_EQ(h.mean(), h.sum() / 9.0);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binLo(4), 8.0);
+}
+
+TEST(StatsRegistry, DumpJsonIsWellFormedAndNested)
+{
+    StatsRegistry reg;
+    reg.addCounter("sim.dram.words", "off-chip words") += 7;
+    reg.addCounter("sim.dram.rowHits", "row hits") += 3;
+    reg.addScalar("sim.cycles", "simulated \"cycles\"").set(1.5e6);
+    reg.addHistogram("sched.depth", "search depth", 0.0, 16.0, 8)
+        .sample(4.0);
+    reg.addFormula("sched.rate", "hit rate", [] { return 0.25; });
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    std::string json = os.str();
+    EXPECT_TRUE(testing::isValidJson(json)) << json;
+    // Nested objects, not flat dotted keys.
+    EXPECT_NE(json.find("\"sim\""), std::string::npos);
+    EXPECT_NE(json.find("\"dram\""), std::string::npos);
+    EXPECT_EQ(json.find("\"sim.dram.words\""), std::string::npos);
+}
+
+TEST(StatsRegistry, DumpJsonEmptyRegistry)
+{
+    StatsRegistry reg;
+    std::ostringstream os;
+    reg.dumpJson(os);
+    EXPECT_TRUE(testing::isValidJson(os.str())) << os.str();
+}
+
+TEST(StatsRegistry, DumpTextListsEveryPath)
+{
+    StatsRegistry reg;
+    reg.addCounter("b.words", "words moved");
+    reg.addScalar("a.cycles", "cycles").set(2.0);
+    std::ostringstream os;
+    reg.dumpText(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("a.cycles"), std::string::npos);
+    EXPECT_NE(text.find("b.words"), std::string::npos);
+    EXPECT_NE(text.find("words moved"), std::string::npos);
+    // Sorted: a.cycles before b.words.
+    EXPECT_LT(text.find("a.cycles"), text.find("b.words"));
+}
+
+}  // namespace
+}  // namespace crophe::telemetry

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telemetry/trace_recorder.h"
+#include "tests/telemetry/json_check.h"
+
+namespace crophe::telemetry {
+namespace {
+
+TEST(TraceRecorder, TracksAreMemoizedPerProcess)
+{
+    TraceRecorder rec;
+    u32 noc = rec.track("NoC");
+    u32 sram = rec.track("SRAM banks");
+    EXPECT_NE(noc, sram);
+    EXPECT_EQ(rec.track("NoC"), noc);
+    EXPECT_EQ(rec.trackName(rec.currentPid(), noc), "NoC");
+
+    u32 pid0 = rec.currentPid();
+    u32 pid1 = rec.beginProcess("boot-EvalMod");
+    EXPECT_NE(pid0, pid1);
+    EXPECT_EQ(rec.currentPid(), pid1);
+    EXPECT_EQ(rec.processName(pid1), "boot-EvalMod");
+    // A fresh process starts its own track namespace.
+    u32 noc1 = rec.track("NoC");
+    EXPECT_EQ(rec.trackName(pid1, noc1), "NoC");
+    EXPECT_EQ(rec.trackName(pid0, noc), "NoC");
+}
+
+TEST(TraceRecorder, EventsKeepPhaseAndPayload)
+{
+    TraceRecorder rec;
+    u32 t = rec.track("DRAM ch0");
+    rec.complete(t, "burst", 100.0, 25.0, {{"words", 512.0}});
+    rec.counter("dram.words", 125.0, 512.0);
+    rec.instant("group switch", 130.0);
+
+    ASSERT_EQ(rec.events().size(), 3u);
+    const auto &x = rec.events()[0];
+    EXPECT_EQ(x.phase, 'X');
+    EXPECT_EQ(x.tid, t);
+    EXPECT_DOUBLE_EQ(x.ts, 100.0);
+    EXPECT_DOUBLE_EQ(x.dur, 25.0);
+    ASSERT_EQ(x.args.size(), 1u);
+    EXPECT_EQ(x.args[0].first, "words");
+    EXPECT_EQ(rec.events()[1].phase, 'C');
+    EXPECT_DOUBLE_EQ(rec.events()[1].value, 512.0);
+    EXPECT_EQ(rec.events()[2].phase, 'i');
+}
+
+TEST(TraceRecorder, WriteJsonIsWellFormedChromeTrace)
+{
+    TraceRecorder rec;
+    rec.beginProcess("segment \"one\"\n");  // names must be escaped
+    u32 pe = rec.track("PE group 0");
+    rec.complete(pe, "ntt", 0.0, 64.0, {{"chunk", 0.0}});
+    rec.complete(pe, "ntt", 64.0, 64.0, {{"chunk", 1.0}});
+    rec.counter("noc.words", 64.0, 4096.0);
+    rec.instant("group switch", 128.0);
+
+    std::ostringstream os;
+    rec.writeJson(os);
+    std::string json = os.str();
+    EXPECT_TRUE(testing::isValidJson(json)) << json;
+    // Chrome trace envelope plus metadata naming the process and track.
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"PE group 0\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    // The raw newline of the process name must not survive into a string.
+    EXPECT_NE(json.find("\\n"), std::string::npos);
+}
+
+TEST(TraceRecorder, EmptyTraceStillValid)
+{
+    TraceRecorder rec;
+    std::ostringstream os;
+    rec.writeJson(os);
+    EXPECT_TRUE(testing::isValidJson(os.str())) << os.str();
+}
+
+}  // namespace
+}  // namespace crophe::telemetry

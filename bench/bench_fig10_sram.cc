@@ -6,10 +6,13 @@
  */
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "baselines/baseline.h"
 #include "bench/bench_util.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 
 using namespace crophe;
 
@@ -21,21 +24,31 @@ sweep(const char *baseline, const char *crophe, const char *crophe_p,
 {
     const char *workloads[] = {"bootstrap", "helr", "resnet20",
                                "resnet110"};
-    for (const char *w : workloads) {
-        std::printf("%s:\n", w);
-        for (double mb : sizes) {
-            auto base = baselines::runDesign(
-                baselines::withSram(baselines::designByName(baseline), mb),
-                w);
-            auto c = baselines::runDesign(
-                baselines::withSram(baselines::designByName(crophe), mb),
-                w);
-            auto cp = baselines::runDesign(
-                baselines::withSram(baselines::designByName(crophe_p), mb),
-                w);
+    const char *designs[] = {baseline, crophe, crophe_p};
+    // One job per (workload, size, design) cell, fanned out across the
+    // pool; the table is printed afterwards in the original order.
+    const u64 kW = std::size(workloads), kS = sizes.size(), kD = 3;
+    std::vector<std::unique_ptr<sched::WorkloadResult>> results(kW * kS *
+                                                                kD);
+    parallelFor(0, results.size(), [&](u64 i) {
+        const char *w = workloads[i / (kS * kD)];
+        double mb = sizes.begin()[(i / kD) % kS];
+        const char *d = designs[i % kD];
+        results[i] = std::make_unique<sched::WorkloadResult>(
+            baselines::runDesign(
+                baselines::withSram(baselines::designByName(d), mb), w));
+    });
+    for (u64 wi = 0; wi < kW; ++wi) {
+        std::printf("%s:\n", workloads[wi]);
+        for (u64 si = 0; si < kS; ++si) {
+            u64 at = (wi * kS + si) * kD;
+            const auto &base = *results[at];
+            const auto &c = *results[at + 1];
+            const auto &cp = *results[at + 2];
             std::printf("  %6.0f MB: %-10s %9.3e | CROPHE %9.3e "
                         "(%4.2fx) | CROPHE-p %9.3e (%4.2fx)\n",
-                        mb, baseline, base.stats.cycles, c.stats.cycles,
+                        sizes.begin()[si], baseline, base.stats.cycles,
+                        c.stats.cycles,
                         base.stats.cycles / c.stats.cycles,
                         cp.stats.cycles,
                         base.stats.cycles / cp.stats.cycles);
@@ -46,8 +59,9 @@ sweep(const char *baseline, const char *crophe, const char *crophe_p,
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyThreadsFlag(argc, argv);
     setVerbose(false);
     bench::printHeader("Figure 10(a,b): CROPHE-64 vs ARK, shrinking SRAM");
     sweep("ARK+MAD", "CROPHE-64", "CROPHE-p-64", {512.0, 256.0, 128.0,

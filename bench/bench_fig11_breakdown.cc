@@ -122,7 +122,9 @@ int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--trace-out FILE] [--stats-out FILE]\n", argv0);
+                 "usage: %s [--trace-out FILE] [--stats-out FILE]"
+                 " [--threads N]\n",
+                 argv0);
     return 1;
 }
 
@@ -131,6 +133,7 @@ usage(const char *argv0)
 int
 main(int argc, char **argv)
 {
+    bench::applyThreadsFlag(argc, argv);
     std::string trace_out, stats_out;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)

@@ -10,16 +10,20 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <vector>
 
 #include "baselines/baseline.h"
 #include "bench/bench_util.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 
 using namespace crophe;
 
 int
 main(int argc, char **argv)
 {
+    bench::applyThreadsFlag(argc, argv);
     bool simulate = argc > 1 && std::strcmp(argv[1], "--simulate") == 0;
     setVerbose(false);
 
@@ -29,15 +33,21 @@ main(int argc, char **argv)
         bench::printHeader(group[0].cfg.wordBits == 64
                                ? "Figure 9 (64-bit group)"
                                : "Figure 9 (36-bit group)");
-        for (const char *w : workloads) {
-            std::printf("%s:\n", w);
-            double base = 0.0;
-            for (const auto &d : group) {
-                auto r = baselines::runDesign(d, w, simulate);
-                if (base == 0.0)
-                    base = r.stats.cycles;
-                bench::printResultRow(r, base);
-            }
+        // Fan the workload x design matrix out across the pool; rows are
+        // printed afterwards in the original order, so stdout is
+        // byte-identical to the serial harness.
+        const u64 kW = std::size(workloads), kD = group.size();
+        std::vector<std::unique_ptr<sched::WorkloadResult>> results(kW * kD);
+        parallelFor(0, kW * kD, [&](u64 i) {
+            results[i] = std::make_unique<sched::WorkloadResult>(
+                baselines::runDesign(group[i % kD], workloads[i / kD],
+                                     simulate));
+        });
+        for (u64 wi = 0; wi < kW; ++wi) {
+            std::printf("%s:\n", workloads[wi]);
+            double base = results[wi * kD]->stats.cycles;
+            for (u64 di = 0; di < kD; ++di)
+                bench::printResultRow(*results[wi * kD + di], base);
         }
     }
     return 0;

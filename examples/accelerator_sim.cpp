@@ -14,6 +14,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -21,6 +22,7 @@
 
 #include "baselines/baseline.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "graph/workloads.h"
 #include "sched/scheduler.h"
 #include "sim/simulator.h"
@@ -34,7 +36,9 @@ int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--trace-out FILE] [--stats-out FILE]\n", argv0);
+                 "usage: %s [--trace-out FILE] [--stats-out FILE]"
+                 " [--threads N]\n",
+                 argv0);
     return 1;
 }
 
@@ -49,6 +53,10 @@ main(int argc, char **argv)
             trace_out = argv[++i];
         else if (std::strcmp(argv[i], "--stats-out") == 0 && i + 1 < argc)
             stats_out = argv[++i];
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            // Size the process-wide pool; results are identical for any N.
+            ThreadPool::setGlobalThreads(static_cast<u32>(
+                std::strtoul(argv[++i], nullptr, 10)));
         else
             return usage(argv[0]);
     }

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "common/parallel.h"
 
 namespace crophe::fhe {
 
@@ -67,17 +68,18 @@ applyAutomorphism(const RnsPoly &in, u64 galois)
 {
     RnsPoly out(in.context(), in.basis(), in.rep());
     if (in.rep() == Rep::Coeff) {
-        for (u32 i = 0; i < in.limbCount(); ++i)
+        parallelFor(0, in.limbCount(), [&](u64 i) {
             applyAutomorphismCoeff(in.limb(i), out.limb(i), galois,
                                    in.mod(i));
+        });
     } else {
         auto table = evalAutomorphismTable(galois, in.n());
-        for (u32 i = 0; i < in.limbCount(); ++i) {
+        parallelFor(0, in.limbCount(), [&](u64 i) {
             const auto &src = in.limb(i);
             auto &dst = out.limb(i);
             for (u64 k = 0; k < in.n(); ++k)
                 dst[k] = src[table[k]];
-        }
+        });
     }
     return out;
 }

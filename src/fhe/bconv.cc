@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace crophe::fhe {
 
@@ -60,33 +61,40 @@ BaseConverter::convert(const RnsPoly &in) const
 
     RnsPoly out(*ctx_, to_, Rep::Coeff);
 
-    // Scratch: xhat_i = x_i * (M/m_i)^{-1} mod m_i, and the float quotient
-    // v = round(sum_i xhat_i / m_i).
-    std::vector<u64> xhat(m);
-    for (u64 c = 0; c < n; ++c) {
-        double v_est = 0.0;
-        for (u32 i = 0; i < m; ++i) {
-            const Modulus &mi = ctx_->mod(from_[i]);
-            xhat[i] = mi.mul(in.limb(i)[c], mhatInv_[i]);
-            v_est += static_cast<double>(xhat[i]) * invM_[i];
-        }
-        // v_est = u + x/M with x/M in [0,1); the overshoot count u is its
-        // floor (rounding would off-by-one whenever x > M/2).
-        u64 v = static_cast<u64>(v_est);
-        for (u32 j = 0; j < t; ++j) {
-            const Modulus &tj = ctx_->mod(to_[j]);
-            u128 acc = 0;
+    // Coefficients are independent, so chunk the coefficient axis; each
+    // chunk keeps its own xhat scratch so nothing is shared between
+    // chunks. Per-coefficient arithmetic is exact (integer mod-q plus a
+    // float quotient computed in a fixed order within the coefficient),
+    // so the result is bit-identical for any chunking.
+    parallelForRange(0, n, [&](u64 c0, u64 c1) {
+        // Scratch: xhat_i = x_i * (M/m_i)^{-1} mod m_i, and the float
+        // quotient v = floor(sum_i xhat_i / m_i).
+        std::vector<u64> xhat(m);
+        for (u64 c = c0; c < c1; ++c) {
+            double v_est = 0.0;
             for (u32 i = 0; i < m; ++i) {
-                acc += static_cast<u128>(xhat[i]) * mhatModT_[j][i];
-                // Keep the accumulator bounded (m can be ~60 limbs).
-                if ((i & 7) == 7)
-                    acc = tj.reduce(acc);
+                const Modulus &mi = ctx_->mod(from_[i]);
+                xhat[i] = mi.mul(in.limb(i)[c], mhatInv_[i]);
+                v_est += static_cast<double>(xhat[i]) * invM_[i];
             }
-            u64 s = tj.reduce(acc);
-            u64 corr = tj.mul(tj.reduce64(v), mModT_[j]);
-            out.limb(j)[c] = tj.sub(s, corr);
+            // v_est = u + x/M with x/M in [0,1); the overshoot count u is
+            // its floor (rounding would off-by-one whenever x > M/2).
+            u64 v = static_cast<u64>(v_est);
+            for (u32 j = 0; j < t; ++j) {
+                const Modulus &tj = ctx_->mod(to_[j]);
+                u128 acc = 0;
+                for (u32 i = 0; i < m; ++i) {
+                    acc += static_cast<u128>(xhat[i]) * mhatModT_[j][i];
+                    // Keep the accumulator bounded (m can be ~60 limbs).
+                    if ((i & 7) == 7)
+                        acc = tj.reduce(acc);
+                }
+                u64 s = tj.reduce(acc);
+                u64 corr = tj.mul(tj.reduce64(v), mModT_[j]);
+                out.limb(j)[c] = tj.sub(s, corr);
+            }
         }
-    }
+    });
     return out;
 }
 
@@ -147,7 +155,7 @@ modDown(const FheContext &ctx, const RnsPoly &in, u32 level)
     (void)p_mod_small;
 
     RnsPoly out(ctx, q_basis, Rep::Coeff);
-    for (u32 i = 0; i < q_basis.size(); ++i) {
+    parallelFor(0, q_basis.size(), [&](u64 i) {
         const Modulus &qi = ctx.mod(q_basis[i]);
         u64 p_inv = qi.inv(ctx.bigP().modSmall(qi.value()));
         const auto &top = in.limb(i);
@@ -155,7 +163,7 @@ modDown(const FheContext &ctx, const RnsPoly &in, u32 level)
         auto &dst = out.limb(i);
         for (u64 c = 0; c < in.n(); ++c)
             dst[c] = qi.mul(qi.sub(top[c], low[c]), p_inv);
-    }
+    });
     return out;
 }
 
@@ -171,7 +179,7 @@ rescalePoly(const FheContext &ctx, const RnsPoly &in, u32 level)
 
     RnsPoly out(ctx, out_basis, Rep::Coeff);
     const auto &last = in.limb(level);
-    for (u32 i = 0; i < out_basis.size(); ++i) {
+    parallelFor(0, out_basis.size(), [&](u64 i) {
         const Modulus &qi = ctx.mod(out_basis[i]);
         u64 ql_inv = qi.inv(qi.reduce64(ql.value()));
         const auto &src = in.limb(i);
@@ -183,7 +191,7 @@ rescalePoly(const FheContext &ctx, const RnsPoly &in, u32 level)
             u64 r_mod = qi.reduce64(r);
             dst[c] = qi.mul(qi.sub(src[c], r_mod), ql_inv);
         }
-    }
+    });
     return out;
 }
 

@@ -1,8 +1,10 @@
 #include "fhe/ckks.h"
 
 #include <cmath>
+#include <memory>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "fhe/automorphism.h"
 
 namespace crophe::fhe {
@@ -16,10 +18,13 @@ sampleSigned(const FheContext &ctx, const std::vector<u32> &basis, Rng &rng,
 {
     RnsPoly poly(ctx, basis, Rep::Coeff);
     const u64 n = ctx.n();
+    // Draw coefficients serially (the RNG stream order must not depend on
+    // thread count); the per-limb reductions of the fixed draw are
+    // independent and run in parallel.
     std::vector<i64> coeffs(n);
     for (u64 i = 0; i < n; ++i)
         coeffs[i] = ternary ? rng.nextTernary() : rng.nextNoise();
-    for (u32 l = 0; l < poly.limbCount(); ++l) {
+    parallelFor(0, poly.limbCount(), [&](u64 l) {
         const Modulus &m = poly.mod(l);
         for (u64 i = 0; i < n; ++i) {
             i64 c = coeffs[i];
@@ -27,7 +32,7 @@ sampleSigned(const FheContext &ctx, const std::vector<u32> &basis, Rng &rng,
                 c >= 0 ? m.reduce64(static_cast<u64>(c))
                        : m.neg(m.reduce64(static_cast<u64>(-c)));
         }
-    }
+    });
     return poly;
 }
 
@@ -178,15 +183,25 @@ Evaluator::keySwitch(const RnsPoly &d, u32 level, const KswKey &key) const
 
     const u32 beta = ctx_->digitCount(level);
     CROPHE_ASSERT(beta <= key.digitCount(), "key has too few digits");
-    for (u32 j = 0; j < beta; ++j) {
-        RnsPoly up = modUpDigit(*ctx_, d_coeff, j, level);  // Coeff, qp
+    // Digits are independent up to the final accumulation: compute the
+    // per-digit partial products in parallel, then merge them on this
+    // thread in digit order. Modular adds are exact, so the index-order
+    // merge is bit-identical to the sequential loop.
+    std::vector<std::unique_ptr<std::pair<RnsPoly, RnsPoly>>> parts(beta);
+    parallelFor(0, beta, [&](u64 j) {
+        RnsPoly up = modUpDigit(*ctx_, d_coeff, static_cast<u32>(j),
+                                level);  // Coeff, qp
         up.toEval();
         RnsPoly kb = key.b[j].restrictedTo(qp);
         RnsPoly ka = key.a[j].restrictedTo(qp);
         kb.mulEwInplace(up);
         ka.mulEwInplace(up);
-        acc_b.addInplace(kb);
-        acc_a.addInplace(ka);
+        parts[j] = std::make_unique<std::pair<RnsPoly, RnsPoly>>(
+            std::move(kb), std::move(ka));
+    });
+    for (u32 j = 0; j < beta; ++j) {
+        acc_b.addInplace(parts[j]->first);
+        acc_a.addInplace(parts[j]->second);
     }
 
     acc_b.toCoeff();

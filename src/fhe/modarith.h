@@ -111,6 +111,10 @@ class ShoupMul
           wShoup_(static_cast<u64>((static_cast<u128>(w) << 64) /
                                    mod.value()))
     {
+        // The precomputed quotient floor(w * 2^64 / q) only fits — and
+        // mulMod's single correction step only suffices — when w < q.
+        CROPHE_ASSERT(w < mod.value(), "Shoup operand ", w,
+                      " must be reduced mod ", mod.value());
     }
 
     u64 operand() const { return w_; }

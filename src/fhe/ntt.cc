@@ -119,7 +119,8 @@ polyMulNaive(const std::vector<u64> &a, const std::vector<u64> &b,
 
 namespace {
 
-/** In-place decimation-in-time cyclic FFT; input must be bit-reversed. */
+/** In-place decimation-in-time cyclic FFT, natural order in and out (the
+ *  bit-reverse permutation is applied internally). */
 void
 cyclicNttCore(u64 *a, u64 n, const Modulus &mod, u64 omega)
 {

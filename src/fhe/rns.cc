@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "common/parallel.h"
 #include "fhe/primes.h"
 
 namespace crophe::fhe {
@@ -99,13 +100,14 @@ RnsPoly::addInplace(const RnsPoly &other)
 {
     CROPHE_ASSERT(basis_ == other.basis_ && rep_ == other.rep_,
                   "basis/representation mismatch in add");
-    for (u32 i = 0; i < limbCount(); ++i) {
+    // Limbs are independent: one chunk per limb, disjoint writes.
+    parallelFor(0, limbCount(), [&](u64 i) {
         const Modulus &m = mod(i);
         const auto &src = other.limbs_[i];
         auto &dst = limbs_[i];
         for (u64 j = 0; j < n(); ++j)
             dst[j] = m.add(dst[j], src[j]);
-    }
+    });
 }
 
 void
@@ -113,23 +115,23 @@ RnsPoly::subInplace(const RnsPoly &other)
 {
     CROPHE_ASSERT(basis_ == other.basis_ && rep_ == other.rep_,
                   "basis/representation mismatch in sub");
-    for (u32 i = 0; i < limbCount(); ++i) {
+    parallelFor(0, limbCount(), [&](u64 i) {
         const Modulus &m = mod(i);
         const auto &src = other.limbs_[i];
         auto &dst = limbs_[i];
         for (u64 j = 0; j < n(); ++j)
             dst[j] = m.sub(dst[j], src[j]);
-    }
+    });
 }
 
 void
 RnsPoly::negateInplace()
 {
-    for (u32 i = 0; i < limbCount(); ++i) {
+    parallelFor(0, limbCount(), [&](u64 i) {
         const Modulus &m = mod(i);
         for (auto &x : limbs_[i])
             x = m.neg(x);
-    }
+    });
 }
 
 void
@@ -138,13 +140,13 @@ RnsPoly::mulEwInplace(const RnsPoly &other)
     CROPHE_ASSERT(basis_ == other.basis_, "basis mismatch in mul");
     CROPHE_ASSERT(rep_ == Rep::Eval && other.rep_ == Rep::Eval,
                   "element-wise multiply requires Eval representation");
-    for (u32 i = 0; i < limbCount(); ++i) {
+    parallelFor(0, limbCount(), [&](u64 i) {
         const Modulus &m = mod(i);
         const auto &src = other.limbs_[i];
         auto &dst = limbs_[i];
         for (u64 j = 0; j < n(); ++j)
             dst[j] = m.mul(dst[j], src[j]);
-    }
+    });
 }
 
 void
@@ -152,31 +154,31 @@ RnsPoly::mulScalarInplace(const std::vector<u64> &scalar_per_limb)
 {
     CROPHE_ASSERT(scalar_per_limb.size() == limbCount(),
                   "scalar vector size mismatch");
-    for (u32 i = 0; i < limbCount(); ++i) {
+    parallelFor(0, limbCount(), [&](u64 i) {
         const Modulus &m = mod(i);
         u64 s = scalar_per_limb[i];
         for (auto &x : limbs_[i])
             x = m.mul(x, s);
-    }
+    });
 }
 
 void
 RnsPoly::mulConstInplace(u64 c)
 {
-    for (u32 i = 0; i < limbCount(); ++i) {
+    parallelFor(0, limbCount(), [&](u64 i) {
         const Modulus &m = mod(i);
         u64 s = m.reduce64(c);
         for (auto &x : limbs_[i])
             x = m.mul(x, s);
-    }
+    });
 }
 
 void
 RnsPoly::toEval()
 {
     CROPHE_ASSERT(rep_ == Rep::Coeff, "already in Eval representation");
-    for (u32 i = 0; i < limbCount(); ++i)
-        ctx_->ntt(basis_[i]).forward(limbs_[i]);
+    parallelFor(0, limbCount(),
+                [&](u64 i) { ctx_->ntt(basis_[i]).forward(limbs_[i]); });
     rep_ = Rep::Eval;
 }
 
@@ -184,8 +186,8 @@ void
 RnsPoly::toCoeff()
 {
     CROPHE_ASSERT(rep_ == Rep::Eval, "already in Coeff representation");
-    for (u32 i = 0; i < limbCount(); ++i)
-        ctx_->ntt(basis_[i]).inverse(limbs_[i]);
+    parallelFor(0, limbCount(),
+                [&](u64 i) { ctx_->ntt(basis_[i]).inverse(limbs_[i]); });
     rep_ = Rep::Coeff;
 }
 
@@ -242,6 +244,8 @@ RnsPoly::reconstructCoeff(u64 coeff_idx) const
 void
 RnsPoly::uniformRandom(crophe::Rng &rng)
 {
+    // Intentionally serial: the RNG stream order is part of the
+    // determinism contract, so sampling must not depend on thread count.
     for (u32 i = 0; i < limbCount(); ++i) {
         u64 q = mod(i).value();
         for (auto &x : limbs_[i])

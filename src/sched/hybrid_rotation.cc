@@ -1,7 +1,9 @@
 #include "sched/hybrid_rotation.h"
 
 #include <limits>
+#include <memory>
 
+#include "common/parallel.h"
 #include "sched/scheduler.h"
 #include "telemetry/search_telemetry.h"
 
@@ -24,32 +26,50 @@ chooseRotationScheme(const std::string &workload,
     RotationChoice best;
     best.result.stats.cycles = std::numeric_limits<double>::infinity();
 
-    auto consider = [&](graph::RotMode mode, u32 r_hyb) {
-        graph::WorkloadOptions wopt;
-        wopt.rotMode = mode;
-        wopt.rHyb = r_hyb;
-        graph::Workload w = graph::buildWorkload(workload, params, wopt);
-        WorkloadResult res = scheduleWorkload(w, cfg, opt);
-        if (opt.search != nullptr) {
-            std::string label = mode == graph::RotMode::MinKs ? "rot=minks"
-                                : mode == graph::RotMode::Hoisting
-                                    ? "rot=hoisting"
-                                    : "rot=hybrid r=" + std::to_string(r_hyb);
-            opt.search->recordCandidate(workload + "/" + label,
-                                       res.stats.cycles);
-        }
-        if (res.stats.cycles < best.result.stats.cycles) {
-            best.mode = mode;
-            best.rHyb = r_hyb;
-            best.result = std::move(res);
-        }
+    // Min-KS / Hoisting / hybrid-r candidates are independent searches
+    // (each scheduleWorkload builds its own graphs and enumerator memos).
+    // Evaluate them in parallel into per-candidate slots, then record
+    // telemetry and reduce on this thread in candidate order — the
+    // sequential sweep's first-wins tie-breaking, bit for bit.
+    struct Candidate
+    {
+        graph::RotMode mode;
+        u32 rHyb;
     };
-
-    consider(graph::RotMode::MinKs, 0);
-    consider(graph::RotMode::Hoisting, 0);
+    std::vector<Candidate> cands;
+    cands.push_back({graph::RotMode::MinKs, 0});
+    cands.push_back({graph::RotMode::Hoisting, 0});
     if (allow_hybrid)
         for (u32 r : rHybCandidates())
-            consider(graph::RotMode::Hybrid, r);
+            cands.push_back({graph::RotMode::Hybrid, r});
+
+    std::vector<std::unique_ptr<WorkloadResult>> results(cands.size());
+    parallelFor(0, cands.size(), [&](u64 i) {
+        graph::WorkloadOptions wopt;
+        wopt.rotMode = cands[i].mode;
+        wopt.rHyb = cands[i].rHyb;
+        graph::Workload w = graph::buildWorkload(workload, params, wopt);
+        results[i] =
+            std::make_unique<WorkloadResult>(scheduleWorkload(w, cfg, opt));
+    });
+
+    for (u64 i = 0; i < cands.size(); ++i) {
+        WorkloadResult &res = *results[i];
+        if (opt.search != nullptr) {
+            std::string label =
+                cands[i].mode == graph::RotMode::MinKs ? "rot=minks"
+                : cands[i].mode == graph::RotMode::Hoisting
+                    ? "rot=hoisting"
+                    : "rot=hybrid r=" + std::to_string(cands[i].rHyb);
+            opt.search->recordCandidate(workload + "/" + label,
+                                        res.stats.cycles);
+        }
+        if (res.stats.cycles < best.result.stats.cycles) {
+            best.mode = cands[i].mode;
+            best.rHyb = cands[i].rHyb;
+            best.result = std::move(res);
+        }
+    }
     return best;
 }
 

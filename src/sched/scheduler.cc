@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <set>
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "common/parallel.h"
 #include "sched/enumerator.h"
 #include "sched/ntt_decomp.h"
 #include "telemetry/search_telemetry.h"
@@ -387,14 +389,24 @@ scheduleGraph(const Graph &g, const hw::HwConfig &cfg,
     if (n == 0)
         return best;
 
-    for (u64 n1 : nttDecompositionOptions(n, cfg.lanes)) {
-        Graph rewritten = rewriteNttDecomposition(g, n1);
-        Schedule cand = scheduleOneGraph(rewritten, cfg, opt);
+    // Each candidate schedules against its own GroupEnumerator memo, so
+    // the sweep is independent work; telemetry and the best-pick reduction
+    // run on this thread in option order, keeping the chosen schedule (and
+    // tie-breaks) identical to the sequential sweep.
+    auto options = nttDecompositionOptions(n, cfg.lanes);
+    std::vector<std::unique_ptr<Schedule>> cands(options.size());
+    parallelFor(0, options.size(), [&](u64 i) {
+        Graph rewritten = rewriteNttDecomposition(g, options[i]);
+        cands[i] = std::make_unique<Schedule>(
+            scheduleOneGraph(rewritten, cfg, opt));
+    });
+    for (u64 i = 0; i < options.size(); ++i) {
         if (opt.search != nullptr)
-            opt.search->recordCandidate("nttdec n1=" + std::to_string(n1),
-                                        cand.stats.cycles);
-        if (cand.stats.cycles < best.stats.cycles)
-            best = std::move(cand);
+            opt.search->recordCandidate(
+                "nttdec n1=" + std::to_string(options[i]),
+                cands[i]->stats.cycles);
+        if (cands[i]->stats.cycles < best.stats.cycles)
+            best = std::move(*cands[i]);
     }
     return best;
 }
@@ -414,10 +426,12 @@ scheduleWorkload(const graph::Workload &w, const hw::HwConfig &cfg,
         cluster_cfg.dramGBs = cfg.dramGBs / opt.clusters;
     }
 
-    std::vector<Schedule> schedules;
-    schedules.reserve(w.segments.size());
-    for (const auto &seg : w.segments)
-        schedules.push_back(scheduleGraph(seg.graph, cluster_cfg, opt));
+    // Segments are independent graphs; schedule them concurrently into
+    // per-segment slots (disjoint writes, index-order aggregation below).
+    std::vector<Schedule> schedules(w.segments.size());
+    parallelFor(0, w.segments.size(), [&](u64 i) {
+        schedules[i] = scheduleGraph(w.segments[i].graph, cluster_cfg, opt);
+    });
 
     return aggregateWorkload(w, cfg, schedules, opt.clusters,
                              opt.shareAuxAcrossClusters);
@@ -429,16 +443,25 @@ scheduleWorkloadAutoClusters(const graph::Workload &w,
 {
     WorkloadResult best;
     best.stats.cycles = std::numeric_limits<double>::infinity();
-    for (u32 k : {1u, 2u, 4u}) {
-        if (cfg.numPes / k == 0)
-            continue;
-        opt.clusters = k;
-        WorkloadResult res = scheduleWorkload(w, cfg, opt);
+    std::vector<u32> ks;
+    for (u32 k : {1u, 2u, 4u})
+        if (cfg.numPes / k != 0)
+            ks.push_back(k);
+    // Cluster counts are independent design points: evaluate in parallel,
+    // then record and reduce in candidate order for determinism.
+    std::vector<std::unique_ptr<WorkloadResult>> results(ks.size());
+    parallelFor(0, ks.size(), [&](u64 i) {
+        SchedOptions o = opt;
+        o.clusters = ks[i];
+        results[i] =
+            std::make_unique<WorkloadResult>(scheduleWorkload(w, cfg, o));
+    });
+    for (u64 i = 0; i < ks.size(); ++i) {
         if (opt.search != nullptr)
-            opt.search->recordCandidate("clusters=" + std::to_string(k),
-                                        res.stats.cycles);
-        if (res.stats.cycles < best.stats.cycles)
-            best = std::move(res);
+            opt.search->recordCandidate("clusters=" + std::to_string(ks[i]),
+                                        results[i]->stats.cycles);
+        if (results[i]->stats.cycles < best.stats.cycles)
+            best = std::move(*results[i]);
     }
     return best;
 }

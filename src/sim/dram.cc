@@ -2,16 +2,36 @@
 
 #include <string>
 
+#include "common/logging.h"
 #include "common/math_util.h"
 #include "telemetry/trace_recorder.h"
 
 namespace crophe::sim {
 
+namespace {
+
+/** Words per cycle for the shared channel server; degenerate configs
+ *  (zero bandwidth, frequency, or word size) would otherwise divide by
+ *  zero and hand Server a rate of 0 or inf. */
+double
+dramWordsPerCycle(const hw::HwConfig &cfg)
+{
+    CROPHE_ASSERT(cfg.dramGBs > 0.0, "dramGBs must be positive, got ",
+                  cfg.dramGBs);
+    CROPHE_ASSERT(cfg.freqGhz > 0.0, "freqGhz must be positive, got ",
+                  cfg.freqGhz);
+    CROPHE_ASSERT(cfg.wordBytes() > 0, "wordBits must be at least 8, got ",
+                  cfg.wordBits);
+    return cfg.dramGBs / (cfg.wordBytes() * cfg.freqGhz);
+}
+
+}  // namespace
+
 DramModel::DramModel(const hw::HwConfig &cfg)
-    : wordsPerCycle_(cfg.dramGBs / (cfg.wordBytes() * cfg.freqGhz)),
+    : wordsPerCycle_(dramWordsPerCycle(cfg)),
       rowMissPenalty_(40.0),
       rowWords_(static_cast<u64>(2048.0 / cfg.wordBytes())),
-      channel_(cfg.dramGBs / (cfg.wordBytes() * cfg.freqGhz))
+      channel_(wordsPerCycle_)
 {
     for (auto &s : lastStream_)
         s = ~0u;
@@ -26,19 +46,17 @@ DramModel::access(SimTime ready, u64 words, u32 stream_id)
 
     // A requester switch on its pseudo-channel closes the open rows;
     // within a stream, accesses are sequential and hit open rows except
-    // at row boundaries.
+    // at row boundaries. Crossing into a fresh row is always an
+    // activation: a continuing stream re-opens rows - 1 times (its first
+    // row is still open), a switching stream rows times, and every
+    // activation pays the row-miss penalty up front.
     u32 ch = stream_id % kChannels;
     u64 rows = std::max<u64>(1, ceilDiv(words, rowWords_));
-    double latency;
     bool row_hit = stream_id == lastStream_[ch];
-    if (!row_hit) {
-        latency = rowMissPenalty_;
-        ++rowMisses_;
-        rowHits_ += rows - 1;
-    } else {
-        latency = 0.0;
-        rowHits_ += rows;
-    }
+    u64 misses = row_hit ? rows - 1 : rows;
+    rowMisses_ += misses;
+    rowHits_ += rows - misses;
+    double latency = static_cast<double>(misses) * rowMissPenalty_;
     lastStream_[ch] = stream_id;
     SimTime done = channel_.serve(ready, static_cast<double>(words), latency);
     if (trace_ != nullptr)

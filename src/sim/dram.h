@@ -36,6 +36,9 @@ class DramModel
     u64 totalWords() const { return totalWords_; }
     u64 rowHits() const { return rowHits_; }
     u64 rowMisses() const { return rowMisses_; }
+    u64 rowWords() const { return rowWords_; }
+    double rowMissPenalty() const { return rowMissPenalty_; }
+    double wordsPerCycle() const { return wordsPerCycle_; }
 
   private:
     /** HBM pseudo-channels: concurrent streams retain row locality as

@@ -11,6 +11,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/types.h"
 
 namespace crophe::telemetry {
@@ -77,7 +78,13 @@ class EventQueue
 class Server
 {
   public:
-    explicit Server(double rate_per_cycle = 1.0) : rate_(rate_per_cycle) {}
+    /** @param rate_per_cycle units served per cycle; must be positive —
+     *  a zero rate would silently model infinite bandwidth. */
+    explicit Server(double rate_per_cycle = 1.0) : rate_(rate_per_cycle)
+    {
+        if (!(rate_ > 0.0))
+            CROPHE_PANIC("Server rate must be positive, got ", rate_);
+    }
 
     /**
      * Serve @p amount units arriving at @p ready (plus @p fixed_latency);
@@ -86,7 +93,7 @@ class Server
     SimTime
     serve(SimTime ready, double amount, double fixed_latency = 0.0)
     {
-        double duration = rate_ > 0 ? amount / rate_ : 0.0;
+        double duration = amount / rate_;
         SimTime start = std::max(ready + fixed_latency, freeAt_);
         freeAt_ = start + duration;
         busy_ += duration;

@@ -1,12 +1,25 @@
 #include "sim/noc.h"
 
+#include "common/logging.h"
 #include "telemetry/trace_recorder.h"
 
 namespace crophe::sim {
 
+namespace {
+
+double
+nocCapacity(const hw::HwConfig &cfg)
+{
+    CROPHE_ASSERT(cfg.numPes > 0 && cfg.lanes > 0,
+                  "NoC needs positive numPes and lanes, got ", cfg.numPes,
+                  " PEs x ", cfg.lanes, " lanes");
+    return static_cast<double>(cfg.numPes) * cfg.lanes / 4.0;
+}
+
+}  // namespace
+
 NocModel::NocModel(const hw::HwConfig &cfg)
-    : capacity_(static_cast<double>(cfg.numPes) * cfg.lanes / 4.0),
-      links_(capacity_)
+    : capacity_(nocCapacity(cfg)), links_(capacity_)
 {
 }
 

@@ -1,12 +1,28 @@
 #include "sim/sram.h"
 
+#include "common/logging.h"
 #include "telemetry/trace_recorder.h"
 
 namespace crophe::sim {
 
+namespace {
+
+double
+sramWordsPerCycle(const hw::HwConfig &cfg)
+{
+    CROPHE_ASSERT(cfg.sramGBs > 0.0, "sramGBs must be positive, got ",
+                  cfg.sramGBs);
+    CROPHE_ASSERT(cfg.freqGhz > 0.0, "freqGhz must be positive, got ",
+                  cfg.freqGhz);
+    CROPHE_ASSERT(cfg.wordBytes() > 0, "wordBits must be at least 8, got ",
+                  cfg.wordBits);
+    return cfg.sramGBs / (cfg.wordBytes() * cfg.freqGhz);
+}
+
+}  // namespace
+
 SramModel::SramModel(const hw::HwConfig &cfg)
-    : banks_(kBankEfficiency * cfg.sramGBs /
-             (cfg.wordBytes() * cfg.freqGhz)),
+    : banks_(kBankEfficiency * sramWordsPerCycle(cfg)),
       capacityWords_(cfg.sramWords())
 {
 }

@@ -6,7 +6,8 @@
 namespace crophe::sim {
 
 TransposeUnit::TransposeUnit(const hw::HwConfig &cfg)
-    : port_(static_cast<double>(cfg.lanes)),  // lane-wide read+write ports
+    // Lane-wide read+write ports; Server panics on lanes == 0.
+    : port_(static_cast<double>(cfg.lanes)),
       capacityWords_(static_cast<u64>(cfg.transposeMB * 1024.0 * 1024.0 /
                                       cfg.wordBytes()))
 {

@@ -1,5 +1,8 @@
 #include "telemetry/search_telemetry.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "telemetry/json_util.h"
 #include "telemetry/stats_registry.h"
 
@@ -8,23 +11,80 @@ namespace crophe::telemetry {
 void
 SearchTelemetry::recordCandidate(const std::string &label, double cost)
 {
-    double best = curve_.empty() ? cost : std::min(best_, cost);
-    curve_.push_back({curve_.size(), label, cost, best});
-    best_ = best;
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.emplace_back(label, cost);
 }
 
 void
 SearchTelemetry::addEnumeration(u64 analyzed, u64 memo_hits)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     analyzed_ += analyzed;
     memoHits_ += memo_hits;
+}
+
+u64
+SearchTelemetry::candidates() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_.size();
+}
+
+u64
+SearchTelemetry::analyzed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return analyzed_;
+}
+
+u64
+SearchTelemetry::memoHits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return memoHits_;
 }
 
 double
 SearchTelemetry::memoHitRate() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     u64 lookups = analyzed_ + memoHits_;
     return lookups ? static_cast<double>(memoHits_) / lookups : 0.0;
+}
+
+double
+SearchTelemetry::bestCost() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    double best = 0.0;
+    bool first = true;
+    for (const auto &[label, cost] : samples_) {
+        best = first ? cost : std::min(best, cost);
+        first = false;
+    }
+    return best;
+}
+
+std::vector<SearchSample>
+SearchTelemetry::curve() const
+{
+    // Parallel sweeps record in nondeterministic order; the canonical
+    // curve sorts by (label, cost) and recomputes step / best-so-far over
+    // that order, so it depends only on the set of samples.
+    std::vector<std::pair<std::string, double>> samples;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        samples = samples_;
+    }
+    std::stable_sort(samples.begin(), samples.end());
+    std::vector<SearchSample> out;
+    out.reserve(samples.size());
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        best = std::min(best, samples[i].second);
+        out.push_back({i, samples[i].first, samples[i].second, best});
+    }
+    return out;
 }
 
 void
@@ -36,25 +96,27 @@ SearchTelemetry::registerStats(StatsRegistry &reg,
         .set(candidates());
     reg.scalar(prefix + ".search.bestCycles",
                "cheapest candidate schedule cost")
-        .set(best_);
-    Counter &analyzed = reg.counter(
+        .set(bestCost());
+    Counter &analyzed_ctr = reg.counter(
         prefix + ".enum.analyzed",
         "unique subgraphs analyzed by the group enumerator");
-    analyzed.set(analyzed_);
+    analyzed_ctr.set(analyzed());
     Counter &hits = reg.counter(
         prefix + ".enum.memoHits",
         "group analyses served from the structural-hash memo");
-    hits.set(memoHits_);
+    hits.set(memoHits());
     if (!reg.has(prefix + ".enum.memoHitRate")) {
         // Captures registry-owned counters, so the formula stays valid for
         // the registry's whole lifetime.
         reg.addFormula(prefix + ".enum.memoHitRate",
                        "memo hits / total candidate-group lookups",
-                       [&analyzed, &hits] {
-                           u64 lookups = analyzed.count() + hits.count();
-                           return lookups ? static_cast<double>(hits.count()) /
-                                                static_cast<double>(lookups)
-                                          : 0.0;
+                       [&analyzed_ctr, &hits] {
+                           u64 lookups =
+                               analyzed_ctr.count() + hits.count();
+                           return lookups
+                                      ? static_cast<double>(hits.count()) /
+                                            static_cast<double>(lookups)
+                                      : 0.0;
                        });
     }
 }
@@ -62,9 +124,10 @@ SearchTelemetry::registerStats(StatsRegistry &reg,
 void
 SearchTelemetry::writeCurveJson(std::ostream &os) const
 {
+    auto canonical = curve();
     os << "[";
-    for (std::size_t i = 0; i < curve_.size(); ++i) {
-        const SearchSample &s = curve_[i];
+    for (std::size_t i = 0; i < canonical.size(); ++i) {
+        const SearchSample &s = canonical[i];
         os << (i ? ",\n" : "\n") << "{\"step\":" << s.step << ",\"label\":";
         jsonString(os, s.label);
         os << ",\"cost\":";

@@ -14,8 +14,10 @@
  * the scheduler free of any telemetry work.
  */
 
+#include <mutex>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -33,7 +35,16 @@ struct SearchSample
     double bestSoFar;   ///< min cost up to and including this step
 };
 
-/** Accumulates scheduler search progress across one or more searches. */
+/**
+ * Accumulates scheduler search progress across one or more searches.
+ *
+ * Thread-safe: the scheduler evaluates candidate sweeps in parallel, so
+ * recordCandidate/addEnumeration may race. Samples are stored raw and
+ * every read (curve(), writeCurveJson(), registerStats()) presents the
+ * canonical view — samples sorted by (label, cost) with step and
+ * best-so-far recomputed — so the dump is byte-identical for any thread
+ * count and arrival order.
+ */
 class SearchTelemetry
 {
   public:
@@ -43,13 +54,14 @@ class SearchTelemetry
     /** Fold in one GroupEnumerator's counters after a search. */
     void addEnumeration(u64 analyzed, u64 memo_hits);
 
-    u64 candidates() const { return curve_.size(); }
-    u64 analyzed() const { return analyzed_; }
-    u64 memoHits() const { return memoHits_; }
+    u64 candidates() const;
+    u64 analyzed() const;
+    u64 memoHits() const;
     /** Fraction of candidate-group lookups served from the memo. */
     double memoHitRate() const;
-    double bestCost() const { return best_; }
-    const std::vector<SearchSample> &curve() const { return curve_; }
+    double bestCost() const;
+    /** Canonical (label-sorted) best-cost curve; see class comment. */
+    std::vector<SearchSample> curve() const;
 
     /** Snapshot the counters into @p reg under @p prefix (idempotent). */
     void registerStats(StatsRegistry &reg,
@@ -59,8 +71,8 @@ class SearchTelemetry
     void writeCurveJson(std::ostream &os) const;
 
   private:
-    std::vector<SearchSample> curve_;
-    double best_ = 0.0;
+    mutable std::mutex mu_;
+    std::vector<std::pair<std::string, double>> samples_;  ///< raw order
     u64 analyzed_ = 0;
     u64 memoHits_ = 0;
 };

@@ -59,5 +59,13 @@ TEST(Server, FixedLatencyDelaysStart)
     EXPECT_DOUBLE_EQ(s.serve(0.0, 1.0, 40.0), 41.0);
 }
 
+TEST(Server, NonPositiveRatePanicsAtConstruction)
+{
+    // A zero rate used to silently serve with duration 0 — infinite
+    // bandwidth. Degenerate rates must die loudly at construction.
+    EXPECT_DEATH(Server s(0.0), "rate must be positive");
+    EXPECT_DEATH(Server s(-1.0), "rate must be positive");
+}
+
 }  // namespace
 }  // namespace crophe::sim

@@ -8,13 +8,44 @@
 namespace crophe::sim {
 namespace {
 
-TEST(Dram, StreamingHitsRows)
+// Regression for the row-accounting fix: every fresh row a burst touches
+// is an activation (charged rowMissPenalty); only the already-open row of
+// a continuing stream hits. Previously boundary crossings were counted as
+// hits with zero latency.
+TEST(Dram, RowBoundaryCrossingsAreMisses)
 {
     DramModel dram(hw::configCrophe64());
-    dram.access(0.0, 1 << 20, /*stream=*/1);
-    dram.access(0.0, 1 << 20, /*stream=*/1);
-    EXPECT_EQ(dram.rowMisses(), 1u);  // only the first access misses
-    EXPECT_GT(dram.rowHits(), 1000u);
+    const u64 row = dram.rowWords();
+    const double penalty = dram.rowMissPenalty();
+    const double rate = dram.wordsPerCycle();
+
+    // Cold 4-row burst: all 4 rows are activations.
+    SimTime t1 = dram.access(0.0, 4 * row, /*stream=*/1);
+    EXPECT_EQ(dram.rowMisses(), 4u);
+    EXPECT_EQ(dram.rowHits(), 0u);
+    EXPECT_DOUBLE_EQ(t1, 4.0 * penalty + 4.0 * static_cast<double>(row) /
+                                             rate);
+
+    // Continuing 2-row burst on the same stream: the open row hits, the
+    // crossed boundary still activates.
+    SimTime t2 = dram.access(t1, 2 * row, /*stream=*/1);
+    EXPECT_EQ(dram.rowMisses(), 5u);
+    EXPECT_EQ(dram.rowHits(), 1u);
+    EXPECT_DOUBLE_EQ(t2, t1 + penalty + 2.0 * static_cast<double>(row) /
+                                            rate);
+
+    // Stream switch on the same pseudo-channel closes the rows: a 1-row
+    // burst misses again.
+    SimTime t3 = dram.access(t2, row, /*stream=*/17);  // 17 % 16 == 1
+    EXPECT_EQ(dram.rowMisses(), 6u);
+    EXPECT_EQ(dram.rowHits(), 1u);
+    EXPECT_DOUBLE_EQ(t3, t2 + penalty + static_cast<double>(row) / rate);
+
+    // Sub-row continuation: stays inside the open row, zero activation.
+    SimTime t4 = dram.access(t3, row / 2, /*stream=*/17);
+    EXPECT_EQ(dram.rowMisses(), 6u);
+    EXPECT_EQ(dram.rowHits(), 2u);
+    EXPECT_DOUBLE_EQ(t4, t3 + static_cast<double>(row / 2) / rate);
 }
 
 TEST(Dram, StreamSwitchesCostActivations)
@@ -37,8 +68,11 @@ TEST(Dram, BandwidthBoundsThroughput)
     SimTime t = dram.access(0.0, words, 0);
     double min_cycles = static_cast<double>(words) * cfg.wordBytes() *
                         cfg.freqGhz / cfg.dramGBs;
+    // Streaming transfer time = activation latency for every row touched
+    // plus the bandwidth-limited transfer itself.
+    double rows = static_cast<double>(words / dram.rowWords());
     EXPECT_GE(t, min_cycles);
-    EXPECT_LT(t, min_cycles * 1.1);
+    EXPECT_DOUBLE_EQ(t, rows * dram.rowMissPenalty() + min_cycles);
 }
 
 TEST(Sram, CapacityAndTraffic)

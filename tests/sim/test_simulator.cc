@@ -113,8 +113,9 @@ TEST(Simulator, DramRowBehaviourIsTracked)
     auto sched = sched::scheduleGraph(g, cfg, cropheOptions());
     SimStats sim = simulateSchedule(sched, cfg);
     EXPECT_GT(sim.dramRowHits + sim.dramRowMisses, 0u);
-    // Streaming chunked accesses mostly hit.
-    EXPECT_GT(sim.dramRowHits, sim.dramRowMisses);
+    // Every fresh row in a burst activates; only the open row of a
+    // continuing stream hits, so misses dominate for multi-row bursts.
+    EXPECT_GT(sim.dramRowMisses, sim.dramRowHits);
 }
 
 }  // namespace

@@ -3,16 +3,23 @@
  * Reproduces Figure 10: CROPHE's speedup over the best baseline as the
  * global SRAM capacity shrinks — CROPHE-64 vs ARK (512→64 MB) and
  * CROPHE-36 vs SHARP (180→45 MB), on all four workloads.
+ *
+ * With --plan-cache DIR (or $CROPHE_PLAN_CACHE) schedule searches are
+ * served from / persisted to the content-addressed plan cache
+ * (DESIGN.md §8); reruns print byte-identical tables either way.
  */
 
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "baselines/baseline.h"
 #include "bench/bench_util.h"
+#include "common/cli.h"
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "plan/plan_cache.h"
 
 using namespace crophe;
 
@@ -20,7 +27,8 @@ namespace {
 
 void
 sweep(const char *baseline, const char *crophe, const char *crophe_p,
-      std::initializer_list<double> sizes)
+      std::initializer_list<double> sizes,
+      const baselines::RunOptions &run)
 {
     const char *workloads[] = {"bootstrap", "helr", "resnet20",
                                "resnet110"};
@@ -36,7 +44,8 @@ sweep(const char *baseline, const char *crophe, const char *crophe_p,
         const char *d = designs[i % kD];
         results[i] = std::make_unique<sched::WorkloadResult>(
             baselines::runDesign(
-                baselines::withSram(baselines::designByName(d), mb), w));
+                baselines::withSram(baselines::designByName(d), mb), w,
+                run));
     });
     for (u64 wi = 0; wi < kW; ++wi) {
         std::printf("%s:\n", workloads[wi]);
@@ -61,12 +70,25 @@ sweep(const char *baseline, const char *crophe, const char *crophe_p,
 int
 main(int argc, char **argv)
 {
-    bench::applyThreadsFlag(argc, argv);
+    std::string plan_dir = plan::PlanCache::dirFromEnv();
+    cli::FlagParser flags("Figure 10: speedup under shrinking SRAM.");
+    flags.addString("--plan-cache", &plan_dir,
+                    "schedule-cache directory (default $CROPHE_PLAN_CACHE)");
+    flags.addThreadsFlag();
+    if (!flags.parse(argc, argv))
+        return 1;
     setVerbose(false);
+
+    std::unique_ptr<plan::PlanCache> cache;
+    if (!plan_dir.empty())
+        cache = std::make_unique<plan::PlanCache>(plan_dir);
+    baselines::RunOptions run;
+    run.planCache = cache.get();
+
     bench::printHeader("Figure 10(a,b): CROPHE-64 vs ARK, shrinking SRAM");
     sweep("ARK+MAD", "CROPHE-64", "CROPHE-p-64", {512.0, 256.0, 128.0,
-                                                  64.0});
+                                                  64.0}, run);
     bench::printHeader("Figure 10(c,d): CROPHE-36 vs SHARP, shrinking SRAM");
-    sweep("SHARP+MAD", "CROPHE-36", "CROPHE-p-36", {180.0, 90.0, 45.0});
+    sweep("SHARP+MAD", "CROPHE-36", "CROPHE-p-36", {180.0, 90.0, 45.0}, run);
     return 0;
 }

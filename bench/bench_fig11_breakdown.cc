@@ -11,18 +11,22 @@
  * simulated sim.* totals of the winning configuration are dumped as JSON,
  * so the figure can be regenerated straight from telemetry. With
  * --trace-out FILE the winning configuration's cycle-level simulation is
- * recorded as Perfetto-loadable Chrome trace JSON.
+ * recorded as Perfetto-loadable Chrome trace JSON. With --plan-cache DIR
+ * (or $CROPHE_PLAN_CACHE) schedule searches go through the
+ * content-addressed plan cache (DESIGN.md §8).
  */
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "baselines/baseline.h"
 #include "bench/bench_util.h"
+#include "common/cli.h"
 #include "common/logging.h"
 #include "graph/workloads.h"
+#include "plan/plan_cache.h"
 #include "sched/hybrid_rotation.h"
 #include "sched/mad.h"
 #include "sched/scheduler.h"
@@ -51,7 +55,7 @@ recordBars(telemetry::StatsRegistry *reg, const std::string &group,
 void
 breakdown(const char *baseline_name, const char *crophe_name,
           double sram_mb, telemetry::SimTelemetry *telem,
-          telemetry::SearchTelemetry *search)
+          telemetry::SearchTelemetry *search, plan::PlanCache *cache)
 {
     auto baseline = baselines::withSram(
         baselines::designByName(baseline_name), sram_mb);
@@ -74,7 +78,10 @@ breakdown(const char *baseline_name, const char *crophe_name,
     };
 
     // Baseline accelerator with MAD.
-    auto base = baselines::runDesign(baseline, "bootstrap");
+    baselines::RunOptions brun;
+    brun.planCache = cache;
+    brun.search = search;
+    auto base = baselines::runDesign(baseline, "bootstrap", brun);
     report("baseline", base, base.stats.cycles);
 
     // MAD on the CROPHE homogeneous hardware (Min-KS rotations, per VII-D).
@@ -89,6 +96,7 @@ breakdown(const char *baseline_name, const char *crophe_name,
 
     sched::SchedOptions opt;  // cross-operator dataflow on
     opt.search = search;
+    opt.planCache = cache;
     sched::RotationChoice best_choice;
     auto run_mode = [&](const char *label, bool nttdec, bool hybrot) {
         opt.nttDecomp = nttdec;
@@ -118,31 +126,28 @@ breakdown(const char *baseline_name, const char *crophe_name,
     }
 }
 
-int
-usage(const char *argv0)
-{
-    std::fprintf(stderr,
-                 "usage: %s [--trace-out FILE] [--stats-out FILE]"
-                 " [--threads N]\n",
-                 argv0);
-    return 1;
-}
-
 }  // namespace
 
 int
 main(int argc, char **argv)
 {
-    bench::applyThreadsFlag(argc, argv);
     std::string trace_out, stats_out;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
-            trace_out = argv[++i];
-        else if (std::strcmp(argv[i], "--stats-out") == 0 && i + 1 < argc)
-            stats_out = argv[++i];
-        else
-            return usage(argv[0]);
-    }
+    std::string plan_dir = plan::PlanCache::dirFromEnv();
+    cli::FlagParser flags(
+        "Figure 11: technique breakdown on bootstrapping.");
+    flags.addString("--trace-out", &trace_out,
+                    "write the winning config's Chrome trace JSON to FILE");
+    flags.addString("--stats-out", &stats_out,
+                    "dump the telemetry registry as JSON to FILE");
+    flags.addString("--plan-cache", &plan_dir,
+                    "schedule-cache directory (default $CROPHE_PLAN_CACHE)");
+    flags.addThreadsFlag();
+    if (!flags.parse(argc, argv))
+        return 1;
+
+    std::unique_ptr<plan::PlanCache> cache;
+    if (!plan_dir.empty())
+        cache = std::make_unique<plan::PlanCache>(plan_dir);
 
     telemetry::TraceRecorder recorder;
     telemetry::StatsRegistry registry;
@@ -158,14 +163,16 @@ main(int argc, char **argv)
     bench::printHeader("Figure 11: technique breakdown, bootstrapping");
     breakdown("ARK+MAD", "CROPHE-64", 64.0,
               telemetry_on ? &telem : nullptr,
-              telemetry_on ? &search : nullptr);
+              telemetry_on ? &search : nullptr, cache.get());
     std::printf("\n");
     breakdown("SHARP+MAD", "CROPHE-36", 45.0,
               telemetry_on ? &telem : nullptr,
-              telemetry_on ? &search : nullptr);
+              telemetry_on ? &search : nullptr, cache.get());
 
     if (!stats_out.empty()) {
         search.registerStats(registry);
+        if (cache != nullptr)
+            cache->registerStats(registry);
         std::ofstream os(stats_out);
         if (!os) {
             std::fprintf(stderr, "cannot write %s\n", stats_out.c_str());

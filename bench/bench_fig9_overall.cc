@@ -5,27 +5,58 @@
  * CROPHE-p) for the 64-bit and 36-bit groups.
  *
  * Pass "--simulate" to drive the cycle-level simulator instead of the
- * analytical cost model (slower; same shapes).
+ * analytical cost model (slower; same shapes). With --plan-cache DIR
+ * (or $CROPHE_PLAN_CACHE) schedule searches are served from / persisted
+ * to a content-addressed plan cache: a warm rerun prints byte-identical
+ * tables while skipping the search work (DESIGN.md §8). With
+ * --stats-out FILE the telemetry registry — sched.search.*, sched.enum.*
+ * and plan.cache.* — is dumped as JSON, which is how the CI cold/warm
+ * job asserts that the second run actually hit the cache.
  */
 
 #include <cstdio>
-#include <cstring>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "baselines/baseline.h"
 #include "bench/bench_util.h"
+#include "common/cli.h"
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "plan/plan_cache.h"
+#include "telemetry/telemetry.h"
 
 using namespace crophe;
 
 int
 main(int argc, char **argv)
 {
-    bench::applyThreadsFlag(argc, argv);
-    bool simulate = argc > 1 && std::strcmp(argv[1], "--simulate") == 0;
+    bool simulate = false;
+    std::string plan_dir = plan::PlanCache::dirFromEnv();
+    std::string stats_out;
+    cli::FlagParser flags("Figure 9: overall performance comparison.");
+    flags.addBool("--simulate", &simulate,
+                  "cycle-level simulation instead of the cost model");
+    flags.addString("--plan-cache", &plan_dir,
+                    "schedule-cache directory (default $CROPHE_PLAN_CACHE)");
+    flags.addString("--stats-out", &stats_out,
+                    "dump the telemetry registry as JSON to FILE");
+    flags.addThreadsFlag();
+    if (!flags.parse(argc, argv))
+        return 1;
     setVerbose(false);
+
+    std::unique_ptr<plan::PlanCache> cache;
+    if (!plan_dir.empty())
+        cache = std::make_unique<plan::PlanCache>(plan_dir);
+    telemetry::SearchTelemetry search;
+    baselines::RunOptions run;
+    run.simulate = simulate;
+    run.planCache = cache.get();
+    if (!stats_out.empty())
+        run.search = &search;
 
     const char *workloads[] = {"bootstrap", "helr", "resnet20",
                                "resnet110"};
@@ -41,7 +72,7 @@ main(int argc, char **argv)
         parallelFor(0, kW * kD, [&](u64 i) {
             results[i] = std::make_unique<sched::WorkloadResult>(
                 baselines::runDesign(group[i % kD], workloads[i / kD],
-                                     simulate));
+                                     run));
         });
         for (u64 wi = 0; wi < kW; ++wi) {
             std::printf("%s:\n", workloads[wi]);
@@ -49,6 +80,22 @@ main(int argc, char **argv)
             for (u64 di = 0; di < kD; ++di)
                 bench::printResultRow(*results[wi * kD + di], base);
         }
+    }
+
+    // The table above must stay byte-identical across cold and warm cache
+    // runs, so the telemetry goes to a file, never to stdout.
+    if (!stats_out.empty()) {
+        telemetry::StatsRegistry registry;
+        search.registerStats(registry, "sched");
+        if (cache != nullptr)
+            cache->registerStats(registry);
+        std::ofstream os(stats_out);
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n", stats_out.c_str());
+            return 1;
+        }
+        registry.dumpJson(os);
+        os << "\n";
     }
     return 0;
 }

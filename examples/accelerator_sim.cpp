@@ -10,56 +10,48 @@
  * the transpose unit and each busy DRAM channel. With --stats-out FILE
  * the telemetry registry (sim.* totals matching SimStats, sched.search.*
  * and sched.enum.* from the scheduler) is dumped as nested JSON; the
- * text form goes to stdout.
+ * text form goes to stdout. With --plan-cache DIR (or
+ * $CROPHE_PLAN_CACHE) schedule searches go through the content-addressed
+ * plan cache (DESIGN.md §8).
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "baselines/baseline.h"
+#include "common/cli.h"
 #include "common/logging.h"
-#include "common/parallel.h"
 #include "graph/workloads.h"
+#include "plan/plan_cache.h"
 #include "sched/scheduler.h"
 #include "sim/simulator.h"
 #include "telemetry/telemetry.h"
 
 using namespace crophe;
 
-namespace {
-
-int
-usage(const char *argv0)
-{
-    std::fprintf(stderr,
-                 "usage: %s [--trace-out FILE] [--stats-out FILE]"
-                 " [--threads N]\n",
-                 argv0);
-    return 1;
-}
-
-}  // namespace
-
 int
 main(int argc, char **argv)
 {
     std::string trace_out, stats_out;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
-            trace_out = argv[++i];
-        else if (std::strcmp(argv[i], "--stats-out") == 0 && i + 1 < argc)
-            stats_out = argv[++i];
-        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
-            // Size the process-wide pool; results are identical for any N.
-            ThreadPool::setGlobalThreads(static_cast<u32>(
-                std::strtoul(argv[++i], nullptr, 10)));
-        else
-            return usage(argv[0]);
-    }
+    std::string plan_dir = plan::PlanCache::dirFromEnv();
+    cli::FlagParser flags(
+        "Cycle-level simulation of ResNet-20 on CROPHE-36.");
+    flags.addString("--trace-out", &trace_out,
+                    "write per-segment Chrome trace JSON to FILE");
+    flags.addString("--stats-out", &stats_out,
+                    "dump the telemetry registry as JSON to FILE");
+    flags.addString("--plan-cache", &plan_dir,
+                    "schedule-cache directory (default $CROPHE_PLAN_CACHE)");
+    flags.addThreadsFlag();
+    if (!flags.parse(argc, argv))
+        return 1;
+
+    std::unique_ptr<plan::PlanCache> cache;
+    if (!plan_dir.empty())
+        cache = std::make_unique<plan::PlanCache>(plan_dir);
 
     setVerbose(false);
     auto design = baselines::designByName("CROPHE-36");
@@ -83,6 +75,7 @@ main(int argc, char **argv)
     wopt.rHyb = 4;
     auto w = graph::buildResNet20(design.params, wopt);
     sched::SchedOptions opt;
+    opt.planCache = cache.get();
     if (telemetry_on)
         opt.search = &search;
     std::printf("\n%-16s %6s %12s %12s %10s\n", "segment", "reps",
@@ -102,8 +95,12 @@ main(int argc, char **argv)
     }
 
     // End-to-end, with the rotation-scheme search.
-    auto result = baselines::runDesign(design, "resnet20",
-                                       /*simulate=*/true);
+    baselines::RunOptions run;
+    run.simulate = true;
+    run.planCache = cache.get();
+    if (telemetry_on)
+        run.search = &search;
+    auto result = baselines::runDesign(design, "resnet20", run);
     std::printf("\nend-to-end (simulated): %.3e cycles = %.3f ms\n",
                 result.stats.cycles, result.seconds * 1e3);
     std::printf("utilization: PE %.1f%%  NoC %.1f%%  SRAM b/w %.1f%%  "
@@ -114,6 +111,8 @@ main(int argc, char **argv)
 
     if (!stats_out.empty()) {
         search.registerStats(registry);
+        if (cache != nullptr)
+            cache->registerStats(registry);
         std::ofstream os(stats_out);
         if (!os) {
             std::fprintf(stderr, "cannot write %s\n", stats_out.c_str());

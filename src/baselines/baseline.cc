@@ -1,10 +1,14 @@
 #include "baselines/baseline.h"
 
+#include <chrono>
+
 #include "common/logging.h"
+#include "sched/enumerator.h"
 #include "sched/hybrid_rotation.h"
 #include "sched/mad.h"
 #include "sched/scheduler.h"
 #include "sim/simulator.h"
+#include "telemetry/search_telemetry.h"
 
 namespace crophe::baselines {
 
@@ -55,17 +59,22 @@ designByName(const std::string &name)
     CROPHE_FATAL("unknown design: ", name);
 }
 
+namespace {
+
 sched::WorkloadResult
-runDesign(const DesignSpec &design, const std::string &workload,
-          bool simulate)
+runDesignImpl(const DesignSpec &design, const std::string &workload,
+              const RunOptions &run, sched::GroupMemo &memo)
 {
     if (design.mad) {
         graph::Workload w = graph::buildWorkload(
             workload, design.params, sched::madWorkloadOptions());
         sched::SchedOptions opt = sched::madOptions();
+        opt.memo = &memo;
+        opt.planCache = run.planCache;
+        opt.search = run.search;
         sched::WorkloadResult res =
-            simulate ? sim::simulateWorkload(w, design.cfg, opt)
-                     : sched::scheduleWorkload(w, design.cfg, opt);
+            run.simulate ? sim::simulateWorkload(w, design.cfg, opt)
+                         : sched::scheduleWorkload(w, design.cfg, opt);
         res.design = design.name;
         return res;
     }
@@ -73,6 +82,9 @@ runDesign(const DesignSpec &design, const std::string &workload,
     sched::SchedOptions opt;
     opt.crossOpDataflow = true;
     opt.nttDecomp = design.nttDecomp;
+    opt.memo = &memo;
+    opt.planCache = run.planCache;
+    opt.search = run.search;
 
     // Rotation scheme search happens at graph level (Section V-D).
     auto choice = sched::chooseRotationScheme(
@@ -87,7 +99,7 @@ runDesign(const DesignSpec &design, const std::string &workload,
     if (design.dataParallel) {
         // Pick the best cluster count, then (optionally) simulate it.
         auto best = sched::scheduleWorkloadAutoClusters(w, design.cfg, opt);
-        if (simulate) {
+        if (run.simulate) {
             opt.clusters = best.clusters;
             res = sim::simulateWorkload(w, design.cfg, opt);
         } else {
@@ -95,11 +107,39 @@ runDesign(const DesignSpec &design, const std::string &workload,
         }
     } else {
         opt.clusters = 1;
-        res = simulate ? sim::simulateWorkload(w, design.cfg, opt)
-                       : sched::scheduleWorkload(w, design.cfg, opt);
+        res = run.simulate ? sim::simulateWorkload(w, design.cfg, opt)
+                           : sched::scheduleWorkload(w, design.cfg, opt);
     }
     res.design = design.name;
     return res;
+}
+
+}  // namespace
+
+sched::WorkloadResult
+runDesign(const DesignSpec &design, const std::string &workload,
+          const RunOptions &run)
+{
+    // One memo spans the rotation/cluster sweeps and the final schedule:
+    // a design's candidate graphs are riddled with repeated subgraphs.
+    sched::GroupMemo memo;
+    auto start = std::chrono::steady_clock::now();
+    sched::WorkloadResult res = runDesignImpl(design, workload, run, memo);
+    if (run.search != nullptr) {
+        std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        run.search->addSearchSeconds(elapsed.count());
+    }
+    return res;
+}
+
+sched::WorkloadResult
+runDesign(const DesignSpec &design, const std::string &workload,
+          bool simulate)
+{
+    RunOptions run;
+    run.simulate = simulate;
+    return runDesign(design, workload, run);
 }
 
 DesignSpec

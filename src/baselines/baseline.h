@@ -17,6 +17,14 @@
 #include "hw/config.h"
 #include "sched/cost_model.h"
 
+namespace crophe::plan {
+class PlanCache;
+}  // namespace crophe::plan
+
+namespace crophe::telemetry {
+class SearchTelemetry;
+}  // namespace crophe::telemetry
+
 namespace crophe::baselines {
 
 /** One evaluated design point. */
@@ -40,11 +48,28 @@ std::vector<DesignSpec> designs36();
 /** Build the specific design by name (see designs64/designs36). */
 DesignSpec designByName(const std::string &name);
 
+/** Harness-level knobs for runDesign. */
+struct RunOptions
+{
+    /** Cycle-level simulation of every unique segment (slower). */
+    bool simulate = false;
+    /** Optional content-addressed schedule cache (DESIGN.md §8). */
+    plan::PlanCache *planCache = nullptr;
+    /** Optional search observer; also accrues scheduling wall-clock. */
+    telemetry::SearchTelemetry *search = nullptr;
+};
+
 /**
  * Run @p workload on @p design end-to-end: graph generation (with the
- * design's rotation scheme), scheduling, and — when @p simulate is set —
- * cycle-level simulation of every unique segment.
+ * design's rotation scheme), scheduling, and — when run.simulate is set —
+ * cycle-level simulation of every unique segment. All schedule searches
+ * of the run share one group-analysis memo.
  */
+sched::WorkloadResult runDesign(const DesignSpec &design,
+                                const std::string &workload,
+                                const RunOptions &run);
+
+/** Convenience overload keeping the original positional-bool call. */
 sched::WorkloadResult runDesign(const DesignSpec &design,
                                 const std::string &workload,
                                 bool simulate = false);

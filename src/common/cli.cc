@@ -1,0 +1,119 @@
+#include "common/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+
+namespace crophe::cli {
+
+FlagParser::FlagParser(std::string summary) : summary_(std::move(summary)) {}
+
+void
+FlagParser::addString(const std::string &name, std::string *out,
+                      const std::string &help)
+{
+    CROPHE_ASSERT(out != nullptr, "flag destination required");
+    flags_.push_back({name, Kind::String, out, help});
+}
+
+void
+FlagParser::addUint(const std::string &name, u32 *out,
+                    const std::string &help)
+{
+    CROPHE_ASSERT(out != nullptr, "flag destination required");
+    flags_.push_back({name, Kind::Uint, out, help});
+}
+
+void
+FlagParser::addBool(const std::string &name, bool *out,
+                    const std::string &help)
+{
+    CROPHE_ASSERT(out != nullptr, "flag destination required");
+    flags_.push_back({name, Kind::Bool, out, help});
+}
+
+void
+FlagParser::addThreadsFlag()
+{
+    wantThreads_ = true;
+    addUint("--threads", &threads_,
+            "size the process-wide thread pool (0 = hardware)");
+}
+
+bool
+FlagParser::fail(const char *argv0, const std::string &message) const
+{
+    std::cerr << argv0 << ": " << message << "\n";
+    printUsage(argv0, std::cerr);
+    return false;
+}
+
+bool
+FlagParser::parse(int argc, char **argv)
+{
+    threads_ = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const Flag *flag = nullptr;
+        for (const auto &f : flags_)
+            if (f.name == arg)
+                flag = &f;
+        if (flag == nullptr)
+            return fail(argv[0], "unknown flag: " + arg);
+
+        if (flag->kind == Kind::Bool) {
+            *static_cast<bool *>(flag->out) = true;
+            continue;
+        }
+        if (i + 1 >= argc)
+            return fail(argv[0], arg + " requires a value");
+        const std::string value = argv[++i];
+        if (flag->kind == Kind::String) {
+            *static_cast<std::string *>(flag->out) = value;
+            continue;
+        }
+        char *end = nullptr;
+        unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0')
+            return fail(argv[0], arg + " expects an unsigned integer, got \"" +
+                                     value + "\"");
+        *static_cast<u32 *>(flag->out) = static_cast<u32>(parsed);
+    }
+    if (wantThreads_ && threads_ > 0)
+        ThreadPool::setGlobalThreads(threads_);
+    return true;
+}
+
+void
+FlagParser::printUsage(const char *argv0, std::ostream &os) const
+{
+    os << "usage: " << argv0;
+    for (const auto &f : flags_) {
+        os << " [" << f.name;
+        if (f.kind == Kind::String)
+            os << " FILE";
+        else if (f.kind == Kind::Uint)
+            os << " N";
+        os << "]";
+    }
+    os << "\n";
+    if (!summary_.empty())
+        os << "  " << summary_ << "\n";
+    for (const auto &f : flags_) {
+        os << "  ";
+        std::string head = f.name;
+        if (f.kind == Kind::String)
+            head += " FILE";
+        else if (f.kind == Kind::Uint)
+            head += " N";
+        os << head;
+        for (std::size_t pad = head.size(); pad < 22; ++pad)
+            os << ' ';
+        os << f.help << "\n";
+    }
+}
+
+}  // namespace crophe::cli

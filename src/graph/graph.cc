@@ -29,6 +29,32 @@ Graph::connect(OpId from, OpId to)
     pred_[to].push_back(from);
 }
 
+void
+Graph::restoreEdges(std::vector<std::vector<OpId>> succ,
+                    std::vector<std::vector<OpId>> pred)
+{
+    CROPHE_ASSERT(succ.size() == ops_.size() && pred.size() == ops_.size(),
+                  "adjacency lists must cover every node");
+    std::map<std::pair<OpId, OpId>, i64> edges;
+    for (OpId v = 0; v < succ.size(); ++v) {
+        for (OpId w : succ[v]) {
+            CROPHE_ASSERT(w < ops_.size() && w != v, "bad successor edge");
+            ++edges[{v, w}];
+        }
+    }
+    for (OpId w = 0; w < pred.size(); ++w) {
+        for (OpId v : pred[w]) {
+            CROPHE_ASSERT(v < ops_.size() && v != w, "bad predecessor edge");
+            --edges[{v, w}];
+        }
+    }
+    for (const auto &[edge, count] : edges)
+        CROPHE_ASSERT(count == 0, "succ/pred lists disagree on edge ",
+                      edge.first, "->", edge.second);
+    succ_ = std::move(succ);
+    pred_ = std::move(pred);
+}
+
 std::vector<OpId>
 Graph::topoOrder() const
 {

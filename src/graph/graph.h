@@ -35,6 +35,16 @@ class Graph
     /** Add a dependency edge from @p from to @p to. */
     void connect(OpId from, OpId to);
 
+    /**
+     * Replace both adjacency lists wholesale (deserialization support).
+     * Edge-list order is semantically relevant — group analysis iterates
+     * producers/consumers in insertion order — so a round-trip must restore
+     * the exact lists, not re-derive them via connect() in some canonical
+     * order. Panics if the lists disagree with each other or the node set.
+     */
+    void restoreEdges(std::vector<std::vector<OpId>> succ,
+                      std::vector<std::vector<OpId>> pred);
+
     u32 size() const { return static_cast<u32>(ops_.size()); }
     const Op &op(OpId id) const { return ops_[id]; }
     Op &op(OpId id) { return ops_[id]; }

@@ -137,6 +137,38 @@ configByName(const std::string &name)
     CROPHE_FATAL("unknown hardware configuration: ", name);
 }
 
+u64
+configDigest(const HwConfig &cfg)
+{
+    u64 h = 1469598103934665603ull;
+    auto mix = [&h](u64 v) {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        h *= 1099511628211ull;
+    };
+    auto mixd = [&](double v) {
+        u64 bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        mix(bits);
+    };
+    mix(std::hash<std::string>{}(cfg.name));
+    mix(cfg.wordBits);
+    mixd(cfg.freqGhz);
+    mix(cfg.lanes);
+    mix(cfg.numPes);
+    mix(cfg.meshX);
+    mix(cfg.meshY);
+    mixd(cfg.dramGBs);
+    mixd(cfg.sramGBs);
+    mixd(cfg.sramMB);
+    mixd(cfg.regFileKB);
+    mixd(cfg.transposeMB);
+    mix(cfg.homogeneous ? 1 : 0);
+    for (double f : cfg.fuFraction)
+        mixd(f);
+    return h;
+}
+
 HwConfig
 withSramMB(const HwConfig &base, double sram_mb)
 {

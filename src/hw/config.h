@@ -79,6 +79,13 @@ HwConfig configCrophe36();   ///< CROPHE-36 (vs CL+/SHARP)
 /** Lookup by name (bts/ark/crophe64/cl+/sharp/crophe36). */
 HwConfig configByName(const std::string &name);
 
+/**
+ * Order-sensitive digest over every field that affects scheduling and
+ * simulation (name included). Used to key schedule caches and shared
+ * enumeration memos: equal digests ⇒ interchangeable hardware.
+ */
+u64 configDigest(const HwConfig &cfg);
+
 /** Copy of @p base with the global buffer resized to @p sram_mb. */
 HwConfig withSramMB(const HwConfig &base, double sram_mb);
 

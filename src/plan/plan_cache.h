@@ -1,0 +1,133 @@
+#ifndef CROPHE_PLAN_PLAN_CACHE_H_
+#define CROPHE_PLAN_PLAN_CACHE_H_
+
+/**
+ * @file
+ * Content-addressed schedule cache (DESIGN.md §8).
+ *
+ * Schedules are keyed by (graph structural hash, hardware-config digest,
+ * scheduler-options digest): equal keys mean the search would produce the
+ * same schedule, so the serialized bytes of a previous search can be
+ * returned verbatim. The cache is a two-tier store — an in-memory LRU map
+ * over serialized payloads, optionally backed by an on-disk directory so
+ * repeated harness runs (e.g. `bench_fig9_overall --plan-cache DIR` twice)
+ * skip the search entirely on the second run.
+ *
+ * Contract: a cache hit is byte-identical to a cold search. That holds
+ * because (a) the key covers everything the search reads, (b) the payload
+ * is the exact serialized Schedule (plan/serialize.h round-trips
+ * bit-for-bit), and (c) loads are validated — wrong magic, version, key
+ * echo, size, or checksum fall back to a miss, never to a wrong schedule.
+ *
+ * Thread safety: all operations take an internal mutex; concurrent lookups
+ * and inserts from the scheduler's thread pool are safe. Disk writes go to
+ * a temp file then rename(2), so concurrent processes sharing a directory
+ * see either the old file or the complete new one.
+ */
+
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace crophe::telemetry {
+class StatsRegistry;
+}  // namespace crophe::telemetry
+
+namespace crophe::plan {
+
+/** Cache key: everything the schedule search depends on. */
+struct PlanKey
+{
+    u64 graphHash = 0;  ///< graph::Graph::structuralHash over topo order
+    u64 hwDigest = 0;   ///< hw::configDigest
+    u64 optDigest = 0;  ///< sched::optionsDigest
+
+    bool operator==(const PlanKey &o) const
+    {
+        return graphHash == o.graphHash && hwDigest == o.hwDigest &&
+               optDigest == o.optDigest;
+    }
+
+    /** Single-u64 mix of the three components (map bucket + file name). */
+    u64 combined() const;
+};
+
+/** Monotonic operation counters (telemetry + tests). */
+struct PlanCacheStats
+{
+    u64 hits = 0;         ///< memory-tier hits
+    u64 misses = 0;       ///< lookups that found nothing in either tier
+    u64 insertions = 0;
+    u64 evictions = 0;    ///< LRU evictions from the memory tier
+    u64 diskHits = 0;     ///< misses served by a valid on-disk entry
+    u64 diskRejects = 0;  ///< on-disk entries rejected by validation
+    u64 diskWrites = 0;
+};
+
+/** Two-tier (memory LRU + optional directory) plan store. See file doc. */
+class PlanCache
+{
+  public:
+    /**
+     * @param dir on-disk tier directory ("" = memory only). Created on
+     *        first write if missing.
+     * @param max_entries memory-tier LRU capacity.
+     */
+    explicit PlanCache(std::string dir = "", std::size_t max_entries = 256);
+
+    /**
+     * Look up @p key. On a hit (either tier) copies the payload into
+     * @p out and returns true; a disk hit is promoted into the memory
+     * tier. Returns false on a miss or when every candidate entry fails
+     * validation.
+     */
+    bool lookup(const PlanKey &key, std::vector<u8> &out);
+
+    /**
+     * Store @p payload under @p key in the memory tier and, when a
+     * directory is configured, write it through to disk atomically.
+     * Re-inserting an existing key refreshes its LRU position.
+     */
+    void insert(const PlanKey &key, const std::vector<u8> &payload);
+
+    PlanCacheStats stats() const;
+    const std::string &dir() const { return dir_; }
+
+    /** Register hit/miss/eviction counters as `<prefix>.*` gauges. */
+    void registerStats(telemetry::StatsRegistry &reg,
+                       const std::string &prefix = "plan.cache") const;
+
+    /**
+     * Directory from the CROPHE_PLAN_CACHE environment variable, or "" if
+     * unset/empty — the conventional fallback for the `--plan-cache` flag.
+     */
+    static std::string dirFromEnv();
+
+  private:
+    struct Entry
+    {
+        PlanKey key;
+        std::vector<u8> payload;
+    };
+
+    std::string filePath(const PlanKey &key) const;
+    bool loadFromDisk(const PlanKey &key, std::vector<u8> &out);
+    void writeToDisk(const PlanKey &key, const std::vector<u8> &payload);
+    void touchFront(std::list<Entry>::iterator it);
+
+    mutable std::mutex mu_;
+    std::string dir_;
+    std::size_t maxEntries_;
+    /** MRU-first entry list + key index into it. */
+    std::list<Entry> lru_;
+    std::unordered_map<u64, std::list<Entry>::iterator> index_;
+    PlanCacheStats stats_;
+};
+
+}  // namespace crophe::plan
+
+#endif  // CROPHE_PLAN_PLAN_CACHE_H_

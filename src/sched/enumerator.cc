@@ -9,13 +9,42 @@ namespace crophe::sched {
 
 using graph::OpId;
 
+bool
+GroupMemo::lookup(u64 key, std::optional<SpatialGroup> &out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+bool
+GroupMemo::insert(u64 key, std::optional<SpatialGroup> value)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.emplace(key, std::move(value)).second;
+}
+
+u64
+GroupMemo::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+}
+
 GroupEnumerator::GroupEnumerator(const graph::Graph &g,
                                  const hw::HwConfig &cfg, bool mad,
-                                 u32 max_ops)
+                                 u32 max_ops, GroupMemo *shared)
     : g_(&g), cfg_(&cfg), mad_(mad), maxOps_(max_ops),
-      topo_(g.topoOrderAuxAffinity())
+      topo_(g.topoOrderAuxAffinity()), memo_(shared ? shared : &ownMemo_)
 {
     CROPHE_ASSERT(maxOps_ >= 1, "maxOps must be positive");
+    u64 h = hw::configDigest(cfg);
+    h ^= (mad ? 0x9e3779b97f4a7c15ull : 0) + (h << 6) + (h >> 2);
+    h *= 1099511628211ull;
+    cfgKey_ = h;
 }
 
 namespace {
@@ -53,6 +82,40 @@ materialize(const SpatialGroup &canonical, const std::vector<OpId> &window)
 
 }  // namespace
 
+u64
+GroupEnumerator::windowKey(const std::vector<OpId> &ops) const
+{
+    // Structural hash extended with everything analyzeSpatialGroup reads
+    // from OUTSIDE the window: each op's external producers contribute
+    // their output volume and Input-kind flag (they are charged to
+    // SRAM/DRAM traffic), and the hardware/MAD context is folded in so one
+    // store can serve many configs. Without the extension, two windows
+    // with equal internal structure but different upstream volumes would
+    // collide — and a shared memo would then return whichever analysis was
+    // inserted first, making results depend on thread timing.
+    u64 h = g_->structuralHash(ops);
+    auto mix = [&h](u64 v) {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        h *= 1099511628211ull;
+    };
+    std::vector<OpId> sorted(ops.begin(), ops.end());
+    std::sort(sorted.begin(), sorted.end());
+    auto inside = [&sorted](OpId id) {
+        return std::binary_search(sorted.begin(), sorted.end(), id);
+    };
+    for (OpId id : ops) {
+        for (OpId p : g_->producers(id)) {
+            if (inside(p))
+                continue;
+            const graph::Op &prod = g_->op(p);
+            mix(prod.outputWords);
+            mix(prod.kind == graph::OpKind::Input ? 1 : 0);
+        }
+    }
+    mix(cfgKey_);
+    return h;
+}
+
 const SpatialGroup *
 GroupEnumerator::window(u32 begin, u32 len)
 {
@@ -65,23 +128,31 @@ GroupEnumerator::window(u32 begin, u32 len)
         return wit->second ? &*wit->second : nullptr;
 
     std::vector<OpId> ops(topo_.begin() + begin, topo_.begin() + begin + len);
-    u64 h = g_->structuralHash(ops);
+    u64 h = windowKey(ops);
 
-    auto mit = memo_.find(h);
+    std::optional<SpatialGroup> canonical;
     std::optional<SpatialGroup> result;
-    if (mit != memo_.end()) {
+    if (memo_->lookup(h, canonical)) {
         ++hits_;
-        if (mit->second)
-            result = materialize(*mit->second, ops);
+        if (canonical)
+            result = materialize(*canonical, ops);
     } else {
-        ++analyzed_;
         SpatialGroup group;
-        if (analyzeSpatialGroup(*g_, ops, *cfg_, mad_, group)) {
-            memo_.emplace(h, canonicalize(group, ops));
+        bool feasible = analyzeSpatialGroup(*g_, ops, *cfg_, mad_, group);
+        bool inserted = memo_->insert(
+            h, feasible ? std::optional<SpatialGroup>(
+                              canonicalize(group, ops))
+                        : std::nullopt);
+        // Losing the insert race counts as a hit: the winner's entry is
+        // identical (the memo value is a pure function of the key), so
+        // analyzed totals stay equal to the number of unique keys no
+        // matter how threads interleave.
+        if (inserted)
+            ++analyzed_;
+        else
+            ++hits_;
+        if (feasible)
             result = std::move(group);
-        } else {
-            memo_.emplace(h, std::nullopt);
-        }
     }
 
     auto [it, ok] = byWindow_.emplace(wkey, std::move(result));

@@ -10,8 +10,17 @@
  * hash so that the many isomorphic subgraphs of FHE workloads (every
  * KeySwitch looks alike) are each analyzed only once — the paper's
  * redundant-subgraph merging.
+ *
+ * The memo can be SHARED across enumerators (the nttDecomp / rotation /
+ * cluster sweeps all schedule near-identical graphs): GroupMemo is a
+ * thread-safe store keyed by a context-extended structural hash. The
+ * extension folds in each window op's external-producer volumes (the only
+ * out-of-window data analyzeSpatialGroup reads) plus the hardware digest
+ * and MAD flag, making the memo value a pure function of its key — so
+ * concurrent insert races are benign and sharing is deterministic.
  */
 
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -20,14 +29,49 @@
 
 namespace crophe::sched {
 
+/**
+ * Thread-safe canonical-group store shared across enumerators.
+ * Values are canonical (position-indexed) analyses; nullopt = infeasible.
+ */
+class GroupMemo
+{
+  public:
+    GroupMemo() = default;
+    GroupMemo(const GroupMemo &) = delete;
+    GroupMemo &operator=(const GroupMemo &) = delete;
+
+    /** Copies the entry for @p key into @p out; false when absent. */
+    bool lookup(u64 key, std::optional<SpatialGroup> &out) const;
+
+    /**
+     * Insert-if-absent. Returns true when this call created the entry (an
+     * "analyzed" event); false when an equal entry already existed — the
+     * caller raced another analysis of the same key and is counted as a
+     * memo hit, keeping analyzed/hit totals deterministic for any thread
+     * count (analyzed sums to the number of unique keys).
+     */
+    bool insert(u64 key, std::optional<SpatialGroup> value);
+
+    /** Unique keys stored. */
+    u64 size() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::unordered_map<u64, std::optional<SpatialGroup>> map_;
+};
+
 /** Memoizing candidate factory over one graph. */
 class GroupEnumerator
 {
   public:
+    /**
+     * @param shared memo to consult/populate; nullptr = private memo.
+     */
     GroupEnumerator(const graph::Graph &g, const hw::HwConfig &cfg, bool mad,
-                    u32 max_ops);
+                    u32 max_ops, GroupMemo *shared = nullptr);
 
     const graph::Graph &graph() const { return *g_; }
+    const hw::HwConfig &config() const { return *cfg_; }
     const std::vector<graph::OpId> &topo() const { return topo_; }
     u32 maxOps() const { return maxOps_; }
 
@@ -42,13 +86,16 @@ class GroupEnumerator
     u64 memoHits() const { return hits_; }
 
   private:
+    u64 windowKey(const std::vector<graph::OpId> &ops) const;
+
     const graph::Graph *g_;
     const hw::HwConfig *cfg_;
     bool mad_;
     u32 maxOps_;
     std::vector<graph::OpId> topo_;
-    /** structural hash -> analysis (nullopt = infeasible). */
-    std::unordered_map<u64, std::optional<SpatialGroup>> memo_;
+    u64 cfgKey_;  ///< configDigest ⊕ mad, folded into every memo key
+    GroupMemo ownMemo_;
+    GroupMemo *memo_;  ///< shared store, or &ownMemo_
     /** window key (begin*K+len) -> materialized result with real op ids. */
     std::unordered_map<u64, std::optional<SpatialGroup>> byWindow_;
     u64 analyzed_ = 0;

@@ -34,6 +34,27 @@ SchedStats::accumulate(const SchedStats &other)
     flops += other.flops;
 }
 
+u64
+optionsDigest(const SchedOptions &opt)
+{
+    u64 h = 1469598103934665603ull;
+    auto mix = [&h](u64 v) {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        h *= 1099511628211ull;
+    };
+    mix(opt.crossOpDataflow ? 1 : 0);
+    mix(opt.nttDecomp ? 1 : 0);
+    mix(opt.maxGroupOps);
+    mix(opt.clusters);
+    mix(opt.shareAuxAcrossClusters ? 1 : 0);
+    // pruneSearch provably does not change the chosen schedule (the bound
+    // is admissible, DESIGN.md §8), but it stays in the key as insurance:
+    // a future inexact bound must never validate against exact-search
+    // cache entries.
+    mix(opt.pruneSearch ? 1 : 0);
+    return h;
+}
+
 double
 dramCycles(const hw::HwConfig &cfg, u64 words)
 {

@@ -20,7 +20,13 @@ namespace crophe::telemetry {
 class SearchTelemetry;
 }  // namespace crophe::telemetry
 
+namespace crophe::plan {
+class PlanCache;
+}  // namespace crophe::plan
+
 namespace crophe::sched {
+
+class GroupMemo;
 
 /** Scheduler knobs. */
 struct SchedOptions
@@ -35,10 +41,36 @@ struct SchedOptions
     u32 clusters = 1;
     /** Share aux constants (evks) across clusters in CROPHE-p. */
     bool shareAuxAcrossClusters = true;
+    /**
+     * Branch-and-bound pruning of the DP cover search (DESIGN.md §8). The
+     * bound is admissible, so the chosen schedule is bit-identical to the
+     * exhaustive search; false forces the exhaustive sweep (tests).
+     */
+    bool pruneSearch = true;
     /** Optional search observer: candidate costs and enumerator memo
      *  effectiveness are recorded here (null = no telemetry). */
     telemetry::SearchTelemetry *search = nullptr;
+    /**
+     * Optional content-addressed schedule cache (DESIGN.md §8). A hit
+     * returns a byte-identical schedule without searching; null disables
+     * caching. Not part of optionsDigest().
+     */
+    plan::PlanCache *planCache = nullptr;
+    /**
+     * Optional shared group-analysis memo. When set, the nttDecomp /
+     * rotation-scheme / cluster sweeps share one structural-hash memo
+     * instead of rebuilding one per candidate; when null each top-level
+     * schedule call creates its own. Not part of optionsDigest().
+     */
+    GroupMemo *memo = nullptr;
 };
+
+/**
+ * Order-sensitive digest over the value fields of @p opt (the observer
+ * and cache pointers are excluded — they do not affect the schedule).
+ * Keys the plan cache together with the graph hash and config digest.
+ */
+u64 optionsDigest(const SchedOptions &opt);
 
 /** PE allocation for one operator inside a spatial group. */
 struct OpAlloc

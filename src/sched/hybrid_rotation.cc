@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/parallel.h"
+#include "sched/enumerator.h"
 #include "sched/scheduler.h"
 #include "telemetry/search_telemetry.h"
 
@@ -26,8 +27,7 @@ chooseRotationScheme(const std::string &workload,
     RotationChoice best;
     best.result.stats.cycles = std::numeric_limits<double>::infinity();
 
-    // Min-KS / Hoisting / hybrid-r candidates are independent searches
-    // (each scheduleWorkload builds its own graphs and enumerator memos).
+    // Min-KS / Hoisting / hybrid-r candidates are independent searches.
     // Evaluate them in parallel into per-candidate slots, then record
     // telemetry and reduce on this thread in candidate order — the
     // sequential sweep's first-wins tie-breaking, bit for bit.
@@ -43,14 +43,22 @@ chooseRotationScheme(const std::string &workload,
         for (u32 r : rHybCandidates())
             cands.push_back({graph::RotMode::Hybrid, r});
 
+    // Rotation candidates rebuild largely identical graphs (the compute
+    // pipeline around the rotations is unchanged), so they share one
+    // group memo unless the caller already scoped one wider.
+    GroupMemo local_memo;
+    SchedOptions sopt = opt;
+    if (sopt.memo == nullptr)
+        sopt.memo = &local_memo;
+
     std::vector<std::unique_ptr<WorkloadResult>> results(cands.size());
     parallelFor(0, cands.size(), [&](u64 i) {
         graph::WorkloadOptions wopt;
         wopt.rotMode = cands[i].mode;
         wopt.rHyb = cands[i].rHyb;
         graph::Workload w = graph::buildWorkload(workload, params, wopt);
-        results[i] =
-            std::make_unique<WorkloadResult>(scheduleWorkload(w, cfg, opt));
+        results[i] = std::make_unique<WorkloadResult>(
+            scheduleWorkload(w, cfg, sopt));
     });
 
     for (u64 i = 0; i < cands.size(); ++i) {

@@ -1,6 +1,7 @@
 #include "sched/scheduler.h"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <set>
@@ -8,6 +9,8 @@
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/parallel.h"
+#include "plan/plan_cache.h"
+#include "plan/serialize.h"
 #include "sched/enumerator.h"
 #include "sched/ntt_decomp.h"
 #include "telemetry/search_telemetry.h"
@@ -20,11 +23,186 @@ using graph::OpId;
 namespace {
 
 /**
+ * Incremental admissible lower bound on a topo window's group cycles
+ * (DESIGN.md §8). Never calls analyzeSpatialGroup: the bound is assembled
+ * from running sums as the window grows one op at a time, mirroring the
+ * analysis's DRAM charges exactly and UNDER-counting its SRAM and compute
+ * terms — so lb() <= the analyzed group's cycles for every feasible
+ * window, which is what makes branch-and-bound pruning exact.
+ */
+class WindowBound
+{
+  public:
+    WindowBound(const Graph &g, const hw::HwConfig &cfg, bool mad,
+                const std::vector<OpId> &topo)
+        : g_(&g), cfg_(&cfg), mad_(mad), topo_(&topo), pos_(g.size(), ~0u)
+    {
+        for (u32 i = 0; i < topo.size(); ++i)
+            pos_[topo[i]] = i;
+        // Admissible compute capacity: homogeneous chips retire at most
+        // multsPerCycle; specialized chips at most the sum of their FU
+        // class capacities (the per-class max in analyzeSpatialGroup is
+        // >= flops / sum by the mediant inequality).
+        double frac = 0.0;
+        for (double f : cfg.fuFraction)
+            frac += f;
+        effMults_ = static_cast<double>(cfg.multsPerCycle()) *
+                    (cfg.homogeneous ? 1.0 : frac);
+        if (effMults_ < 1.0)
+            effMults_ = 1.0;
+    }
+
+    /** Restart at window [begin, begin). */
+    void reset(u32 begin)
+    {
+        begin_ = begin;
+        len_ = 0;
+        flops_ = 0;
+        ioDram_ = 0;
+        auxDram_ = 0;
+        sram_ = 0;
+        extCnt_.clear();
+        seenAux_.clear();
+    }
+
+    /** Grow the window by the next topo op. */
+    void extend()
+    {
+        OpId w = (*topo_)[begin_ + len_];
+        ++len_;
+        const graph::Op &op = g_->op(w);
+        flops_ += op.flops;
+        if (op.kind == graph::OpKind::Input) {
+            ioDram_ += op.outputWords;
+            return;
+        }
+        if (op.kind == graph::OpKind::Output) {
+            ioDram_ += op.inputWords;
+            // An in-window Output still internalizes its producers'
+            // consumer-side handoffs; it adds no charges of its own.
+            for (OpId p : g_->producers(w))
+                if (inWindow(p))
+                    internalize(p);
+            return;
+        }
+        if (op.auxWords > 0) {
+            // Exactly the analysis's DRAM charge: keyless and MAD aux per
+            // op, keyed aux once per distinct key in the window.
+            if (op.auxKey.empty() || mad_)
+                auxDram_ += op.auxWords;
+            else if (seenAux_.insert(op.auxKey).second)
+                auxDram_ += op.auxWords;
+        }
+        for (OpId p : g_->producers(w)) {
+            if (inWindow(p))
+                internalize(p);
+            else if (g_->op(p).kind != graph::OpKind::Input)
+                sram_ += g_->op(p).outputWords;
+        }
+        // Consumer side: all consumers are later in topo order, hence
+        // external until the window grows over them.
+        sram_ += op.outputWords;
+        if (!g_->consumers(w).empty())
+            extCnt_.emplace_back(w, static_cast<u32>(
+                                        g_->consumers(w).size()));
+    }
+
+    double lb() const
+    {
+        double compute = static_cast<double>(flops_) / effMults_;
+        double dram = dramCycles(*cfg_, ioDram_ + auxDram_);
+        double sram = sramCycles(*cfg_, sram_);
+        return std::max({compute, dram, sram});
+    }
+
+  private:
+    bool inWindow(OpId id) const
+    {
+        u32 p = pos_[id];
+        return p >= begin_ && p < begin_ + len_;
+    }
+
+    void internalize(OpId p)
+    {
+        for (auto &e : extCnt_) {
+            if (e.first != p)
+                continue;
+            if (--e.second == 0)
+                sram_ -= g_->op(p).outputWords;
+            return;
+        }
+    }
+
+    const Graph *g_;
+    const hw::HwConfig *cfg_;
+    bool mad_;
+    const std::vector<OpId> *topo_;
+    std::vector<u32> pos_;  ///< op id -> topo position
+    double effMults_;
+
+    u32 begin_ = 0;
+    u32 len_ = 0;
+    u64 flops_ = 0;
+    u64 ioDram_ = 0;
+    u64 auxDram_ = 0;
+    u64 sram_ = 0;
+    /** In-window ops with external consumers left: (op, remaining). */
+    std::vector<std::pair<OpId, u32>> extCnt_;
+    std::set<std::string> seenAux_;
+};
+
+/**
+ * Greedy cover used to seed branch-and-bound: at each position take the
+ * feasible window with the lowest cycles-per-op. Its cost is a valid
+ * incumbent (it is a real schedule), and its windows prime the
+ * enumerator's memo for the DP that follows.
+ */
+double
+greedyIncumbent(GroupEnumerator &enumerator)
+{
+    const u32 n = static_cast<u32>(enumerator.topo().size());
+    double total = 0.0;
+    u32 i = 0;
+    while (i < n) {
+        double best_ratio = std::numeric_limits<double>::infinity();
+        double best_cycles = 0.0;
+        u32 best_len = 0;
+        for (u32 len = 1; len <= enumerator.maxOps() && i + len <= n;
+             ++len) {
+            const SpatialGroup *cand = enumerator.window(i, len);
+            if (!cand)
+                continue;
+            double ratio = cand->cycles / len;
+            if (ratio < best_ratio) {
+                best_ratio = ratio;
+                best_cycles = cand->cycles;
+                best_len = len;
+            }
+        }
+        CROPHE_ASSERT(best_len > 0,
+                      "no feasible group at op ", enumerator.topo()[i]);
+        total += best_cycles;
+        i += best_len;
+    }
+    return total;
+}
+
+/**
  * Cover the topological order with spatial groups by dynamic programming:
  * dp[i] = cheapest cost of scheduling the first i ops.
+ *
+ * With @p prune set, windows whose admissible lower bound (plus the lower
+ * bound of completing the cover) already exceeds the greedy incumbent are
+ * skipped without analysis. The chosen cover is bit-identical to the
+ * exhaustive sweep: every relaxation that achieves a dp value on the
+ * reconstructed (optimal) path satisfies dp[i] + lb <= OPT <= incumbent
+ * and therefore survives, and first-wins tie-breaking is preserved
+ * because pruned relaxations were strictly above the final dp value
+ * (DESIGN.md §8 for the full argument).
  */
 std::vector<SpatialGroup>
-coverByDp(GroupEnumerator &enumerator)
+coverByDp(GroupEnumerator &enumerator, bool prune, bool mad,
+          u64 &pruned_windows)
 {
     const u32 n = static_cast<u32>(enumerator.topo().size());
     constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -32,11 +210,43 @@ coverByDp(GroupEnumerator &enumerator)
     std::vector<u32> choice(n + 1, 0);
     dp[0] = 0.0;
 
+    WindowBound wb(enumerator.graph(), enumerator.config(), mad,
+                   enumerator.topo());
+    double bound = kInf;
+    std::vector<double> lb_suffix;
+    if (prune && n > 0) {
+        // The epsilon absorbs float rounding in the bound sums: pruning
+        // must only ever discard windows that are strictly worse in exact
+        // arithmetic.
+        bound = greedyIncumbent(enumerator) * (1.0 + 1e-9);
+        // lbSuffix[j]: admissible lower bound on covering ops [j, n).
+        lb_suffix.assign(n + 1, 0.0);
+        for (u32 j = n; j-- > 0;) {
+            wb.reset(j);
+            double best = kInf;
+            for (u32 len = 1; len <= enumerator.maxOps() && j + len <= n;
+                 ++len) {
+                wb.extend();
+                best = std::min(best, wb.lb() + lb_suffix[j + len]);
+            }
+            lb_suffix[j] = best;
+        }
+    }
+
     for (u32 i = 0; i < n; ++i) {
         if (dp[i] == kInf)
             continue;
+        if (prune)
+            wb.reset(i);
         for (u32 len = 1; len <= enumerator.maxOps() && i + len <= n;
              ++len) {
+            if (prune) {
+                wb.extend();
+                if (dp[i] + wb.lb() + lb_suffix[i + len] > bound) {
+                    ++pruned_windows;
+                    continue;
+                }
+            }
             const SpatialGroup *cand = enumerator.window(i, len);
             if (!cand)
                 continue;
@@ -47,9 +257,14 @@ coverByDp(GroupEnumerator &enumerator)
             }
         }
         // Guarantee progress: single-op windows must always be feasible.
-        CROPHE_ASSERT(dp[i + 1] < kInf,
-                      "no feasible group at op ", enumerator.topo()[i]);
+        // Under pruning a prefix may legitimately stay unreached (every
+        // path through it is provably worse than the incumbent); the
+        // greedy cover's own windows always survive, so dp[n] is bounded.
+        if (!prune)
+            CROPHE_ASSERT(dp[i + 1] < kInf,
+                          "no feasible group at op ", enumerator.topo()[i]);
     }
+    CROPHE_ASSERT(n == 0 || dp[n] < kInf, "search pruned away every cover");
 
     // Reconstruct the chosen segmentation.
     std::vector<u32> cuts;
@@ -333,11 +548,16 @@ scheduleOneGraph(const Graph &g, const hw::HwConfig &cfg,
 {
     GroupEnumerator enumerator(g, cfg,
                                /*mad=*/!opt.crossOpDataflow,
-                               opt.crossOpDataflow ? opt.maxGroupOps : 3);
-    auto groups = coverByDp(enumerator);
-    if (opt.search != nullptr)
+                               opt.crossOpDataflow ? opt.maxGroupOps : 3,
+                               opt.memo);
+    u64 pruned = 0;
+    auto groups = coverByDp(enumerator, opt.pruneSearch,
+                            /*mad=*/!opt.crossOpDataflow, pruned);
+    if (opt.search != nullptr) {
         opt.search->addEnumeration(enumerator.analyzedCount(),
                                    enumerator.memoHits());
+        opt.search->addPruning(pruned);
+    }
     double peak_live =
         applyBufferSpill(g, groups, cfg, opt.crossOpDataflow);
 
@@ -368,11 +588,10 @@ scheduleOneGraph(const Graph &g, const hw::HwConfig &cfg,
     return sched;
 }
 
-}  // namespace
-
+/** Full (uncached) schedule search: base + NTT-decomposition sweep. */
 Schedule
-scheduleGraph(const Graph &g, const hw::HwConfig &cfg,
-              const SchedOptions &opt)
+scheduleGraphSearch(const Graph &g, const hw::HwConfig &cfg,
+                    const SchedOptions &opt)
 {
     Schedule best = scheduleOneGraph(g, cfg, opt);
     if (opt.search != nullptr)
@@ -389,10 +608,10 @@ scheduleGraph(const Graph &g, const hw::HwConfig &cfg,
     if (n == 0)
         return best;
 
-    // Each candidate schedules against its own GroupEnumerator memo, so
-    // the sweep is independent work; telemetry and the best-pick reduction
-    // run on this thread in option order, keeping the chosen schedule (and
-    // tie-breaks) identical to the sequential sweep.
+    // Candidates share one GroupMemo (its values are pure functions of
+    // their keys, so the sweep stays independent work); telemetry and the
+    // best-pick reduction run on this thread in option order, keeping the
+    // chosen schedule (and tie-breaks) identical to the sequential sweep.
     auto options = nttDecompositionOptions(n, cfg.lanes);
     std::vector<std::unique_ptr<Schedule>> cands(options.size());
     parallelFor(0, options.size(), [&](u64 i) {
@@ -409,6 +628,76 @@ scheduleGraph(const Graph &g, const hw::HwConfig &cfg,
             best = std::move(*cands[i]);
     }
     return best;
+}
+
+/**
+ * Plan-cache key for scheduling @p g on @p cfg with @p opt. The graph
+ * component extends structuralHash (which covers op shapes and edge
+ * structure) with the remaining Op fields so any two graphs with equal
+ * digests schedule — and print — identically.
+ */
+plan::PlanKey
+planKeyFor(const Graph &g, const hw::HwConfig &cfg, const SchedOptions &opt)
+{
+    auto topo = g.topoOrder();
+    u64 h = g.structuralHash(topo);
+    auto mix = [&h](u64 v) {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        h *= 1099511628211ull;
+    };
+    for (OpId id : topo) {
+        const graph::Op &op = g.op(id);
+        mix(std::hash<std::string>{}(op.label));
+        mix(op.n2);
+        mix(op.inputWords);
+        mix(op.outputWords);
+        mix(op.flops);
+        mix(op.streamAxes.size());
+        for (graph::StreamAxis a : op.streamAxes)
+            mix(static_cast<u64>(a));
+        mix(op.orientationSwitch ? 1 : 0);
+    }
+    plan::PlanKey key;
+    key.graphHash = h;
+    key.hwDigest = hw::configDigest(cfg);
+    key.optDigest = optionsDigest(opt);
+    return key;
+}
+
+}  // namespace
+
+Schedule
+scheduleGraph(const Graph &g, const hw::HwConfig &cfg,
+              const SchedOptions &opt)
+{
+    // The sweeps below share one group memo when the caller didn't
+    // provide a broader-scoped one.
+    GroupMemo local_memo;
+    SchedOptions o = opt;
+    if (o.memo == nullptr)
+        o.memo = &local_memo;
+
+    if (o.planCache == nullptr)
+        return scheduleGraphSearch(g, cfg, o);
+
+    plan::PlanKey key = planKeyFor(g, cfg, o);
+    std::vector<u8> bytes;
+    if (o.planCache->lookup(key, bytes)) {
+        Schedule cached;
+        plan::ByteReader reader(bytes);
+        if (plan::deserializeSchedule(reader, cached)) {
+            if (o.search != nullptr)
+                o.search->addPlanLookup(true);
+            return cached;
+        }
+        // An undeserializable payload means a corrupt or stale entry that
+        // slipped past validation; fall back to a full search.
+    }
+    if (o.search != nullptr)
+        o.search->addPlanLookup(false);
+    Schedule sched = scheduleGraphSearch(g, cfg, o);
+    o.planCache->insert(key, plan::scheduleBytes(sched));
+    return sched;
 }
 
 WorkloadResult
@@ -428,9 +717,15 @@ scheduleWorkload(const graph::Workload &w, const hw::HwConfig &cfg,
 
     // Segments are independent graphs; schedule them concurrently into
     // per-segment slots (disjoint writes, index-order aggregation below).
+    // They share one group memo (FHE workloads repeat the same subgraphs
+    // across segments) unless the caller already scoped one wider.
+    GroupMemo local_memo;
+    SchedOptions o = opt;
+    if (o.memo == nullptr)
+        o.memo = &local_memo;
     std::vector<Schedule> schedules(w.segments.size());
     parallelFor(0, w.segments.size(), [&](u64 i) {
-        schedules[i] = scheduleGraph(w.segments[i].graph, cluster_cfg, opt);
+        schedules[i] = scheduleGraph(w.segments[i].graph, cluster_cfg, o);
     });
 
     return aggregateWorkload(w, cfg, schedules, opt.clusters,
@@ -439,7 +734,8 @@ scheduleWorkload(const graph::Workload &w, const hw::HwConfig &cfg,
 
 WorkloadResult
 scheduleWorkloadAutoClusters(const graph::Workload &w,
-                             const hw::HwConfig &cfg, SchedOptions opt)
+                             const hw::HwConfig &cfg,
+                             const SchedOptions &opt)
 {
     WorkloadResult best;
     best.stats.cycles = std::numeric_limits<double>::infinity();
@@ -448,10 +744,15 @@ scheduleWorkloadAutoClusters(const graph::Workload &w,
         if (cfg.numPes / k != 0)
             ks.push_back(k);
     // Cluster counts are independent design points: evaluate in parallel,
-    // then record and reduce in candidate order for determinism.
+    // then record and reduce in candidate order for determinism. The
+    // group memo spans all candidates (cluster-sliced configs get their
+    // own keys via the hardware digest, so there is no false sharing).
+    GroupMemo local_memo;
     std::vector<std::unique_ptr<WorkloadResult>> results(ks.size());
     parallelFor(0, ks.size(), [&](u64 i) {
         SchedOptions o = opt;
+        if (o.memo == nullptr)
+            o.memo = &local_memo;
         o.clusters = ks[i];
         results[i] =
             std::make_unique<WorkloadResult>(scheduleWorkload(w, cfg, o));

@@ -21,6 +21,11 @@ namespace crophe::sched {
  * When opt.nttDecomp is set, every candidate N1 factor of the NTT
  * decomposition is tried (including no decomposition) and the cheapest
  * schedule wins.
+ *
+ * When opt.planCache is set, the whole search is keyed by (graph digest,
+ * hardware digest, options digest): a hit returns the previously found
+ * schedule byte-for-byte; a miss runs the search and stores the result
+ * (DESIGN.md §8).
  */
 Schedule scheduleGraph(const graph::Graph &g, const hw::HwConfig &cfg,
                        const SchedOptions &opt);
@@ -42,7 +47,7 @@ WorkloadResult scheduleWorkload(const graph::Workload &w,
  */
 WorkloadResult scheduleWorkloadAutoClusters(const graph::Workload &w,
                                             const hw::HwConfig &cfg,
-                                            SchedOptions opt);
+                                            const SchedOptions &opt);
 
 }  // namespace crophe::sched
 

@@ -23,6 +23,58 @@ SearchTelemetry::addEnumeration(u64 analyzed, u64 memo_hits)
     memoHits_ += memo_hits;
 }
 
+void
+SearchTelemetry::addPruning(u64 windows)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    prunedWindows_ += windows;
+}
+
+void
+SearchTelemetry::addPlanLookup(bool hit)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (hit)
+        ++planHits_;
+    else
+        ++planMisses_;
+}
+
+void
+SearchTelemetry::addSearchSeconds(double seconds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    searchSeconds_ += seconds;
+}
+
+u64
+SearchTelemetry::prunedWindows() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return prunedWindows_;
+}
+
+u64
+SearchTelemetry::planHits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return planHits_;
+}
+
+u64
+SearchTelemetry::planMisses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return planMisses_;
+}
+
+double
+SearchTelemetry::searchSeconds() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return searchSeconds_;
+}
+
 u64
 SearchTelemetry::candidates() const
 {
@@ -105,6 +157,18 @@ SearchTelemetry::registerStats(StatsRegistry &reg,
         prefix + ".enum.memoHits",
         "group analyses served from the structural-hash memo");
     hits.set(memoHits());
+    reg.counter(prefix + ".search.prunedWindows",
+                "DP cover windows skipped by branch-and-bound")
+        .set(prunedWindows());
+    reg.counter(prefix + ".plan.hits",
+                "schedule searches served from the plan cache")
+        .set(planHits());
+    reg.counter(prefix + ".plan.misses",
+                "plan-cache lookups that fell back to a full search")
+        .set(planMisses());
+    reg.scalar(prefix + ".search.seconds",
+               "wall-clock seconds spent scheduling")
+        .set(searchSeconds());
     if (!reg.has(prefix + ".enum.memoHitRate")) {
         // Captures registry-owned counters, so the formula stays valid for
         // the registry's whole lifetime.

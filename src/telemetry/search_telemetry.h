@@ -54,9 +54,22 @@ class SearchTelemetry
     /** Fold in one GroupEnumerator's counters after a search. */
     void addEnumeration(u64 analyzed, u64 memo_hits);
 
+    /** Fold in one DP cover's branch-and-bound pruned-window count. */
+    void addPruning(u64 windows);
+
+    /** Record one plan-cache lookup at scheduleGraph level. */
+    void addPlanLookup(bool hit);
+
+    /** Accumulate wall-clock seconds spent searching (baselines timing). */
+    void addSearchSeconds(double seconds);
+
     u64 candidates() const;
     u64 analyzed() const;
     u64 memoHits() const;
+    u64 prunedWindows() const;
+    u64 planHits() const;
+    u64 planMisses() const;
+    double searchSeconds() const;
     /** Fraction of candidate-group lookups served from the memo. */
     double memoHitRate() const;
     double bestCost() const;
@@ -75,6 +88,10 @@ class SearchTelemetry
     std::vector<std::pair<std::string, double>> samples_;  ///< raw order
     u64 analyzed_ = 0;
     u64 memoHits_ = 0;
+    u64 prunedWindows_ = 0;
+    u64 planHits_ = 0;
+    u64 planMisses_ = 0;
+    double searchSeconds_ = 0.0;
 };
 
 }  // namespace crophe::telemetry

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+
+namespace crophe::cli {
+namespace {
+
+/** Build a mutable argv from literals (FlagParser takes char**). */
+class Argv
+{
+  public:
+    explicit Argv(std::initializer_list<const char *> args)
+    {
+        for (const char *a : args)
+            store_.emplace_back(a);
+        for (std::string &s : store_)
+            ptrs_.push_back(s.data());
+    }
+    int argc() { return static_cast<int>(ptrs_.size()); }
+    char **argv() { return ptrs_.data(); }
+
+  private:
+    std::vector<std::string> store_;
+    std::vector<char *> ptrs_;
+};
+
+TEST(FlagParser, ParsesEveryRegisteredShape)
+{
+    std::string out_file;
+    u32 count = 0;
+    bool flag = false;
+    FlagParser p("test harness");
+    p.addString("--out", &out_file, "output file");
+    p.addUint("--count", &count, "how many");
+    p.addBool("--flag", &flag, "presence toggle");
+
+    Argv a({"prog", "--count", "42", "--flag", "--out", "x.json"});
+    EXPECT_TRUE(p.parse(a.argc(), a.argv()));
+    EXPECT_EQ(out_file, "x.json");
+    EXPECT_EQ(count, 42u);
+    EXPECT_TRUE(flag);
+}
+
+TEST(FlagParser, EmptyArgvParsesAndKeepsDefaults)
+{
+    std::string s = "default";
+    FlagParser p;
+    p.addString("--s", &s, "a string");
+    Argv a({"prog"});
+    EXPECT_TRUE(p.parse(a.argc(), a.argv()));
+    EXPECT_EQ(s, "default");
+}
+
+TEST(FlagParser, RejectsUnknownFlag)
+{
+    FlagParser p;
+    bool flag = false;
+    p.addBool("--known", &flag, "known flag");
+    Argv a({"prog", "--unknown"});
+    EXPECT_FALSE(p.parse(a.argc(), a.argv()));
+}
+
+TEST(FlagParser, RejectsMissingValue)
+{
+    FlagParser p;
+    std::string s;
+    p.addString("--out", &s, "output file");
+    Argv a({"prog", "--out"});
+    EXPECT_FALSE(p.parse(a.argc(), a.argv()));
+}
+
+TEST(FlagParser, RejectsMalformedNumber)
+{
+    FlagParser p;
+    u32 n = 0;
+    p.addUint("--n", &n, "a number");
+    Argv a({"prog", "--n", "12abc"});
+    EXPECT_FALSE(p.parse(a.argc(), a.argv()));
+}
+
+TEST(FlagParser, RejectsPositionalArgument)
+{
+    FlagParser p;
+    Argv a({"prog", "stray"});
+    EXPECT_FALSE(p.parse(a.argc(), a.argv()));
+}
+
+TEST(FlagParser, UsageListsFlagsAndSummary)
+{
+    FlagParser p("the summary line");
+    std::string s;
+    u32 n = 0;
+    bool b = false;
+    p.addString("--out", &s, "output file");
+    p.addUint("--n", &n, "a number");
+    p.addBool("--quick", &b, "skip the slow part");
+    p.addThreadsFlag();
+
+    std::ostringstream os;
+    p.printUsage("prog", os);
+    std::string usage = os.str();
+    EXPECT_NE(usage.find("the summary line"), std::string::npos);
+    EXPECT_NE(usage.find("--out FILE"), std::string::npos);
+    EXPECT_NE(usage.find("--n N"), std::string::npos);
+    EXPECT_NE(usage.find("[--quick]"), std::string::npos);
+    EXPECT_NE(usage.find("--threads N"), std::string::npos);
+    EXPECT_NE(usage.find("skip the slow part"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crophe::cli

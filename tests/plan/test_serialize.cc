@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "graph/workloads.h"
+#include "hw/config.h"
+#include "plan/serialize.h"
+#include "sched/scheduler.h"
+
+namespace crophe::plan {
+namespace {
+
+using graph::RotMode;
+using graph::WorkloadOptions;
+
+sched::SchedOptions
+cropheOptions()
+{
+    sched::SchedOptions opt;
+    opt.crossOpDataflow = true;
+    opt.nttDecomp = true;
+    opt.maxGroupOps = 8;
+    return opt;
+}
+
+TEST(ByteStream, PrimitivesRoundTripExactly)
+{
+    ByteWriter w;
+    w.putU8(0xab);
+    w.putU32(0xdeadbeefu);
+    w.putU64(0x0123456789abcdefull);
+    w.putDouble(-0.0);
+    w.putDouble(std::numeric_limits<double>::infinity());
+    w.putDouble(1.0 / 3.0);
+    w.putString("plan\0cache");  // embedded NUL truncated by the literal
+    w.putString("");
+
+    ByteReader r(w.bytes());
+    u8 a = 0;
+    u32 b = 0;
+    u64 c = 0;
+    double d0 = 1, d1 = 1, d2 = 1;
+    std::string s0, s1;
+    EXPECT_TRUE(r.getU8(a));
+    EXPECT_TRUE(r.getU32(b));
+    EXPECT_TRUE(r.getU64(c));
+    EXPECT_TRUE(r.getDouble(d0));
+    EXPECT_TRUE(r.getDouble(d1));
+    EXPECT_TRUE(r.getDouble(d2));
+    EXPECT_TRUE(r.getString(s0));
+    EXPECT_TRUE(r.getString(s1));
+    EXPECT_TRUE(r.atEnd());
+
+    EXPECT_EQ(a, 0xab);
+    EXPECT_EQ(b, 0xdeadbeefu);
+    EXPECT_EQ(c, 0x0123456789abcdefull);
+    EXPECT_TRUE(std::signbit(d0));
+    EXPECT_TRUE(std::isinf(d1));
+    EXPECT_EQ(d2, 1.0 / 3.0);
+    EXPECT_EQ(s0, "plan");
+    EXPECT_EQ(s1, "");
+}
+
+TEST(ByteStream, TruncationLatchesFailure)
+{
+    ByteWriter w;
+    w.putU32(7);
+    ByteReader r(w.bytes());
+    u64 v = 0;
+    EXPECT_FALSE(r.getU64(v));
+    EXPECT_FALSE(r.ok());
+    u32 u = 0;
+    EXPECT_FALSE(r.getU32(u));  // stays failed even though 4 bytes exist
+    EXPECT_FALSE(r.atEnd());
+}
+
+TEST(Serialize, ScheduleRoundTripsByteIdentically)
+{
+    graph::FheParams p = graph::paramsArk();
+    graph::Graph g = graph::buildHMult(p, 15);
+    sched::Schedule s =
+        sched::scheduleGraph(g, hw::configCrophe64(), cropheOptions());
+
+    std::vector<u8> bytes = scheduleBytes(s);
+    sched::Schedule back;
+    ByteReader r(bytes);
+    ASSERT_TRUE(deserializeSchedule(r, back));
+    EXPECT_TRUE(r.atEnd());
+
+    // Re-encoding the decoded schedule must reproduce the exact bytes:
+    // the serializer covers every field the cost model and the simulator
+    // read, including graph adjacency order.
+    EXPECT_EQ(scheduleBytes(back), bytes);
+    EXPECT_EQ(back.stats.cycles, s.stats.cycles);
+    EXPECT_EQ(back.stats.dramWords, s.stats.dramWords);
+    EXPECT_EQ(back.warmStats.cycles, s.warmStats.cycles);
+    EXPECT_EQ(back.sequence.size(), s.sequence.size());
+    EXPECT_EQ(back.graph.size(), g.size());
+}
+
+TEST(Serialize, WorkloadResultRoundTripsByteIdentically)
+{
+    graph::FheParams p = graph::paramsArk();
+    WorkloadOptions wopt;
+    wopt.rotMode = RotMode::MinKs;
+    graph::Workload w = graph::buildBootstrapping(p, wopt);
+    sched::WorkloadResult res =
+        sched::scheduleWorkload(w, hw::configCrophe64(), cropheOptions());
+
+    std::vector<u8> bytes = workloadResultBytes(res);
+    sched::WorkloadResult back;
+    ByteReader r(bytes);
+    ASSERT_TRUE(deserializeWorkloadResult(r, back));
+    EXPECT_TRUE(r.atEnd());
+
+    EXPECT_EQ(workloadResultBytes(back), bytes);
+    EXPECT_EQ(back.workload, res.workload);
+    EXPECT_EQ(back.stats.cycles, res.stats.cycles);
+    EXPECT_EQ(back.seconds, res.seconds);
+    EXPECT_EQ(back.perSegment.size(), res.perSegment.size());
+}
+
+TEST(Serialize, RejectsWrongVersion)
+{
+    graph::FheParams p = graph::paramsArk();
+    graph::Graph g = graph::buildHMult(p, 4);
+    sched::Schedule s =
+        sched::scheduleGraph(g, hw::configCrophe64(), cropheOptions());
+    std::vector<u8> bytes = scheduleBytes(s);
+
+    // The version is the leading u32; any other value must be rejected.
+    bytes[0] ^= 0xff;
+    sched::Schedule back;
+    ByteReader r(bytes);
+    EXPECT_FALSE(deserializeSchedule(r, back));
+}
+
+TEST(Serialize, RejectsTruncationAndTrailingGarbage)
+{
+    graph::FheParams p = graph::paramsArk();
+    graph::Graph g = graph::buildHMult(p, 4);
+    sched::Schedule s =
+        sched::scheduleGraph(g, hw::configCrophe64(), cropheOptions());
+    std::vector<u8> bytes = scheduleBytes(s);
+
+    std::vector<u8> cut(bytes.begin(), bytes.end() - 5);
+    sched::Schedule back;
+    {
+        ByteReader r(cut);
+        EXPECT_FALSE(deserializeSchedule(r, back));
+    }
+
+    std::vector<u8> padded = bytes;
+    padded.push_back(0);
+    {
+        ByteReader r(padded);
+        EXPECT_FALSE(deserializeSchedule(r, back));
+    }
+}
+
+}  // namespace
+}  // namespace crophe::plan

@@ -19,6 +19,7 @@
 #include "common/cli.h"
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "common/shutdown.h"
 #include "plan/plan_cache.h"
 
 using namespace crophe;
@@ -39,6 +40,8 @@ sweep(const char *baseline, const char *crophe, const char *crophe_p,
     std::vector<std::unique_ptr<sched::WorkloadResult>> results(kW * kS *
                                                                 kD);
     parallelFor(0, results.size(), [&](u64 i) {
+        if (shutdownRequested())
+            return;  // drained below
         const char *w = workloads[i / (kS * kD)];
         double mb = sizes.begin()[(i / kD) % kS];
         const char *d = designs[i % kD];
@@ -47,6 +50,8 @@ sweep(const char *baseline, const char *crophe, const char *crophe_p,
                 baselines::withSram(baselines::designByName(d), mb), w,
                 run));
     });
+    if (shutdownRequested())
+        return;  // caller exits with the shutdown code
     for (u64 wi = 0; wi < kW; ++wi) {
         std::printf("%s:\n", workloads[wi]);
         for (u64 si = 0; si < kS; ++si) {
@@ -78,6 +83,7 @@ main(int argc, char **argv)
     if (!flags.parse(argc, argv))
         return 1;
     setVerbose(false);
+    installShutdownHandler();
 
     std::unique_ptr<plan::PlanCache> cache;
     if (!plan_dir.empty())
@@ -88,7 +94,15 @@ main(int argc, char **argv)
     bench::printHeader("Figure 10(a,b): CROPHE-64 vs ARK, shrinking SRAM");
     sweep("ARK+MAD", "CROPHE-64", "CROPHE-p-64", {512.0, 256.0, 128.0,
                                                   64.0}, run);
+    if (shutdownRequested()) {
+        std::fprintf(stderr, "\ninterrupted\n");
+        return kShutdownExitCode;
+    }
     bench::printHeader("Figure 10(c,d): CROPHE-36 vs SHARP, shrinking SRAM");
     sweep("SHARP+MAD", "CROPHE-36", "CROPHE-p-36", {180.0, 90.0, 45.0}, run);
+    if (shutdownRequested()) {
+        std::fprintf(stderr, "\ninterrupted\n");
+        return kShutdownExitCode;
+    }
     return 0;
 }

@@ -25,6 +25,7 @@
 #include "bench/bench_util.h"
 #include "common/cli.h"
 #include "common/logging.h"
+#include "common/shutdown.h"
 #include "graph/workloads.h"
 #include "plan/plan_cache.h"
 #include "sched/hybrid_rotation.h"
@@ -144,6 +145,7 @@ main(int argc, char **argv)
     flags.addThreadsFlag();
     if (!flags.parse(argc, argv))
         return 1;
+    installShutdownHandler();
 
     std::unique_ptr<plan::PlanCache> cache;
     if (!plan_dir.empty())
@@ -159,39 +161,64 @@ main(int argc, char **argv)
         telem.registry = &registry;
     bool telemetry_on = telem.trace != nullptr || telem.registry != nullptr;
 
+    // On SIGINT/SIGTERM whatever telemetry exists so far is still flushed
+    // as valid JSON, marked truncated.
+    auto flush_outputs = [&](bool truncated) {
+        if (!stats_out.empty()) {
+            search.registerStats(registry);
+            if (cache != nullptr)
+                cache->registerStats(registry);
+            if (truncated)
+                registry.scalar("run.truncated",
+                                "run was interrupted by SIGINT/SIGTERM")
+                    .set(1.0);
+            std::ofstream os(stats_out);
+            if (!os) {
+                std::fprintf(stderr, "cannot write %s\n", stats_out.c_str());
+                return false;
+            }
+            registry.dumpJson(os);
+            os << "\n";
+            if (!truncated)
+                std::printf("\nwrote %zu stats to %s\n", registry.size(),
+                            stats_out.c_str());
+        }
+        if (!trace_out.empty()) {
+            if (truncated)
+                recorder.instant("run truncated", 0.0);
+            std::ofstream os(trace_out);
+            if (!os) {
+                std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+                return false;
+            }
+            recorder.writeJson(os);
+            if (!truncated)
+                std::printf("wrote %zu trace events to %s\n",
+                            recorder.events().size(), trace_out.c_str());
+        }
+        return true;
+    };
+    auto bail_out = [&]() {
+        std::fprintf(stderr, "\ninterrupted: flushing partial telemetry\n");
+        flush_outputs(/*truncated=*/true);
+        return kShutdownExitCode;
+    };
+
     setVerbose(false);
     bench::printHeader("Figure 11: technique breakdown, bootstrapping");
     breakdown("ARK+MAD", "CROPHE-64", 64.0,
               telemetry_on ? &telem : nullptr,
               telemetry_on ? &search : nullptr, cache.get());
+    if (shutdownRequested())
+        return bail_out();
     std::printf("\n");
     breakdown("SHARP+MAD", "CROPHE-36", 45.0,
               telemetry_on ? &telem : nullptr,
               telemetry_on ? &search : nullptr, cache.get());
+    if (shutdownRequested())
+        return bail_out();
 
-    if (!stats_out.empty()) {
-        search.registerStats(registry);
-        if (cache != nullptr)
-            cache->registerStats(registry);
-        std::ofstream os(stats_out);
-        if (!os) {
-            std::fprintf(stderr, "cannot write %s\n", stats_out.c_str());
-            return 1;
-        }
-        registry.dumpJson(os);
-        os << "\n";
-        std::printf("\nwrote %zu stats to %s\n", registry.size(),
-                    stats_out.c_str());
-    }
-    if (!trace_out.empty()) {
-        std::ofstream os(trace_out);
-        if (!os) {
-            std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
-            return 1;
-        }
-        recorder.writeJson(os);
-        std::printf("wrote %zu trace events to %s\n",
-                    recorder.events().size(), trace_out.c_str());
-    }
+    if (!flush_outputs(/*truncated=*/false))
+        return 1;
     return 0;
 }

@@ -25,6 +25,7 @@
 #include "common/cli.h"
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "common/shutdown.h"
 #include "plan/plan_cache.h"
 #include "telemetry/telemetry.h"
 
@@ -47,6 +48,7 @@ main(int argc, char **argv)
     if (!flags.parse(argc, argv))
         return 1;
     setVerbose(false);
+    installShutdownHandler();
 
     std::unique_ptr<plan::PlanCache> cache;
     if (!plan_dir.empty())
@@ -57,6 +59,29 @@ main(int argc, char **argv)
     run.planCache = cache.get();
     if (!stats_out.empty())
         run.search = &search;
+
+    // On SIGINT/SIGTERM the telemetry collected so far is still flushed
+    // as valid JSON, with run.truncated marking the early exit.
+    auto flush_stats = [&](bool truncated) {
+        if (stats_out.empty())
+            return true;
+        telemetry::StatsRegistry registry;
+        search.registerStats(registry, "sched");
+        if (cache != nullptr)
+            cache->registerStats(registry);
+        if (truncated)
+            registry.scalar("run.truncated",
+                            "run was interrupted by SIGINT/SIGTERM")
+                .set(1.0);
+        std::ofstream os(stats_out);
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n", stats_out.c_str());
+            return false;
+        }
+        registry.dumpJson(os);
+        os << "\n";
+        return true;
+    };
 
     const char *workloads[] = {"bootstrap", "helr", "resnet20",
                                "resnet110"};
@@ -70,10 +95,18 @@ main(int argc, char **argv)
         const u64 kW = std::size(workloads), kD = group.size();
         std::vector<std::unique_ptr<sched::WorkloadResult>> results(kW * kD);
         parallelFor(0, kW * kD, [&](u64 i) {
+            if (shutdownRequested())
+                return;  // leave the cell empty; flushed as truncated below
             results[i] = std::make_unique<sched::WorkloadResult>(
                 baselines::runDesign(group[i % kD], workloads[i / kD],
                                      run));
         });
+        if (shutdownRequested()) {
+            std::fprintf(stderr,
+                         "\ninterrupted: flushing partial telemetry\n");
+            flush_stats(/*truncated=*/true);
+            return kShutdownExitCode;
+        }
         for (u64 wi = 0; wi < kW; ++wi) {
             std::printf("%s:\n", workloads[wi]);
             double base = results[wi * kD]->stats.cycles;
@@ -84,18 +117,7 @@ main(int argc, char **argv)
 
     // The table above must stay byte-identical across cold and warm cache
     // runs, so the telemetry goes to a file, never to stdout.
-    if (!stats_out.empty()) {
-        telemetry::StatsRegistry registry;
-        search.registerStats(registry, "sched");
-        if (cache != nullptr)
-            cache->registerStats(registry);
-        std::ofstream os(stats_out);
-        if (!os) {
-            std::fprintf(stderr, "cannot write %s\n", stats_out.c_str());
-            return 1;
-        }
-        registry.dumpJson(os);
-        os << "\n";
-    }
+    if (!flush_stats(/*truncated=*/false))
+        return 1;
     return 0;
 }

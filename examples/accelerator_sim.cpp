@@ -13,6 +13,14 @@
  * text form goes to stdout. With --plan-cache DIR (or
  * $CROPHE_PLAN_CACHE) schedule searches go through the content-addressed
  * plan cache (DESIGN.md §8).
+ *
+ * With --fault-plan SPEC (or $CROPHE_FAULT_PLAN) the run executes under
+ * the seeded fault plan (DESIGN.md §9): transient DRAM/NoC faults are
+ * injected into the simulation, structural faults degrade the hardware
+ * configuration before scheduling, and the report ends with the
+ * degradation ratio against the healthy run. --deadline SEC arms the
+ * anytime scheduler budget. SIGINT/SIGTERM flush partial telemetry
+ * (marked truncated) and exit 130.
  */
 
 #include <cstdio>
@@ -23,7 +31,11 @@
 
 #include "baselines/baseline.h"
 #include "common/cli.h"
+#include "common/error.h"
 #include "common/logging.h"
+#include "common/shutdown.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "graph/workloads.h"
 #include "plan/plan_cache.h"
 #include "sched/scheduler.h"
@@ -32,11 +44,15 @@
 
 using namespace crophe;
 
+namespace {
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     std::string trace_out, stats_out;
     std::string plan_dir = plan::PlanCache::dirFromEnv();
+    std::string fault_spec = fault::FaultPlan::specFromEnv();
+    double deadline = 0.0;
     cli::FlagParser flags(
         "Cycle-level simulation of ResNet-20 on CROPHE-36.");
     flags.addString("--trace-out", &trace_out,
@@ -45,19 +61,47 @@ main(int argc, char **argv)
                     "dump the telemetry registry as JSON to FILE");
     flags.addString("--plan-cache", &plan_dir,
                     "schedule-cache directory (default $CROPHE_PLAN_CACHE)");
+    flags.addString("--fault-plan", &fault_spec,
+                    "fault-injection spec, e.g. seed=7,dram-err=1e-3 "
+                    "(default $CROPHE_FAULT_PLAN)");
+    flags.addDouble("--deadline", &deadline,
+                    "anytime scheduling budget per graph search in seconds "
+                    "(0 = exact search)");
     flags.addThreadsFlag();
     if (!flags.parse(argc, argv))
         return 1;
 
+    installShutdownHandler();
+
     std::unique_ptr<plan::PlanCache> cache;
     if (!plan_dir.empty())
         cache = std::make_unique<plan::PlanCache>(plan_dir);
+
+    fault::FaultPlan fplan = fault::FaultPlan::parse(fault_spec);
+    fault::FaultInjector injector(fplan);
+    const bool faulty = !fplan.empty();
+    const fault::FaultInjector *faults = faulty ? &injector : nullptr;
 
     setVerbose(false);
     auto design = baselines::designByName("CROPHE-36");
     std::printf("simulating ResNet-20 on %s (%u PEs x %u lanes, %.0f MB)\n",
                 design.cfg.name.c_str(), design.cfg.numPes,
                 design.cfg.lanes, design.cfg.sramMB);
+
+    // Structural faults shrink the hardware before any scheduling; the
+    // degraded config has a distinct digest, so the plan cache keeps
+    // healthy and degraded schedules apart.
+    auto run_design = design;
+    if (fplan.degradesHardware()) {
+        run_design.cfg = fplan.degradedConfig(design.cfg);
+        run_design.name += "+degraded";
+    }
+    if (faulty)
+        std::printf("fault plan: %s\n  degraded hardware: %s "
+                    "(%u PEs x %u lanes, %.0f MB)\n",
+                    fplan.toString().c_str(), run_design.cfg.name.c_str(),
+                    run_design.cfg.numPes, run_design.cfg.lanes,
+                    run_design.cfg.sramMB);
 
     telemetry::TraceRecorder recorder;
     telemetry::StatsRegistry registry;
@@ -69,71 +113,153 @@ main(int argc, char **argv)
         telem.registry = &registry;
     bool telemetry_on = telem.trace != nullptr || telem.registry != nullptr;
 
+    // Flush whatever telemetry exists so far; on a signal the outputs
+    // stay valid JSON, just marked truncated.
+    auto flush_outputs = [&](bool truncated) {
+        if (!stats_out.empty()) {
+            search.registerStats(registry);
+            if (cache != nullptr)
+                cache->registerStats(registry);
+            if (truncated)
+                registry.scalar("run.truncated",
+                                "run was interrupted by SIGINT/SIGTERM")
+                    .set(1.0);
+            std::ofstream os(stats_out);
+            if (!os) {
+                std::fprintf(stderr, "cannot write %s\n", stats_out.c_str());
+                return false;
+            }
+            registry.dumpJson(os);
+            os << "\n";
+            if (!truncated) {
+                std::printf("\ntelemetry registry (%zu stats, JSON in "
+                            "%s):\n",
+                            registry.size(), stats_out.c_str());
+                registry.dumpText(std::cout);
+            }
+        }
+        if (!trace_out.empty()) {
+            if (truncated)
+                recorder.instant("run truncated", 0.0);
+            std::ofstream os(trace_out);
+            if (!os) {
+                std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+                return false;
+            }
+            recorder.writeJson(os);
+            if (!truncated)
+                std::printf("\nwrote %zu trace events to %s "
+                            "(load in ui.perfetto.dev)\n",
+                            recorder.events().size(), trace_out.c_str());
+        }
+        return true;
+    };
+    auto bail_out = [&]() {
+        std::fprintf(stderr,
+                     "\ninterrupted: flushing partial telemetry\n");
+        flush_outputs(/*truncated=*/true);
+        return kShutdownExitCode;
+    };
+
     // Per-segment cycle-level simulation detail.
     graph::WorkloadOptions wopt;
     wopt.rotMode = graph::RotMode::Hybrid;
     wopt.rHyb = 4;
-    auto w = graph::buildResNet20(design.params, wopt);
+    auto w = graph::buildResNet20(run_design.params, wopt);
     sched::SchedOptions opt;
     opt.planCache = cache.get();
+    opt.deadlineSeconds = deadline;
     if (telemetry_on)
         opt.search = &search;
     std::printf("\n%-16s %6s %12s %12s %10s\n", "segment", "reps",
                 "sim cycles", "events", "row hit%");
     for (const auto &seg : w.segments) {
+        if (shutdownRequested())
+            return bail_out();
         if (telem.trace != nullptr)
             telem.trace->beginProcess(seg.name);
-        auto sched = sched::scheduleGraph(seg.graph, design.cfg, opt);
-        auto sim = sim::simulateSchedule(sched, design.cfg,
-                                         telemetry_on ? &telem : nullptr);
+        auto sched = sched::scheduleGraph(seg.graph, run_design.cfg, opt);
+        auto sim = sim::simulateSchedule(sched, run_design.cfg,
+                                         telemetry_on ? &telem : nullptr,
+                                         faults);
         std::printf("%-16s %6llu %12.3e %12llu %9.1f%%\n",
                     seg.name.c_str(),
                     static_cast<unsigned long long>(seg.repetitions),
                     sim.cycles,
                     static_cast<unsigned long long>(sim.events),
                     100.0 * sim.dramRowHitRate());
+        if (faulty && sim.faultsEnabled)
+            std::printf("  faults: ecc=%llu retried=%llu (%llu retries) "
+                        "stalled=%llu reroutes=%llu%s\n",
+                        static_cast<unsigned long long>(sim.faultDramEcc),
+                        static_cast<unsigned long long>(
+                            sim.faultDramRetried),
+                        static_cast<unsigned long long>(
+                            sim.faultDramRetries),
+                        static_cast<unsigned long long>(
+                            sim.faultDramStalls),
+                        static_cast<unsigned long long>(
+                            sim.faultNocReroutes),
+                        sched.degraded ? " [schedule: anytime fallback]"
+                                       : "");
     }
+    if (shutdownRequested())
+        return bail_out();
 
     // End-to-end, with the rotation-scheme search.
     baselines::RunOptions run;
     run.simulate = true;
     run.planCache = cache.get();
+    run.faults = faults;
+    run.deadlineSeconds = deadline;
     if (telemetry_on)
         run.search = &search;
-    auto result = baselines::runDesign(design, "resnet20", run);
-    std::printf("\nend-to-end (simulated): %.3e cycles = %.3f ms\n",
-                result.stats.cycles, result.seconds * 1e3);
+    auto result = baselines::runDesign(run_design, "resnet20", run);
+    std::printf("\nend-to-end (simulated): %.3e cycles = %.3f ms%s\n",
+                result.stats.cycles, result.seconds * 1e3,
+                result.degraded ? "  [anytime: deadline hit]" : "");
     std::printf("utilization: PE %.1f%%  NoC %.1f%%  SRAM b/w %.1f%%  "
                 "DRAM b/w %.1f%%\n",
                 100 * result.stats.peUtil, 100 * result.stats.nocUtil,
                 100 * result.stats.sramBwUtil,
                 100 * result.stats.dramBwUtil);
 
-    if (!stats_out.empty()) {
-        search.registerStats(registry);
-        if (cache != nullptr)
-            cache->registerStats(registry);
-        std::ofstream os(stats_out);
-        if (!os) {
-            std::fprintf(stderr, "cannot write %s\n", stats_out.c_str());
-            return 1;
-        }
-        registry.dumpJson(os);
-        os << "\n";
-        std::printf("\ntelemetry registry (%zu stats, JSON in %s):\n",
-                    registry.size(), stats_out.c_str());
-        registry.dumpText(std::cout);
+    if (faulty) {
+        if (shutdownRequested())
+            return bail_out();
+        // The healthy twin quantifies the plan's damage. It must not see
+        // the injector or the degraded config (and a deadline would make
+        // the baseline itself approximate, so it runs exact).
+        baselines::RunOptions healthy_run;
+        healthy_run.simulate = true;
+        healthy_run.planCache = cache.get();
+        if (telemetry_on)
+            healthy_run.search = &search;
+        auto healthy = baselines::runDesign(design, "resnet20",
+                                            healthy_run);
+        double ratio = fault::degradationRatio(result.stats.cycles,
+                                               healthy.stats.cycles);
+        std::printf("healthy twin: %.3e cycles = %.3f ms\n",
+                    healthy.stats.cycles, healthy.seconds * 1e3);
+        std::printf("degradation ratio (faulty / healthy): %.3fx\n", ratio);
     }
-    if (!trace_out.empty()) {
-        std::ofstream os(trace_out);
-        if (!os) {
-            std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
-            return 1;
-        }
-        recorder.writeJson(os);
-        std::printf("\nwrote %zu trace events to %s "
-                    "(load in ui.perfetto.dev)\n",
-                    recorder.events().size(), trace_out.c_str());
-    }
+
+    if (!flush_outputs(/*truncated=*/false))
+        return 1;
     return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const RecoverableError &e) {
+        // User-input problems (bad flag values, impossible fault plans)
+        // are reported, not aborted on.
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
 }

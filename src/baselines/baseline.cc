@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/error.h"
 #include "common/logging.h"
 #include "sched/enumerator.h"
 #include "sched/hybrid_rotation.h"
@@ -56,7 +57,8 @@ designByName(const std::string &name)
     for (const auto &d : designs36())
         if (d.name == name)
             return d;
-    CROPHE_FATAL("unknown design: ", name);
+    // User input (CLI/config lookup), not an invariant: recoverable.
+    throw RecoverableError("unknown design: " + name);
 }
 
 namespace {
@@ -72,8 +74,10 @@ runDesignImpl(const DesignSpec &design, const std::string &workload,
         opt.memo = &memo;
         opt.planCache = run.planCache;
         opt.search = run.search;
+        opt.deadlineSeconds = run.deadlineSeconds;
         sched::WorkloadResult res =
-            run.simulate ? sim::simulateWorkload(w, design.cfg, opt)
+            run.simulate ? sim::simulateWorkload(w, design.cfg, opt,
+                                                 nullptr, run.faults)
                          : sched::scheduleWorkload(w, design.cfg, opt);
         res.design = design.name;
         return res;
@@ -85,6 +89,7 @@ runDesignImpl(const DesignSpec &design, const std::string &workload,
     opt.memo = &memo;
     opt.planCache = run.planCache;
     opt.search = run.search;
+    opt.deadlineSeconds = run.deadlineSeconds;
 
     // Rotation scheme search happens at graph level (Section V-D).
     auto choice = sched::chooseRotationScheme(
@@ -101,13 +106,15 @@ runDesignImpl(const DesignSpec &design, const std::string &workload,
         auto best = sched::scheduleWorkloadAutoClusters(w, design.cfg, opt);
         if (run.simulate) {
             opt.clusters = best.clusters;
-            res = sim::simulateWorkload(w, design.cfg, opt);
+            res = sim::simulateWorkload(w, design.cfg, opt, nullptr,
+                                        run.faults);
         } else {
             res = std::move(best);
         }
     } else {
         opt.clusters = 1;
-        res = run.simulate ? sim::simulateWorkload(w, design.cfg, opt)
+        res = run.simulate ? sim::simulateWorkload(w, design.cfg, opt,
+                                                   nullptr, run.faults)
                            : sched::scheduleWorkload(w, design.cfg, opt);
     }
     res.design = design.name;

@@ -25,6 +25,10 @@ namespace crophe::telemetry {
 class SearchTelemetry;
 }  // namespace crophe::telemetry
 
+namespace crophe::fault {
+class FaultInjector;
+}  // namespace crophe::fault
+
 namespace crophe::baselines {
 
 /** One evaluated design point. */
@@ -57,6 +61,11 @@ struct RunOptions
     plan::PlanCache *planCache = nullptr;
     /** Optional search observer; also accrues scheduling wall-clock. */
     telemetry::SearchTelemetry *search = nullptr;
+    /** Optional transient-fault injector for the simulation phase
+     *  (DESIGN.md §9); structural faults degrade cfg before the call. */
+    const fault::FaultInjector *faults = nullptr;
+    /** Anytime budget per graph search (SchedOptions::deadlineSeconds). */
+    double deadlineSeconds = 0.0;
 };
 
 /**

@@ -28,6 +28,14 @@ FlagParser::addUint(const std::string &name, u32 *out,
 }
 
 void
+FlagParser::addDouble(const std::string &name, double *out,
+                      const std::string &help)
+{
+    CROPHE_ASSERT(out != nullptr, "flag destination required");
+    flags_.push_back({name, Kind::Double, out, help});
+}
+
+void
 FlagParser::addBool(const std::string &name, bool *out,
                     const std::string &help)
 {
@@ -76,6 +84,14 @@ FlagParser::parse(int argc, char **argv)
             continue;
         }
         char *end = nullptr;
+        if (flag->kind == Kind::Double) {
+            double parsed = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0')
+                return fail(argv[0], arg + " expects a number, got \"" +
+                                         value + "\"");
+            *static_cast<double *>(flag->out) = parsed;
+            continue;
+        }
         unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
         if (end == value.c_str() || *end != '\0')
             return fail(argv[0], arg + " expects an unsigned integer, got \"" +
@@ -97,6 +113,8 @@ FlagParser::printUsage(const char *argv0, std::ostream &os) const
             os << " FILE";
         else if (f.kind == Kind::Uint)
             os << " N";
+        else if (f.kind == Kind::Double)
+            os << " X";
         os << "]";
     }
     os << "\n";
@@ -109,6 +127,8 @@ FlagParser::printUsage(const char *argv0, std::ostream &os) const
             head += " FILE";
         else if (f.kind == Kind::Uint)
             head += " N";
+        else if (f.kind == Kind::Double)
+            head += " X";
         os << head;
         for (std::size_t pad = head.size(); pad < 22; ++pad)
             os << ' ';

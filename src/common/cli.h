@@ -33,6 +33,9 @@ class FlagParser
                    const std::string &help);
     /** `--name N`: base-10 unsigned. Parsing fails on non-numeric input. */
     void addUint(const std::string &name, u32 *out, const std::string &help);
+    /** `--name X`: floating point. Parsing fails on non-numeric input. */
+    void addDouble(const std::string &name, double *out,
+                   const std::string &help);
     /** `--name` (no value): sets *out to true. */
     void addBool(const std::string &name, bool *out, const std::string &help);
     /** @} */
@@ -59,6 +62,7 @@ class FlagParser
     {
         String,
         Uint,
+        Double,
         Bool,
     };
     struct Flag

@@ -10,8 +10,15 @@
  *            exits with an error code.
  * warn()   — something works but not as well as it should.
  * inform() — plain status output.
+ *
+ * High-frequency degradation sites (a DRAM retry inside a fault sweep can
+ * fire thousands of times) use the rate-limited variants: WARN_ONCE emits
+ * only the first occurrence per call site, WARN_EVERY_N the 1st, N+1th,
+ * 2N+1th... occurrence, suffixed with the running count so the log still
+ * shows the event volume.
  */
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -62,6 +69,31 @@ format(const Args &...args)
 
 #define CROPHE_WARN(...) \
     ::crophe::warnImpl(::crophe::detail::format(__VA_ARGS__))
+
+/** Warn only on the first execution of this call site (thread-safe). */
+#define CROPHE_WARN_ONCE(...)                                             \
+    do {                                                                  \
+        static std::atomic<bool> crophe_warned_{false};                   \
+        if (!crophe_warned_.exchange(true, std::memory_order_relaxed))    \
+            ::crophe::warnImpl(::crophe::detail::format(__VA_ARGS__));    \
+    } while (false)
+
+/**
+ * Warn on the 1st, n+1th, 2n+1th... execution of this call site, with the
+ * occurrence count appended — fault sweeps injecting thousands of errors
+ * log a handful of lines instead of flooding stderr.
+ */
+#define CROPHE_WARN_EVERY_N(n, ...)                                       \
+    do {                                                                  \
+        static std::atomic<unsigned long long> crophe_warn_count_{0};     \
+        unsigned long long crophe_seen_ = crophe_warn_count_.fetch_add(   \
+                                              1,                          \
+                                              std::memory_order_relaxed) +\
+                                          1;                              \
+        if ((crophe_seen_ - 1) % static_cast<unsigned long long>(n) == 0) \
+            ::crophe::warnImpl(::crophe::detail::format(                  \
+                __VA_ARGS__, " (occurrence ", crophe_seen_, ")"));        \
+    } while (false)
 
 #define CROPHE_INFORM(...) \
     ::crophe::informImpl(::crophe::detail::format(__VA_ARGS__))

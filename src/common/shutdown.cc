@@ -1,0 +1,35 @@
+#include "common/shutdown.h"
+
+#include <csignal>
+
+namespace crophe {
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+extern "C" void
+shutdownSignalHandler(int signum)
+{
+    g_shutdown_requested = 1;
+    // Second signal kills the process: restore the default disposition so
+    // a harness stuck inside one long unit of work stays interruptible.
+    std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+void
+installShutdownHandler()
+{
+    std::signal(SIGINT, shutdownSignalHandler);
+    std::signal(SIGTERM, shutdownSignalHandler);
+}
+
+bool
+shutdownRequested()
+{
+    return g_shutdown_requested != 0;
+}
+
+}  // namespace crophe

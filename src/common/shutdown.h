@@ -1,0 +1,36 @@
+#ifndef CROPHE_COMMON_SHUTDOWN_H_
+#define CROPHE_COMMON_SHUTDOWN_H_
+
+/**
+ * @file
+ * Cooperative SIGINT/SIGTERM handling for the long-running harnesses.
+ *
+ * installShutdownHandler() arms an async-signal-safe handler that only
+ * sets a flag; harness loops poll shutdownRequested() between units of
+ * work and, when set, flush whatever partial --stats-out/--trace-out
+ * output they have (valid JSON, marked truncated) before exiting
+ * non-zero. A second signal restores the default disposition, so a stuck
+ * run can still be killed with a second Ctrl-C.
+ */
+
+namespace crophe {
+
+/**
+ * Install the SIGINT/SIGTERM flag-setting handler (idempotent). The first
+ * signal requests a cooperative shutdown; the second falls through to the
+ * default handler and terminates immediately.
+ */
+void installShutdownHandler();
+
+/** True once a SIGINT/SIGTERM arrived after installShutdownHandler(). */
+bool shutdownRequested();
+
+/**
+ * Conventional exit code for a signal-truncated run: non-zero and
+ * distinct from ordinary failures (128 + SIGINT, the shell convention).
+ */
+constexpr int kShutdownExitCode = 130;
+
+}  // namespace crophe
+
+#endif  // CROPHE_COMMON_SHUTDOWN_H_

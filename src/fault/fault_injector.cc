@@ -1,0 +1,75 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/logging.h"
+
+namespace crophe::fault {
+
+namespace {
+
+/** splitmix64 finalizer: full-avalanche 64-bit mix. */
+u64
+mix64(u64 x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan &plan) : plan_(plan)
+{
+    // Stalled-channel set: rank every pseudo-channel by a seeded hash and
+    // stall the lowest-ranked ones — a deterministic "random" choice.
+    u32 stalled = std::min(plan_.stalledDramChannels,
+                           FaultPlan::kDramChannels);
+    if (stalled > 0) {
+        std::array<std::pair<u64, u32>, FaultPlan::kDramChannels> ranked;
+        for (u32 ch = 0; ch < FaultPlan::kDramChannels; ++ch)
+            ranked[ch] = {mix64(plan_.seed ^
+                                mix64(static_cast<u64>(
+                                          FaultSite::ChannelPick) ^
+                                      (static_cast<u64>(ch) << 32))),
+                          ch};
+        std::sort(ranked.begin(), ranked.end());
+        for (u32 i = 0; i < stalled; ++i)
+            stalledMask_ |= 1ull << ranked[i].second;
+    }
+}
+
+double
+FaultInjector::uniform(FaultSite site, u64 n) const
+{
+    u64 h = mix64(plan_.seed ^ mix64(static_cast<u64>(site) * 0x100000001b3ull ^
+                                     mix64(n)));
+    // 53 high bits -> [0, 1) double, the usual lossless mapping.
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+u32
+FaultInjector::dramRetries(u64 n) const
+{
+    u32 retries = 1;  // the failed read is always re-issued once
+    // Each re-read independently sees the transient rate; indexing the
+    // draws by (access, attempt) keeps the sequence a pure function.
+    while (retries < plan_.dramRetryLimit &&
+           uniform(FaultSite::DramRetry, n * 32 + retries) <
+               plan_.dramErrorRate)
+        ++retries;
+    return retries;
+}
+
+double
+FaultInjector::retryBackoffCycles(u32 retries) const
+{
+    CROPHE_ASSERT(retries <= 32, "retry count out of range: ", retries);
+    // base * (2^retries - 1): exponential backoff summed over attempts.
+    double factor = static_cast<double>((1ull << retries) - 1);
+    return plan_.dramRetryBackoffCycles * factor;
+}
+
+}  // namespace crophe::fault

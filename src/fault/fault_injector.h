@@ -1,0 +1,88 @@
+#ifndef CROPHE_FAULT_FAULT_INJECTOR_H_
+#define CROPHE_FAULT_FAULT_INJECTOR_H_
+
+/**
+ * @file
+ * Seeded, stateless fault-decision oracle (DESIGN.md §9).
+ *
+ * Every decision is a pure function of (plan seed, site, draw index):
+ * `uniform(site, n)` hashes the triple through splitmix64 finalizers, so
+ * decisions never depend on thread scheduling, on the order in which
+ * independent components consume randomness, or on any shared mutable
+ * state. Each consumer (a DramModel, a NocModel) keeps its *own* local
+ * draw counters, which advance in deterministic simulated-event order —
+ * this is what makes chaos runs bit-identical at 1 and 8 host threads
+ * even though segments simulate concurrently.
+ */
+
+#include "fault/fault_plan.h"
+
+namespace crophe::fault {
+
+/** Decision sites: namespaces the injector's random streams. */
+enum class FaultSite : u64
+{
+    DramError = 1,
+    DramEcc = 2,
+    DramRetry = 3,
+    NocLink = 4,
+    ChannelPick = 5,
+};
+
+/** Deterministic per-site decision oracle over one FaultPlan. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan);
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /** The n-th uniform [0,1) draw of @p site (pure function). */
+    double uniform(FaultSite site, u64 n) const;
+
+    /** Does the n-th DRAM access suffer a transient read error? */
+    bool dramReadError(u64 n) const
+    {
+        return plan_.dramErrorRate > 0.0 &&
+               uniform(FaultSite::DramError, n) < plan_.dramErrorRate;
+    }
+
+    /** Is the n-th DRAM error corrected in place by ECC (no retry)? */
+    bool dramEccCorrected(u64 n) const
+    {
+        return uniform(FaultSite::DramEcc, n) < plan_.dramEccFraction;
+    }
+
+    /**
+     * Retries the n-th erroring access performs before a clean re-read:
+     * each re-read independently fails with the transient rate, capped at
+     * the plan's retry limit so simulation always terminates. >= 1.
+     */
+    u32 dramRetries(u64 n) const;
+
+    /** Total backoff latency (cycles) for @p retries re-reads: the first
+     *  costs the plan's base backoff, each further one doubles it. */
+    double retryBackoffCycles(u32 retries) const;
+
+    /** Does the n-th NoC transfer cross a failed link (reroute)? */
+    bool nocLinkFailed(u64 n) const
+    {
+        return plan_.nocLinkFailRate > 0.0 &&
+               uniform(FaultSite::NocLink, n) < plan_.nocLinkFailRate;
+    }
+
+    /** Is pseudo-channel @p ch stalled under this plan? The stalled set
+     *  is a seeded choice fixed at construction. */
+    bool channelStalled(u32 ch) const
+    {
+        return ch < 64 && ((stalledMask_ >> ch) & 1u) != 0;
+    }
+
+  private:
+    FaultPlan plan_;
+    u64 stalledMask_ = 0;  ///< bit ch set = pseudo-channel ch stalled
+};
+
+}  // namespace crophe::fault
+
+#endif  // CROPHE_FAULT_FAULT_INJECTOR_H_

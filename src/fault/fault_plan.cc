@@ -1,0 +1,209 @@
+#include "fault/fault_plan.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace crophe::fault {
+
+namespace {
+
+[[noreturn]] void
+badSpec(const std::string &spec, const std::string &why)
+{
+    throw RecoverableError("invalid fault plan \"" + spec + "\": " + why);
+}
+
+u64
+parseU64(const std::string &spec, const std::string &key,
+         const std::string &value)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        badSpec(spec, key + " expects an unsigned integer, got \"" + value +
+                          "\"");
+    return v;
+}
+
+double
+parseDouble(const std::string &spec, const std::string &key,
+            const std::string &value)
+{
+    char *end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        badSpec(spec, key + " expects a number, got \"" + value + "\"");
+    return v;
+}
+
+double
+parseRate(const std::string &spec, const std::string &key,
+          const std::string &value)
+{
+    double v = parseDouble(spec, key, value);
+    if (!(v >= 0.0 && v <= 1.0))
+        badSpec(spec, key + " must be a probability in [0, 1], got " + value);
+    return v;
+}
+
+double
+parseCycles(const std::string &spec, const std::string &key,
+            const std::string &value)
+{
+    double v = parseDouble(spec, key, value);
+    if (!(v >= 0.0))
+        badSpec(spec, key + " must be non-negative, got " + value);
+    return v;
+}
+
+}  // namespace
+
+bool
+FaultPlan::empty() const
+{
+    return dramErrorRate == 0.0 && stalledDramChannels == 0 &&
+           nocLinkFailRate == 0.0 && deadPeGroups == 0 &&
+           failedSramBanks == 0;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        auto eq = item.find('=');
+        if (eq == std::string::npos)
+            badSpec(spec, "expected key=value, got \"" + item + "\"");
+        std::string key = item.substr(0, eq);
+        std::string value = item.substr(eq + 1);
+        if (key == "seed")
+            plan.seed = parseU64(spec, key, value);
+        else if (key == "dram-err")
+            plan.dramErrorRate = parseRate(spec, key, value);
+        else if (key == "dram-ecc")
+            plan.dramEccFraction = parseRate(spec, key, value);
+        else if (key == "dram-retries")
+            plan.dramRetryLimit =
+                static_cast<u32>(parseU64(spec, key, value));
+        else if (key == "dram-backoff")
+            plan.dramRetryBackoffCycles = parseCycles(spec, key, value);
+        else if (key == "stalled-channels")
+            plan.stalledDramChannels =
+                static_cast<u32>(parseU64(spec, key, value));
+        else if (key == "channel-stall")
+            plan.channelStallCycles = parseCycles(spec, key, value);
+        else if (key == "noc-fail")
+            plan.nocLinkFailRate = parseRate(spec, key, value);
+        else if (key == "noc-extra-hops")
+            plan.nocRerouteExtraHops =
+                static_cast<u32>(parseU64(spec, key, value));
+        else if (key == "dead-pe-groups")
+            plan.deadPeGroups = static_cast<u32>(parseU64(spec, key, value));
+        else if (key == "failed-sram-banks")
+            plan.failedSramBanks =
+                static_cast<u32>(parseU64(spec, key, value));
+        else
+            badSpec(spec, "unknown key \"" + key + "\"");
+    }
+    if (plan.dramRetryLimit > 16)
+        badSpec(spec, "dram-retries must be <= 16 (backoff doubles per "
+                      "retry and would overflow any latency budget)");
+    if (plan.failedSramBanks >= kSramBanks && plan.failedSramBanks != 0)
+        badSpec(spec, "failed-sram-banks must leave at least one of " +
+                          std::to_string(kSramBanks) + " banks working");
+    return plan;
+}
+
+std::string
+FaultPlan::specFromEnv()
+{
+    const char *env = std::getenv("CROPHE_FAULT_PLAN");
+    return env != nullptr ? std::string(env) : std::string();
+}
+
+std::string
+FaultPlan::toString() const
+{
+    const FaultPlan def;
+    std::ostringstream os;
+    const char *sep = "";
+    auto emit = [&](const char *key, auto value, auto default_value) {
+        if (value == default_value)
+            return;
+        os << sep << key << "=" << value;
+        sep = ",";
+    };
+    emit("seed", seed, def.seed);
+    emit("dram-err", dramErrorRate, def.dramErrorRate);
+    emit("dram-ecc", dramEccFraction, def.dramEccFraction);
+    emit("dram-retries", dramRetryLimit, def.dramRetryLimit);
+    emit("dram-backoff", dramRetryBackoffCycles, def.dramRetryBackoffCycles);
+    emit("stalled-channels", stalledDramChannels, def.stalledDramChannels);
+    emit("channel-stall", channelStallCycles, def.channelStallCycles);
+    emit("noc-fail", nocLinkFailRate, def.nocLinkFailRate);
+    emit("noc-extra-hops", nocRerouteExtraHops, def.nocRerouteExtraHops);
+    emit("dead-pe-groups", deadPeGroups, def.deadPeGroups);
+    emit("failed-sram-banks", failedSramBanks, def.failedSramBanks);
+    return os.str();
+}
+
+hw::HwConfig
+FaultPlan::degradedConfig(const hw::HwConfig &healthy) const
+{
+    hw::HwConfig cfg = healthy;
+    if (!degradesHardware())
+        return cfg;
+
+    if (deadPeGroups > 0) {
+        if (deadPeGroups >= healthy.meshX)
+            throw RecoverableError(
+                "fault plan kills all " + std::to_string(healthy.meshX) +
+                " PE groups of " + healthy.name + "; nothing left to run on");
+        // A PE group is one mesh column; the column's share of the array
+        // dies with it.
+        u32 per_column = healthy.numPes / healthy.meshX;
+        if (per_column == 0)
+            per_column = 1;
+        u32 lost = deadPeGroups * per_column;
+        if (lost >= healthy.numPes)
+            throw RecoverableError("fault plan leaves no working PEs on " +
+                                   healthy.name);
+        cfg.numPes = healthy.numPes - lost;
+        cfg.meshX = healthy.meshX - deadPeGroups;
+    }
+    if (failedSramBanks > 0) {
+        if (failedSramBanks >= kSramBanks)
+            throw RecoverableError("fault plan fails every global-buffer "
+                                   "bank of " +
+                                   healthy.name);
+        // Single-ported banks: losing a bank loses its capacity slice and
+        // its slice of the aggregate bandwidth.
+        double keep = static_cast<double>(kSramBanks - failedSramBanks) /
+                      static_cast<double>(kSramBanks);
+        cfg.sramMB = healthy.sramMB * keep;
+        cfg.sramGBs = healthy.sramGBs * keep;
+    }
+    cfg.name = healthy.name + "+degraded";
+    hw::validateConfig(cfg);
+    CROPHE_ASSERT(hw::configDigest(cfg) != hw::configDigest(healthy),
+                  "degraded config must never share the healthy digest");
+    return cfg;
+}
+
+double
+degradationRatio(double degraded_cycles, double healthy_cycles)
+{
+    CROPHE_ASSERT(degraded_cycles > 0.0 && healthy_cycles > 0.0,
+                  "degradation ratio needs positive cycle counts, got ",
+                  degraded_cycles, " / ", healthy_cycles);
+    return degraded_cycles / healthy_cycles;
+}
+
+}  // namespace crophe::fault

@@ -1,0 +1,119 @@
+#ifndef CROPHE_FAULT_FAULT_PLAN_H_
+#define CROPHE_FAULT_FAULT_PLAN_H_
+
+/**
+ * @file
+ * Deterministic fault-injection plans (DESIGN.md §9).
+ *
+ * A FaultPlan describes which hardware degradations to inject into a run:
+ * transient DRAM read errors (ECC-corrected or retried with exponential
+ * backoff), stalled HBM pseudo-channels, failed NoC links (rerouted with
+ * detour hops), dead PE groups and failed global-buffer banks. Plans are
+ * parsed from a compact `key=value,key=value` spec string (the
+ * `--fault-plan` flag / `CROPHE_FAULT_PLAN` environment variable) and are
+ * fully seeded: the same plan produces bit-identical fault decisions —
+ * and therefore bit-identical degraded statistics — on every run and at
+ * every thread count.
+ *
+ * Structural faults (dead PE groups, failed SRAM banks) do not inject at
+ * simulation time; they derive a *degraded* HwConfig up front, so the
+ * scheduler and mapper plan around the missing resources and the plan
+ * cache keys the result under a distinct configDigest (healthy-hardware
+ * plans are never served to degraded hardware).
+ */
+
+#include <string>
+
+#include "hw/config.h"
+
+namespace crophe::fault {
+
+/** One fault-injection scenario. See file doc for the spec format. */
+struct FaultPlan
+{
+    /** Seeds every injector decision; part of the determinism contract. */
+    u64 seed = 0;
+
+    // --- Transient faults (injected by the cycle simulator) --------------
+    /** Per-access probability of a transient DRAM read error. */
+    double dramErrorRate = 0.0;
+    /** Fraction of DRAM errors corrected in place by ECC (no retry). */
+    double dramEccFraction = 0.5;
+    /** Max re-reads of a failed burst before the scrubber gives up and
+     *  the access is charged in full anyway (simulation always ends). */
+    u32 dramRetryLimit = 3;
+    /** Backoff latency of the first retry; doubles per further retry. */
+    double dramRetryBackoffCycles = 100.0;
+    /** HBM pseudo-channels stuck in a degraded state (of the model's 16);
+     *  which ones is a seeded choice. */
+    u32 stalledDramChannels = 0;
+    /** Extra latency every burst on a stalled channel pays. */
+    double channelStallCycles = 200.0;
+    /** Probability a NoC transfer's route crosses a failed link. */
+    double nocLinkFailRate = 0.0;
+    /** Detour hops a rerouted transfer pays (XY reroute around a link). */
+    u32 nocRerouteExtraHops = 2;
+
+    // --- Structural faults (degrade the HwConfig before scheduling) ------
+    /** Dead PE groups: whole mesh columns removed from the array. */
+    u32 deadPeGroups = 0;
+    /** Failed global-buffer banks out of kSramBanks. */
+    u32 failedSramBanks = 0;
+
+    /** Banked-buffer granularity for failed-bank degradation. */
+    static constexpr u32 kSramBanks = 32;
+
+    /** HBM pseudo-channel universe the stalled-channel pick draws from;
+     *  must match the DRAM model's channel count (static_asserted there). */
+    static constexpr u32 kDramChannels = 16;
+
+    /**
+     * True when the plan injects nothing (all rates and counts zero): an
+     * empty plan is contractually byte-identical to no plan at all.
+     */
+    bool empty() const;
+
+    /** True when the plan degrades the HwConfig (vs transient-only). */
+    bool degradesHardware() const
+    {
+        return deadPeGroups > 0 || failedSramBanks > 0;
+    }
+
+    /**
+     * Parse a `key=value,key=value` spec (e.g. `seed=7,dram-err=1e-3,
+     * dead-pe-groups=1,failed-sram-banks=2`). Keys: seed, dram-err,
+     * dram-ecc, dram-retries, dram-backoff, stalled-channels,
+     * channel-stall, noc-fail, noc-extra-hops, dead-pe-groups,
+     * failed-sram-banks. Throws RecoverableError on an unknown key, a
+     * malformed value, or an out-of-range rate.
+     */
+    static FaultPlan parse(const std::string &spec);
+
+    /** Spec from $CROPHE_FAULT_PLAN, or "" when unset/empty. */
+    static std::string specFromEnv();
+
+    /** Canonical spec string (non-default fields only; parse round-trips). */
+    std::string toString() const;
+
+    /**
+     * The hardware that remains once the structural faults are applied:
+     * dead PE groups remove whole mesh columns (numPes and meshX shrink),
+     * failed banks shrink the global buffer's capacity and bandwidth
+     * proportionally, and the name gains a `+degraded` suffix — so
+     * hw::configDigest differs from the healthy config and the plan cache
+     * can never serve healthy-hardware schedules to degraded hardware.
+     * Throws RecoverableError when nothing usable remains (every PE group
+     * dead, every bank failed).
+     */
+    hw::HwConfig degradedConfig(const hw::HwConfig &healthy) const;
+};
+
+/**
+ * Slowdown of a degraded run vs its healthy twin (>= 1.0 in practice;
+ * exactly 1.0 for an empty plan). Both cycle counts must be positive.
+ */
+double degradationRatio(double degraded_cycles, double healthy_cycles);
+
+}  // namespace crophe::fault
+
+#endif  // CROPHE_FAULT_FAULT_PLAN_H_

@@ -1,5 +1,6 @@
 #include "graph/params.h"
 
+#include "common/error.h"
 #include "common/logging.h"
 
 namespace crophe::graph {
@@ -39,7 +40,8 @@ paramsByName(const std::string &name)
         return paramsSharp();
     if (name == "craterlake")
         return paramsCraterLake();
-    CROPHE_FATAL("unknown parameter set: ", name);
+    // User input (CLI/config lookup), not an invariant: recoverable.
+    throw RecoverableError("unknown parameter set: " + name);
 }
 
 }  // namespace crophe::graph

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/error.h"
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "graph/keyswitch_builder.h"
@@ -524,7 +525,8 @@ buildWorkload(const std::string &name, const FheParams &p,
         return buildResNet20(p, opt);
     if (name == "resnet110")
         return buildResNet110(p, opt);
-    CROPHE_FATAL("unknown workload: ", name);
+    // User input (CLI/config lookup), not an invariant: recoverable.
+    throw RecoverableError("unknown workload: " + name);
 }
 
 }  // namespace crophe::graph

@@ -1,5 +1,6 @@
 #include "hw/config.h"
 
+#include "common/error.h"
 #include "common/logging.h"
 
 namespace crophe::hw {
@@ -134,7 +135,47 @@ configByName(const std::string &name)
         return configSharp();
     if (name == "crophe36")
         return configCrophe36();
-    CROPHE_FATAL("unknown hardware configuration: ", name);
+    // User input (CLI/config lookup), not an invariant: recoverable.
+    throw RecoverableError("unknown hardware configuration: " + name);
+}
+
+void
+validateConfig(const HwConfig &cfg)
+{
+    auto reject = [&cfg](const std::string &why) {
+        throw RecoverableError("invalid hardware configuration \"" +
+                               cfg.name + "\": " + why);
+    };
+    if (cfg.wordBits < 8)
+        reject("wordBits must be at least 8");
+    if (!(cfg.freqGhz > 0.0))
+        reject("freqGhz must be positive");
+    if (cfg.lanes == 0)
+        reject("lanes must be positive");
+    if (cfg.numPes == 0)
+        reject("numPes must be positive");
+    if (cfg.meshX == 0 || cfg.meshY == 0)
+        reject("mesh dimensions must be positive");
+    if (!(cfg.dramGBs > 0.0))
+        reject("dramGBs must be positive");
+    if (!(cfg.sramGBs > 0.0))
+        reject("sramGBs must be positive");
+    if (!(cfg.sramMB > 0.0))
+        reject("sramMB must be positive");
+    if (!(cfg.regFileKB > 0.0))
+        reject("regFileKB must be positive");
+    if (!(cfg.transposeMB > 0.0))
+        reject("transposeMB must be positive");
+    if (!cfg.homogeneous) {
+        double total = 0.0;
+        for (double f : cfg.fuFraction) {
+            if (!(f >= 0.0))
+                reject("FU-class fractions must be non-negative");
+            total += f;
+        }
+        if (!(total > 0.0))
+            reject("a specialized design needs some FU capacity");
+    }
 }
 
 u64

@@ -80,6 +80,15 @@ HwConfig configCrophe36();   ///< CROPHE-36 (vs CL+/SHARP)
 HwConfig configByName(const std::string &name);
 
 /**
+ * Validate every field a scheduler or simulator divides by or sizes
+ * buffers from. Throws crophe::RecoverableError listing the first
+ * problem — user-facing entry points (scheduleWorkload, simulateWorkload)
+ * call this so an invalid (e.g. over-degraded) configuration is reported
+ * instead of aborting deep inside a model with panic()/fatal().
+ */
+void validateConfig(const HwConfig &cfg);
+
+/**
  * Order-sensitive digest over every field that affects scheduling and
  * simulation (name included). Used to key schedule caches and shared
  * enumeration memos: equal digests ⇒ interchangeable hardware.

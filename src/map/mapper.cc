@@ -16,6 +16,24 @@ mapGroup(const sched::SpatialGroup &group, const graph::Graph &g,
          const hw::HwConfig &cfg)
 {
     GroupMapping mapping;
+    CROPHE_ASSERT(cfg.numPes > 0, "mapper needs at least one live PE");
+
+    // A degraded array (DESIGN.md §9) can leave a group sized for more
+    // PEs than remain; scale every op's share down proportionally so the
+    // group still spreads across the live PEs instead of piling onto the
+    // clamp boundary at the array edge.
+    u64 requested = 0;
+    for (const auto &alloc : group.allocs)
+        if (g.op(alloc.op).kind != OpKind::Transpose)
+            requested += alloc.pes;
+    double scale = requested > cfg.numPes
+                       ? static_cast<double>(cfg.numPes) /
+                             static_cast<double>(requested)
+                       : 1.0;
+    if (scale < 1.0)
+        CROPHE_WARN_ONCE("spatial group requests ", requested,
+                         " PEs on a ", cfg.numPes,
+                         "-PE array: rescaling allocations");
 
     // Split the op sequence at Transpose ops into segments; odd segments
     // (after a transpose) are placed right-to-left (Figure 4). Each
@@ -42,7 +60,9 @@ mapGroup(const sched::SpatialGroup &group, const graph::Graph &g,
 
         PePlacement p;
         p.op = alloc.op;
-        for (u32 k = 0; k < alloc.pes; ++k) {
+        u32 pes = std::max<u32>(
+            1, static_cast<u32>(static_cast<double>(alloc.pes) * scale));
+        for (u32 k = 0; k < pes; ++k) {
             u32 pe;
             if (!reversed) {
                 pe = next_pe_forward;

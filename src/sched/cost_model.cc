@@ -77,6 +77,7 @@ aggregateWorkload(const graph::Workload &w, const hw::HwConfig &cfg,
 
         res.perSegment.emplace_back(seg.name, st);
         res.stats.accumulate(st);
+        res.degraded = res.degraded || sched.degraded;
     }
 
     fillUtilization(res.stats, cfg);

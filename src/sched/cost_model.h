@@ -25,6 +25,9 @@ struct WorkloadResult
     SchedStats stats;                 ///< aggregate over all segments × reps
     double seconds = 0.0;             ///< wall time at the config frequency
     std::vector<std::pair<std::string, SchedStats>> perSegment;
+    /** True when any segment schedule was deadline-truncated (anytime
+     *  greedy fallback rather than the exact search, DESIGN.md §9). */
+    bool degraded = false;
 };
 
 /** Fraction of a segment's DRAM words that are shared aux constants. */

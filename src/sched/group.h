@@ -63,6 +63,16 @@ struct SchedOptions
      * schedule call creates its own. Not part of optionsDigest().
      */
     GroupMemo *memo = nullptr;
+    /**
+     * Anytime-search wall-clock budget in seconds per graph search
+     * (0 = unlimited, the default). When it expires mid-search the
+     * scheduler returns its greedy incumbent — a valid cover, just not
+     * the proven optimum — with Schedule::degraded set (DESIGN.md §9).
+     * Excluded from optionsDigest(): deadline-truncated schedules never
+     * enter the plan cache, so cached plans are always exact and the
+     * digest need not distinguish budgets.
+     */
+    double deadlineSeconds = 0.0;
 };
 
 /**
@@ -138,6 +148,13 @@ struct Schedule
     SchedStats stats;
     /** Steady-state repetition: aux that fits stays resident on-chip. */
     SchedStats warmStats;
+    /**
+     * True when SchedOptions::deadlineSeconds expired and this is the
+     * greedy incumbent rather than the exact search result. Degraded
+     * schedules are never inserted into the plan cache (and hence never
+     * come back from it), so the flag is not serialized.
+     */
+    bool degraded = false;
 };
 
 /**

@@ -1,6 +1,8 @@
 #include "sched/scheduler.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -21,6 +23,45 @@ using graph::Graph;
 using graph::OpId;
 
 namespace {
+
+/**
+ * Anytime-search budget (DESIGN.md §9): a wall-clock deadline shared by
+ * one graph search, including its parallel NTT-decomposition sweep.
+ * expiry is sticky — once observed, every later poll (from any thread)
+ * reports expired, so all candidates truncate together.
+ */
+class DeadlineClock
+{
+  public:
+    explicit DeadlineClock(double seconds) : active_(seconds > 0.0)
+    {
+        if (active_)
+            deadline_ = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(seconds));
+    }
+
+    bool active() const { return active_; }
+
+    /** Has the budget run out? (sticky; cheap when inactive). */
+    bool expired() const
+    {
+        if (!active_)
+            return false;
+        if (expired_.load(std::memory_order_relaxed))
+            return true;
+        if (std::chrono::steady_clock::now() < deadline_)
+            return false;
+        expired_.store(true, std::memory_order_relaxed);
+        return true;
+    }
+
+  private:
+    bool active_;
+    std::chrono::steady_clock::time_point deadline_;
+    mutable std::atomic<bool> expired_{false};
+};
 
 /**
  * Incremental admissible lower bound on a topo window's group cycles
@@ -151,24 +192,36 @@ class WindowBound
     std::set<std::string> seenAux_;
 };
 
+/** A cover of the topo order as (begin, len) windows with its cost. */
+struct GreedyCover
+{
+    std::vector<std::pair<u32, u32>> windows;
+    double cycles = 0.0;
+};
+
 /**
  * Greedy cover used to seed branch-and-bound: at each position take the
  * feasible window with the lowest cycles-per-op. Its cost is a valid
- * incumbent (it is a real schedule), and its windows prime the
- * enumerator's memo for the DP that follows.
+ * incumbent (it is a real schedule), its windows prime the enumerator's
+ * memo for the DP that follows — and under a deadline it IS the anytime
+ * fallback schedule. If @p deadline expires mid-greedy, the remaining
+ * positions take single-op windows (always feasible), so even the
+ * fallback construction is bounded.
  */
-double
-greedyIncumbent(GroupEnumerator &enumerator)
+GreedyCover
+greedyCover(GroupEnumerator &enumerator, const DeadlineClock *deadline)
 {
     const u32 n = static_cast<u32>(enumerator.topo().size());
-    double total = 0.0;
+    GreedyCover cover;
     u32 i = 0;
     while (i < n) {
         double best_ratio = std::numeric_limits<double>::infinity();
         double best_cycles = 0.0;
         u32 best_len = 0;
-        for (u32 len = 1; len <= enumerator.maxOps() && i + len <= n;
-             ++len) {
+        u32 max_len = enumerator.maxOps();
+        if (deadline != nullptr && deadline->expired())
+            max_len = 1;  // budget gone: cheapest valid progress
+        for (u32 len = 1; len <= max_len && i + len <= n; ++len) {
             const SpatialGroup *cand = enumerator.window(i, len);
             if (!cand)
                 continue;
@@ -181,10 +234,25 @@ greedyIncumbent(GroupEnumerator &enumerator)
         }
         CROPHE_ASSERT(best_len > 0,
                       "no feasible group at op ", enumerator.topo()[i]);
-        total += best_cycles;
+        cover.windows.emplace_back(i, best_len);
+        cover.cycles += best_cycles;
         i += best_len;
     }
-    return total;
+    return cover;
+}
+
+/** Materialize a greedy cover back into analyzed spatial groups. */
+std::vector<SpatialGroup>
+materializeCover(GroupEnumerator &enumerator, const GreedyCover &cover)
+{
+    std::vector<SpatialGroup> groups;
+    groups.reserve(cover.windows.size());
+    for (auto [begin, len] : cover.windows) {
+        const SpatialGroup *g = enumerator.window(begin, len);
+        CROPHE_ASSERT(g != nullptr, "greedy window vanished");
+        groups.push_back(*g);
+    }
+    return groups;
 }
 
 /**
@@ -199,16 +267,35 @@ greedyIncumbent(GroupEnumerator &enumerator)
  * and therefore survives, and first-wins tie-breaking is preserved
  * because pruned relaxations were strictly above the final dp value
  * (DESIGN.md §8 for the full argument).
+ *
+ * With @p deadline set and active, the search is anytime: once the
+ * budget expires the greedy cover (already a complete, valid schedule)
+ * is returned instead of finishing the DP, and @p degraded is set.
  */
 std::vector<SpatialGroup>
 coverByDp(GroupEnumerator &enumerator, bool prune, bool mad,
-          u64 &pruned_windows)
+          u64 &pruned_windows, const DeadlineClock *deadline,
+          bool &degraded)
 {
     const u32 n = static_cast<u32>(enumerator.topo().size());
     constexpr double kInf = std::numeric_limits<double>::infinity();
     std::vector<double> dp(n + 1, kInf);
     std::vector<u32> choice(n + 1, 0);
     dp[0] = 0.0;
+
+    bool timed = deadline != nullptr && deadline->active();
+    GreedyCover greedy;
+    bool have_greedy = false;
+    if ((prune || timed) && n > 0) {
+        greedy = greedyCover(enumerator, deadline);
+        have_greedy = true;
+    }
+    auto fall_back = [&]() {
+        degraded = true;
+        return materializeCover(enumerator, greedy);
+    };
+    if (timed && have_greedy && deadline->expired())
+        return fall_back();
 
     WindowBound wb(enumerator.graph(), enumerator.config(), mad,
                    enumerator.topo());
@@ -218,7 +305,7 @@ coverByDp(GroupEnumerator &enumerator, bool prune, bool mad,
         // The epsilon absorbs float rounding in the bound sums: pruning
         // must only ever discard windows that are strictly worse in exact
         // arithmetic.
-        bound = greedyIncumbent(enumerator) * (1.0 + 1e-9);
+        bound = greedy.cycles * (1.0 + 1e-9);
         // lbSuffix[j]: admissible lower bound on covering ops [j, n).
         lb_suffix.assign(n + 1, 0.0);
         for (u32 j = n; j-- > 0;) {
@@ -231,11 +318,15 @@ coverByDp(GroupEnumerator &enumerator, bool prune, bool mad,
             }
             lb_suffix[j] = best;
         }
+        if (timed && deadline->expired())
+            return fall_back();
     }
 
     for (u32 i = 0; i < n; ++i) {
         if (dp[i] == kInf)
             continue;
+        if (timed && deadline->expired())
+            return fall_back();
         if (prune)
             wb.reset(i);
         for (u32 len = 1; len <= enumerator.maxOps() && i + len <= n;
@@ -544,15 +635,17 @@ summarize(const std::vector<TemporalGroup> &sequence)
 
 Schedule
 scheduleOneGraph(const Graph &g, const hw::HwConfig &cfg,
-                 const SchedOptions &opt)
+                 const SchedOptions &opt, const DeadlineClock *deadline)
 {
     GroupEnumerator enumerator(g, cfg,
                                /*mad=*/!opt.crossOpDataflow,
                                opt.crossOpDataflow ? opt.maxGroupOps : 3,
                                opt.memo);
     u64 pruned = 0;
+    bool degraded = false;
     auto groups = coverByDp(enumerator, opt.pruneSearch,
-                            /*mad=*/!opt.crossOpDataflow, pruned);
+                            /*mad=*/!opt.crossOpDataflow, pruned, deadline,
+                            degraded);
     if (opt.search != nullptr) {
         opt.search->addEnumeration(enumerator.analyzedCount(),
                                    enumerator.memoHits());
@@ -585,6 +678,7 @@ scheduleOneGraph(const Graph &g, const hw::HwConfig &cfg,
     sched.stats = summarize(sched.sequence);
     sched.stats.auxDramWords = cold_charged;
     fillUtilization(sched.stats, cfg);
+    sched.degraded = degraded;
     return sched;
 }
 
@@ -593,11 +687,23 @@ Schedule
 scheduleGraphSearch(const Graph &g, const hw::HwConfig &cfg,
                     const SchedOptions &opt)
 {
-    Schedule best = scheduleOneGraph(g, cfg, opt);
+    // One wall-clock budget spans the base search and the decomposition
+    // sweep; a truncated result anywhere makes the whole search anytime
+    // (best could differ from the exhaustive sweep), hence degraded.
+    DeadlineClock clock(opt.deadlineSeconds);
+    const DeadlineClock *deadline = clock.active() ? &clock : nullptr;
+    auto finish = [&](Schedule &&s, bool truncated) {
+        s.degraded = s.degraded || truncated;
+        if (s.degraded && opt.search != nullptr)
+            opt.search->addDeadlineHit();
+        return std::move(s);
+    };
+
+    Schedule best = scheduleOneGraph(g, cfg, opt, deadline);
     if (opt.search != nullptr)
         opt.search->recordCandidate("base", best.stats.cycles);
     if (!opt.nttDecomp || !opt.crossOpDataflow)
-        return best;
+        return finish(std::move(best), false);
 
     // Try the four-step NTT rewritings; n is taken from the largest
     // transform in the graph.
@@ -606,7 +712,7 @@ scheduleGraphSearch(const Graph &g, const hw::HwConfig &cfg,
         if (op.kind == graph::OpKind::Ntt || op.kind == graph::OpKind::INtt)
             n = std::max(n, op.n);
     if (n == 0)
-        return best;
+        return finish(std::move(best), false);
 
     // Candidates share one GroupMemo (its values are pure functions of
     // their keys, so the sweep stays independent work); telemetry and the
@@ -617,17 +723,21 @@ scheduleGraphSearch(const Graph &g, const hw::HwConfig &cfg,
     parallelFor(0, options.size(), [&](u64 i) {
         Graph rewritten = rewriteNttDecomposition(g, options[i]);
         cands[i] = std::make_unique<Schedule>(
-            scheduleOneGraph(rewritten, cfg, opt));
+            scheduleOneGraph(rewritten, cfg, opt, deadline));
     });
+    bool truncated = best.degraded;
     for (u64 i = 0; i < options.size(); ++i) {
         if (opt.search != nullptr)
             opt.search->recordCandidate(
                 "nttdec n1=" + std::to_string(options[i]),
                 cands[i]->stats.cycles);
+        // A truncated candidate taints the sweep even when another one
+        // wins: the comparison no longer matches the exhaustive search.
+        truncated = truncated || cands[i]->degraded;
         if (cands[i]->stats.cycles < best.stats.cycles)
             best = std::move(*cands[i]);
     }
-    return best;
+    return finish(std::move(best), truncated);
 }
 
 /**
@@ -670,6 +780,7 @@ Schedule
 scheduleGraph(const Graph &g, const hw::HwConfig &cfg,
               const SchedOptions &opt)
 {
+    hw::validateConfig(cfg);
     // The sweeps below share one group memo when the caller didn't
     // provide a broader-scoped one.
     GroupMemo local_memo;
@@ -696,7 +807,10 @@ scheduleGraph(const Graph &g, const hw::HwConfig &cfg,
     if (o.search != nullptr)
         o.search->addPlanLookup(false);
     Schedule sched = scheduleGraphSearch(g, cfg, o);
-    o.planCache->insert(key, plan::scheduleBytes(sched));
+    // Deadline-truncated schedules are anytime fallbacks, not the exact
+    // result this key promises — never cache them (DESIGN.md §9).
+    if (!sched.degraded)
+        o.planCache->insert(key, plan::scheduleBytes(sched));
     return sched;
 }
 
@@ -704,6 +818,7 @@ WorkloadResult
 scheduleWorkload(const graph::Workload &w, const hw::HwConfig &cfg,
                  const SchedOptions &opt)
 {
+    hw::validateConfig(cfg);
     // CROPHE-p slices the PE array into data-parallel clusters; each
     // cluster is scheduled like a smaller chip (intermediates use a
     // proportional buffer share — the aux residency is chip-wide).

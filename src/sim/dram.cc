@@ -57,17 +57,65 @@ DramModel::access(SimTime ready, u64 words, u32 stream_id)
     rowMisses_ += misses;
     rowHits_ += rows - misses;
     double latency = static_cast<double>(misses) * rowMissPenalty_;
+    if (faults_ != nullptr)
+        latency += faultLatency(ch);
     lastStream_[ch] = stream_id;
     SimTime done = channel_.serve(ready, static_cast<double>(words), latency);
-    if (trace_ != nullptr)
+    if (trace_ != nullptr) {
         recordBurst(ch, words, row_hit);
+        // Per-fault Perfetto instants, pinned to the burst they hit.
+        if (lastFault_ != nullptr) {
+            trace_->instant(lastFault_, channel_.lastStart());
+            lastFault_ = nullptr;
+        }
+    }
     return done;
+}
+
+double
+DramModel::faultLatency(u32 ch)
+{
+    // Local draw counter: decisions depend only on (seed, site, index),
+    // and the index advances in deterministic simulated-event order.
+    u64 n = accessIndex_++;
+    double extra = 0.0;
+    if (faults_->channelStalled(ch)) {
+        ++faultStalledBursts_;
+        extra += faults_->plan().channelStallCycles;
+    }
+    if (faults_->dramReadError(n)) {
+        if (faults_->dramEccCorrected(n)) {
+            // Corrected in the memory controller: counted, no retry cost.
+            ++faultEccCorrected_;
+            lastFault_ = "dram ecc";
+        } else {
+            u32 retries = faults_->dramRetries(n);
+            ++faultRetriedAccesses_;
+            faultRetries_ += retries;
+            extra += faults_->retryBackoffCycles(retries);
+            CROPHE_WARN_EVERY_N(1000, "transient DRAM read error: ",
+                                retries, " retr",
+                                retries == 1 ? "y" : "ies",
+                                " with exponential backoff");
+            lastFault_ = "dram retry";
+        }
+    }
+    return extra;
 }
 
 void
 DramModel::attachTrace(telemetry::TraceRecorder *rec)
 {
     trace_ = rec;
+}
+
+void
+DramModel::attachFaults(const fault::FaultInjector *faults)
+{
+    // An empty plan must be indistinguishable from a healthy run, so it
+    // never even takes the fault branch in access().
+    faults_ = (faults != nullptr && !faults->plan().empty()) ? faults
+                                                             : nullptr;
 }
 
 void

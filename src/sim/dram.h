@@ -9,8 +9,16 @@
  * switching requesters costs row activations, so interleaved traffic
  * sustains less than peak bandwidth — the first-order behaviour the
  * paper's evaluation relies on.
+ *
+ * With a FaultInjector attached (DESIGN.md §9) the model additionally
+ * suffers the plan's transient read errors — ECC-corrected in place or
+ * re-read with exponential backoff, each retry's latency charged to the
+ * access — and fixed stall latency on the plan's stalled pseudo-channels.
+ * Without one (the default) the fault path costs a single null check and
+ * timing is bit-identical to the fault-free model.
  */
 
+#include "fault/fault_injector.h"
 #include "hw/config.h"
 #include "sim/event_queue.h"
 
@@ -32,6 +40,9 @@ class DramModel
      *  (with word count and row hit/miss as span arguments). */
     void attachTrace(telemetry::TraceRecorder *rec);
 
+    /** Inject @p faults into every subsequent access (null = healthy). */
+    void attachFaults(const fault::FaultInjector *faults);
+
     double busyCycles() const { return channel_.busyCycles(); }
     u64 totalWords() const { return totalWords_; }
     u64 rowHits() const { return rowHits_; }
@@ -40,12 +51,23 @@ class DramModel
     double rowMissPenalty() const { return rowMissPenalty_; }
     double wordsPerCycle() const { return wordsPerCycle_; }
 
+    /** Fault accounting (all zero with no injector attached). @{ */
+    u64 faultEccCorrected() const { return faultEccCorrected_; }
+    u64 faultRetriedAccesses() const { return faultRetriedAccesses_; }
+    u64 faultRetries() const { return faultRetries_; }
+    u64 faultStalledBursts() const { return faultStalledBursts_; }
+    /** @} */
+
   private:
     /** HBM pseudo-channels: concurrent streams retain row locality as
      *  long as they map to different channels. */
     static constexpr u32 kChannels = 16;
+    static_assert(kChannels == fault::FaultPlan::kDramChannels,
+                  "fault plans pick stalled channels out of this universe");
 
     void recordBurst(u32 ch, u64 words, bool row_hit);
+    /** Extra latency the fault plan charges this access (counts faults). */
+    double faultLatency(u32 ch);
 
     double wordsPerCycle_;
     double rowMissPenalty_;  ///< cycles per row activation
@@ -57,6 +79,14 @@ class DramModel
     u64 rowMisses_ = 0;
     telemetry::TraceRecorder *trace_ = nullptr;
     u32 chTrack_[kChannels] = {};  ///< lazily created trace track ids
+
+    const fault::FaultInjector *faults_ = nullptr;
+    u64 accessIndex_ = 0;  ///< local draw counter (deterministic order)
+    const char *lastFault_ = nullptr;  ///< instant name for this access
+    u64 faultEccCorrected_ = 0;
+    u64 faultRetriedAccesses_ = 0;
+    u64 faultRetries_ = 0;
+    u64 faultStalledBursts_ = 0;
 };
 
 }  // namespace crophe::sim

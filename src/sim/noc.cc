@@ -30,6 +30,20 @@ NocModel::transfer(SimTime ready, u64 words, u32 hops, u32 fanout)
         return ready;
     (void)fanout;  // router replication: the source injects once
     totalWords_ += words;
+    if (faults_ != nullptr) {
+        // Local draw counter: reroute decisions depend only on
+        // (seed, site, index) in deterministic simulated-event order.
+        u64 n = transferIndex_++;
+        if (faults_->nocLinkFailed(n)) {
+            ++faultReroutes_;
+            hops += faults_->plan().nocRerouteExtraHops;
+            CROPHE_WARN_EVERY_N(1000, "NoC link failure: rerouting with ",
+                                faults_->plan().nocRerouteExtraHops,
+                                " extra hop(s)");
+            if (trace_ != nullptr)
+                trace_->instant("noc reroute", ready);
+        }
+    }
     // Hop latency is pipelined through the routers: it delays delivery
     // but does not occupy link bandwidth.
     return links_.serve(ready, static_cast<double>(words)) +
@@ -39,7 +53,16 @@ NocModel::transfer(SimTime ready, u64 words, u32 hops, u32 fanout)
 void
 NocModel::attachTrace(telemetry::TraceRecorder *rec)
 {
+    trace_ = rec;
     links_.attachTrace(rec, rec->track("NoC"), "transfer");
+}
+
+void
+NocModel::attachFaults(const fault::FaultInjector *faults)
+{
+    // An empty plan must be indistinguishable from a healthy run.
+    faults_ = (faults != nullptr && !faults->plan().empty()) ? faults
+                                                             : nullptr;
 }
 
 }  // namespace crophe::sim

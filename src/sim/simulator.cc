@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "fault/fault_injector.h"
 #include "map/mapper.h"
 #include "map/trace.h"
 #include "sched/scheduler.h"
@@ -165,7 +166,8 @@ simulateGroup(const sched::SpatialGroup &group, const graph::Graph &g,
 
 SimStats
 simulateSchedule(const sched::Schedule &sched, const hw::HwConfig &cfg,
-                 const telemetry::SimTelemetry *telem)
+                 const telemetry::SimTelemetry *telem,
+                 const fault::FaultInjector *faults)
 {
     SimStats stats;
     Chip chip(cfg);
@@ -178,6 +180,13 @@ simulateSchedule(const sched::Schedule &sched, const hw::HwConfig &cfg,
         chip.noc.attachTrace(rec);
         chip.transpose.attachTrace(rec);
         queue.attachTrace(rec);
+    }
+    if (faults != nullptr && !faults->plan().empty()) {
+        // The models filter empty plans themselves; gating here as well
+        // keeps stats.faultsEnabled in lockstep with the models.
+        chip.dram.attachFaults(faults);
+        chip.noc.attachFaults(faults);
+        stats.faultsEnabled = true;
     }
     telemetry::Histogram *group_hist = nullptr;
     if (telem != nullptr && telem->registry != nullptr) {
@@ -222,6 +231,13 @@ simulateSchedule(const sched::Schedule &sched, const hw::HwConfig &cfg,
     stats.dramRowHits = chip.dram.rowHits();
     stats.dramRowMisses = chip.dram.rowMisses();
     stats.events = queue.processed();
+    if (stats.faultsEnabled) {
+        stats.faultDramEcc = chip.dram.faultEccCorrected();
+        stats.faultDramRetried = chip.dram.faultRetriedAccesses();
+        stats.faultDramRetries = chip.dram.faultRetries();
+        stats.faultDramStalls = chip.dram.faultStalledBursts();
+        stats.faultNocReroutes = chip.noc.faultReroutes();
+    }
     if (telem != nullptr && telem->registry != nullptr)
         stats.accumulateInto(*telem->registry, telem->statsPrefix);
     return stats;
@@ -230,8 +246,10 @@ simulateSchedule(const sched::Schedule &sched, const hw::HwConfig &cfg,
 sched::WorkloadResult
 simulateWorkload(const graph::Workload &w, const hw::HwConfig &cfg,
                  const sched::SchedOptions &opt,
-                 const telemetry::SimTelemetry *telem)
+                 const telemetry::SimTelemetry *telem,
+                 const fault::FaultInjector *faults)
 {
+    hw::validateConfig(cfg);
     hw::HwConfig cluster_cfg = cfg;
     if (opt.clusters > 1) {
         cluster_cfg.numPes = std::max<u32>(1, cfg.numPes / opt.clusters);
@@ -247,7 +265,7 @@ simulateWorkload(const graph::Workload &w, const hw::HwConfig &cfg,
             telem->trace->beginProcess(seg.name);
         sched::Schedule s =
             sched::scheduleGraph(seg.graph, cluster_cfg, opt);
-        SimStats sim = simulateSchedule(s, cluster_cfg, telem);
+        SimStats sim = simulateSchedule(s, cluster_cfg, telem, faults);
         // Replace the analytical cycle estimate with the simulated one;
         // warm repetitions scale by the same contention ratio.
         double ratio = s.stats.cycles > 0 ? sim.cycles / s.stats.cycles

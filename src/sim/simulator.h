@@ -18,6 +18,10 @@ namespace crophe::telemetry {
 struct SimTelemetry;
 }  // namespace crophe::telemetry
 
+namespace crophe::fault {
+class FaultInjector;
+}  // namespace crophe::fault
+
 namespace crophe::sim {
 
 /**
@@ -28,22 +32,30 @@ namespace crophe::sim {
  * counters are recorded into its trace, and the run's SimStats are
  * accumulated into its registry. Null (the default) records nothing and
  * leaves simulated timing bit-identical.
+ *
+ * With @p faults set (and its plan non-empty), the DRAM and NoC models
+ * suffer the plan's transient faults (DESIGN.md §9); the stats report
+ * faultsEnabled plus per-kind counters. Null or an empty plan is
+ * bit-identical to a healthy run.
  */
 SimStats simulateSchedule(const sched::Schedule &sched,
                           const hw::HwConfig &cfg,
-                          const telemetry::SimTelemetry *telem = nullptr);
+                          const telemetry::SimTelemetry *telem = nullptr,
+                          const fault::FaultInjector *faults = nullptr);
 
 /**
  * Schedule and simulate a whole workload: every unique segment is
  * scheduled and simulated once (cold), warm repetitions are scaled by the
  * simulated-to-analytical ratio, and the totals are aggregated with the
  * same cluster model as the scheduler. Each segment becomes one trace
- * process when @p telem is set.
+ * process when @p telem is set. @p faults (if non-null) applies to every
+ * segment's simulation.
  */
 sched::WorkloadResult simulateWorkload(
     const graph::Workload &w, const hw::HwConfig &cfg,
     const sched::SchedOptions &opt,
-    const telemetry::SimTelemetry *telem = nullptr);
+    const telemetry::SimTelemetry *telem = nullptr,
+    const fault::FaultInjector *faults = nullptr);
 
 }  // namespace crophe::sim
 

@@ -63,6 +63,24 @@ SimStats::accumulateInto(telemetry::StatsRegistry &reg,
     reg.counter(prefix + ".transpose.words",
                 "words streamed through the transpose unit") +=
         transposeWords;
+    if (faultsEnabled) {
+        // Only a run with an active fault plan creates fault.* paths, so
+        // healthy registry dumps stay byte-identical to pre-fault builds.
+        reg.counter(prefix + ".fault.dram.eccCorrected",
+                    "DRAM reads corrected in place by ECC") += faultDramEcc;
+        reg.counter(prefix + ".fault.dram.retriedAccesses",
+                    "DRAM reads re-issued after a transient error") +=
+            faultDramRetried;
+        reg.counter(prefix + ".fault.dram.retries",
+                    "total DRAM re-issues (exponential backoff)") +=
+            faultDramRetries;
+        reg.counter(prefix + ".fault.dram.stalledBursts",
+                    "bursts that hit a stalled pseudo-channel") +=
+            faultDramStalls;
+        reg.counter(prefix + ".fault.noc.reroutes",
+                    "transfers detoured around a failed link") +=
+            faultNocReroutes;
+    }
 }
 
 std::string
@@ -73,6 +91,12 @@ SimStats::toString() const
        << " sram=" << sramWords << " noc=" << nocWords
        << " flops=" << flops << " events=" << events << " rowHit%="
        << std::fixed << std::setprecision(1) << 100.0 * dramRowHitRate();
+    if (faultsEnabled)
+        os << " faults[ecc=" << faultDramEcc
+           << " retried=" << faultDramRetried
+           << " retries=" << faultDramRetries
+           << " stalls=" << faultDramStalls
+           << " reroutes=" << faultNocReroutes << "]";
     return os.str();
 }
 

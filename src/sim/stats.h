@@ -33,6 +33,20 @@ struct SimStats
     u64 dramRowHits = 0;
     u64 dramRowMisses = 0;
 
+    /**
+     * Fault-injection accounting (DESIGN.md §9). All zero — and
+     * faultsEnabled false — when no fault plan is active, in which case
+     * accumulateInto() registers no fault.* paths at all, keeping healthy
+     * stats dumps byte-identical to pre-fault builds. @{
+     */
+    bool faultsEnabled = false;
+    u64 faultDramEcc = 0;       ///< reads corrected in place by ECC
+    u64 faultDramRetried = 0;   ///< reads that needed re-issue
+    u64 faultDramRetries = 0;   ///< total re-issues (with backoff)
+    u64 faultDramStalls = 0;    ///< bursts hitting a stalled channel
+    u64 faultNocReroutes = 0;   ///< transfers detoured around dead links
+    /** @} */
+
     /** Convert to SchedStats (fills utilizations for @p cfg). */
     sched::SchedStats toSchedStats(const hw::HwConfig &cfg) const;
 

@@ -41,6 +41,13 @@ SearchTelemetry::addPlanLookup(bool hit)
 }
 
 void
+SearchTelemetry::addDeadlineHit()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++deadlineHits_;
+}
+
+void
 SearchTelemetry::addSearchSeconds(double seconds)
 {
     std::lock_guard<std::mutex> lock(mu_);
@@ -66,6 +73,13 @@ SearchTelemetry::planMisses() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return planMisses_;
+}
+
+u64
+SearchTelemetry::deadlineHits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return deadlineHits_;
 }
 
 double
@@ -169,6 +183,12 @@ SearchTelemetry::registerStats(StatsRegistry &reg,
     reg.scalar(prefix + ".search.seconds",
                "wall-clock seconds spent scheduling")
         .set(searchSeconds());
+    // Only registered once a deadline actually truncated a search, so
+    // deadline-free runs keep their pre-anytime stats dumps byte-identical.
+    if (deadlineHits() > 0)
+        reg.counter(prefix + ".search.deadlineHits",
+                    "graph searches truncated by the anytime deadline")
+            .set(deadlineHits());
     if (!reg.has(prefix + ".enum.memoHitRate")) {
         // Captures registry-owned counters, so the formula stays valid for
         // the registry's whole lifetime.

@@ -60,6 +60,9 @@ class SearchTelemetry
     /** Record one plan-cache lookup at scheduleGraph level. */
     void addPlanLookup(bool hit);
 
+    /** Record one graph search truncated by its anytime deadline. */
+    void addDeadlineHit();
+
     /** Accumulate wall-clock seconds spent searching (baselines timing). */
     void addSearchSeconds(double seconds);
 
@@ -69,6 +72,7 @@ class SearchTelemetry
     u64 prunedWindows() const;
     u64 planHits() const;
     u64 planMisses() const;
+    u64 deadlineHits() const;
     double searchSeconds() const;
     /** Fraction of candidate-group lookups served from the memo. */
     double memoHitRate() const;
@@ -91,6 +95,7 @@ class SearchTelemetry
     u64 prunedWindows_ = 0;
     u64 planHits_ = 0;
     u64 planMisses_ = 0;
+    u64 deadlineHits_ = 0;
     double searchSeconds_ = 0.0;
 };
 

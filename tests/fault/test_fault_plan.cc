@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.h"
+#include "fault/fault_plan.h"
+#include "hw/config.h"
+
+namespace crophe::fault {
+namespace {
+
+TEST(FaultPlan, DefaultPlanIsEmpty)
+{
+    FaultPlan plan;
+    EXPECT_TRUE(plan.empty());
+    EXPECT_FALSE(plan.degradesHardware());
+    EXPECT_EQ(plan.toString(), "");
+    EXPECT_TRUE(FaultPlan::parse("").empty());
+}
+
+TEST(FaultPlan, ParseReadsEveryKey)
+{
+    auto plan = FaultPlan::parse(
+        "seed=7,dram-err=1e-3,dram-ecc=0.25,dram-retries=5,"
+        "dram-backoff=50,stalled-channels=2,channel-stall=300,"
+        "noc-fail=0.002,noc-extra-hops=4,dead-pe-groups=1,"
+        "failed-sram-banks=2");
+    EXPECT_EQ(plan.seed, 7u);
+    EXPECT_DOUBLE_EQ(plan.dramErrorRate, 1e-3);
+    EXPECT_DOUBLE_EQ(plan.dramEccFraction, 0.25);
+    EXPECT_EQ(plan.dramRetryLimit, 5u);
+    EXPECT_DOUBLE_EQ(plan.dramRetryBackoffCycles, 50.0);
+    EXPECT_EQ(plan.stalledDramChannels, 2u);
+    EXPECT_DOUBLE_EQ(plan.channelStallCycles, 300.0);
+    EXPECT_DOUBLE_EQ(plan.nocLinkFailRate, 0.002);
+    EXPECT_EQ(plan.nocRerouteExtraHops, 4u);
+    EXPECT_EQ(plan.deadPeGroups, 1u);
+    EXPECT_EQ(plan.failedSramBanks, 2u);
+    EXPECT_FALSE(plan.empty());
+    EXPECT_TRUE(plan.degradesHardware());
+}
+
+TEST(FaultPlan, ToStringRoundTrips)
+{
+    const char *spec =
+        "seed=42,dram-err=0.01,stalled-channels=3,noc-fail=0.005,"
+        "dead-pe-groups=2,failed-sram-banks=4";
+    auto plan = FaultPlan::parse(spec);
+    auto again = FaultPlan::parse(plan.toString());
+    EXPECT_EQ(plan.toString(), again.toString());
+    EXPECT_EQ(again.seed, plan.seed);
+    EXPECT_DOUBLE_EQ(again.dramErrorRate, plan.dramErrorRate);
+    EXPECT_EQ(again.stalledDramChannels, plan.stalledDramChannels);
+    EXPECT_EQ(again.deadPeGroups, plan.deadPeGroups);
+    EXPECT_EQ(again.failedSramBanks, plan.failedSramBanks);
+}
+
+TEST(FaultPlan, ToStringOmitsDefaults)
+{
+    auto plan = FaultPlan::parse("dram-err=0.5");
+    EXPECT_EQ(plan.toString(), "dram-err=0.5");
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(FaultPlan::parse("bogus-key=1"), RecoverableError);
+    EXPECT_THROW(FaultPlan::parse("seed"), RecoverableError);
+    EXPECT_THROW(FaultPlan::parse("seed=abc"), RecoverableError);
+    EXPECT_THROW(FaultPlan::parse("dram-err=1.5"), RecoverableError);
+    EXPECT_THROW(FaultPlan::parse("dram-err=-0.1"), RecoverableError);
+    EXPECT_THROW(FaultPlan::parse("dram-backoff=-1"), RecoverableError);
+    EXPECT_THROW(FaultPlan::parse("dram-retries=17"), RecoverableError);
+    EXPECT_THROW(FaultPlan::parse("failed-sram-banks=32"),
+                 RecoverableError);
+    EXPECT_THROW(FaultPlan::parse("noc-fail=nan"), RecoverableError);
+}
+
+TEST(FaultPlan, DegradedConfigShrinksTheArrayAndBuffer)
+{
+    auto healthy = hw::configCrophe36();
+    auto plan = FaultPlan::parse("dead-pe-groups=1,failed-sram-banks=2");
+    auto cfg = plan.degradedConfig(healthy);
+
+    // One dead PE group = one mesh column of PEs gone.
+    EXPECT_EQ(cfg.meshX, healthy.meshX - 1);
+    EXPECT_EQ(cfg.numPes,
+              healthy.numPes - healthy.numPes / healthy.meshX);
+    // Two failed banks lose their capacity and bandwidth slices.
+    double keep = 30.0 / 32.0;
+    EXPECT_DOUBLE_EQ(cfg.sramMB, healthy.sramMB * keep);
+    EXPECT_DOUBLE_EQ(cfg.sramGBs, healthy.sramGBs * keep);
+    EXPECT_EQ(cfg.name, healthy.name + "+degraded");
+    // The digest split is what keeps healthy plan-cache entries from
+    // being served to degraded hardware.
+    EXPECT_NE(hw::configDigest(cfg), hw::configDigest(healthy));
+}
+
+TEST(FaultPlan, TransientOnlyPlanLeavesHardwareAlone)
+{
+    auto healthy = hw::configCrophe64();
+    auto plan = FaultPlan::parse("dram-err=1e-3,noc-fail=1e-3");
+    EXPECT_FALSE(plan.degradesHardware());
+    auto cfg = plan.degradedConfig(healthy);
+    EXPECT_EQ(hw::configDigest(cfg), hw::configDigest(healthy));
+}
+
+TEST(FaultPlan, DegradedConfigRejectsTotalLoss)
+{
+    auto healthy = hw::configCrophe36();
+    auto all_dead = FaultPlan::parse(
+        "dead-pe-groups=" + std::to_string(healthy.meshX));
+    EXPECT_THROW(all_dead.degradedConfig(healthy), RecoverableError);
+}
+
+TEST(FaultPlan, DegradationRatio)
+{
+    EXPECT_DOUBLE_EQ(degradationRatio(2.0, 1.0), 2.0);
+    EXPECT_DOUBLE_EQ(degradationRatio(3.0, 3.0), 1.0);
+}
+
+}  // namespace
+}  // namespace crophe::fault

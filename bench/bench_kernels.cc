@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Tracked microbenchmarks for the kernel layer (DESIGN.md §10): forward
+ * and inverse NTT, BConv, and the end-to-end key-switch, each measured
+ * per backend against the retained seed transform (referenceFwdNtt, the
+ * eager per-butterfly scalar path) as the "before" baseline.
+ *
+ * Flags:
+ *   --kernel scalar|avx2|avx512   restrict to one backend (plus baseline)
+ *   --json <path>                 write BENCH_kernels.json-style output
+ *   --smoke                       fast mode for CI (few iterations)
+ *   --threads N                   size the process-wide pool
+ *
+ * Every measurement runs the same bit-identical code paths the library
+ * uses; the differential tests in tests/fhe/test_kernels.cc are the
+ * correctness side of this file.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "fhe/bconv.h"
+#include "fhe/ckks.h"
+#include "fhe/kernels/kernels.h"
+#include "fhe/ntt.h"
+#include "fhe/primes.h"
+
+using namespace crophe;
+using namespace crophe::fhe;
+
+namespace {
+
+bool g_smoke = false;
+
+/** Median-of-batches wall time per op, in nanoseconds. */
+double
+timeOp(const std::function<void()> &op)
+{
+    using clock = std::chrono::steady_clock;
+    op();  // warm caches, resolve dispatch, fill the arena
+
+    const double min_batch_ns = g_smoke ? 1e5 : 1e7;
+    const int batches = g_smoke ? 3 : 7;
+
+    // Scale the iteration count so one batch is long enough to time.
+    u64 iters = 1;
+    for (;;) {
+        auto t0 = clock::now();
+        for (u64 i = 0; i < iters; ++i)
+            op();
+        double ns = std::chrono::duration<double, std::nano>(clock::now() - t0)
+                        .count();
+        if (ns >= min_batch_ns || iters >= (1ull << 20))
+            break;
+        iters *= 2;
+    }
+
+    double best = 1e300;
+    for (int b = 0; b < batches; ++b) {
+        auto t0 = clock::now();
+        for (u64 i = 0; i < iters; ++i)
+            op();
+        double ns = std::chrono::duration<double, std::nano>(clock::now() - t0)
+                        .count();
+        best = std::min(best, ns / static_cast<double>(iters));
+    }
+    return best;
+}
+
+struct Result
+{
+    std::string bench;    ///< fwd_ntt | inv_ntt | bconv | key_switch
+    std::string backend;  ///< reference | scalar | avx2 | avx512
+    u64 n;
+    u64 limbs;  ///< 0 when not applicable
+    double ns_per_op;
+    double speedup;  ///< vs the "reference" row of the same (bench, n, limbs)
+};
+
+std::vector<Result> g_results;
+
+void
+record(const std::string &bench, const std::string &backend, u64 n, u64 limbs,
+       double ns)
+{
+    double base = 0;
+    for (const Result &r : g_results)
+        if (r.bench == bench && r.n == n && r.limbs == limbs &&
+            r.backend == "reference")
+            base = r.ns_per_op;
+    double speedup = base > 0 ? base / ns : 1.0;
+    g_results.push_back({bench, backend, n, limbs, ns, speedup});
+    std::printf("  %-10s  %-9s  n=%-6llu limbs=%-2llu  %12.1f ns/op"
+                "  speedup %5.2fx\n",
+                bench.c_str(), backend.c_str(),
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(limbs), ns, speedup);
+}
+
+std::vector<kernels::Backend>
+selectedBackends(const std::string &only)
+{
+    std::vector<kernels::Backend> all = {kernels::Backend::Scalar,
+                                         kernels::Backend::Avx2,
+                                         kernels::Backend::Avx512};
+    std::vector<kernels::Backend> out;
+    for (kernels::Backend b : all) {
+        if (!kernels::available(b))
+            continue;
+        if (!only.empty() && only != kernels::backendName(b))
+            continue;
+        out.push_back(b);
+    }
+    return out;
+}
+
+void
+benchNtt(const std::vector<kernels::Backend> &backends)
+{
+    std::printf("\n===== NTT kernels =====\n");
+    Rng rng(123);
+    for (u64 n : {u64(1) << 14, u64(1) << 15, u64(1) << 16}) {
+        u64 q = generateNttPrimes(59, n, 1)[0];
+        Modulus mod(q);
+        NttTables tables(n, mod);
+        kernels::NttView fwd = tables.forwardView();
+        kernels::NttView inv = tables.inverseView();
+
+        std::vector<u64> base(n);
+        for (auto &x : base)
+            x = rng.nextBounded(q);
+        std::vector<u64> buf = base;
+
+        record("fwd_ntt", "reference", n, 1,
+               timeOp([&] { kernels::referenceFwdNtt(buf.data(), fwd); }));
+        record("inv_ntt", "reference", n, 1,
+               timeOp([&] { kernels::referenceInvNtt(buf.data(), inv); }));
+
+        for (kernels::Backend b : backends) {
+            kernels::setBackend(b);
+            const kernels::KernelTable &kt = kernels::table();
+            buf = base;
+            record("fwd_ntt", kt.name, n, 1,
+                   timeOp([&] { kt.fwdNtt(buf.data(), fwd); }));
+            record("inv_ntt", kt.name, n, 1,
+                   timeOp([&] { kt.invNtt(buf.data(), inv); }));
+        }
+    }
+}
+
+void
+benchBconv(const std::vector<kernels::Backend> &backends)
+{
+    std::printf("\n===== BConv (RNS base conversion) =====\n");
+    for (u32 levels : {4u, 8u}) {
+        FheContextParams p;
+        p.n = 1 << 14;
+        p.levels = levels;
+        p.alpha = 2;
+        FheContext ctx(p);
+        Rng rng(321);
+        RnsPoly in(ctx, ctx.qBasis(levels), Rep::Coeff);
+        in.uniformRandom(rng);
+        BaseConverter conv(ctx, ctx.qBasis(levels), ctx.pBasis());
+        u64 limbs = in.limbCount();
+
+        // The seed had no separate BConv kernel; scalar is the baseline.
+        kernels::setBackend(kernels::Backend::Scalar);
+        record("bconv", "reference", ctx.n(), limbs, timeOp([&] {
+                   RnsPoly out = conv.convert(in);
+                   (void)out;
+               }));
+        for (kernels::Backend b : backends) {
+            kernels::setBackend(b);
+            record("bconv", kernels::table().name, ctx.n(), limbs, timeOp([&] {
+                       RnsPoly out = conv.convert(in);
+                       (void)out;
+                   }));
+        }
+    }
+}
+
+void
+benchKeySwitch(const std::vector<kernels::Backend> &backends)
+{
+    std::printf("\n===== Key switch (rotate, end to end) =====\n");
+    FheContextParams p;
+    p.n = 1 << 14;
+    p.levels = 4;
+    p.alpha = 2;
+    FheContext ctx(p);
+    KeyGenerator keygen(ctx, 42);
+    PublicKey pk = keygen.makePublicKey();
+    KswKey rk1 = keygen.makeRotationKey(1);
+    Evaluator eval(ctx, 7);
+    Rng rng(8);
+    std::vector<double> v(ctx.n() / 2);
+    for (auto &x : v)
+        x = rng.nextDouble() - 0.5;
+    Plaintext pt = eval.encoder().encodeReal(v, ctx.maxLevel());
+    Ciphertext ct = eval.encrypt(pt, pk);
+    u64 limbs = ct.a.limbCount();
+
+    kernels::setBackend(kernels::Backend::Scalar);
+    record("key_switch", "reference", ctx.n(), limbs, timeOp([&] {
+               Ciphertext out = eval.rotate(ct, 1, rk1);
+               (void)out;
+           }));
+    for (kernels::Backend b : backends) {
+        kernels::setBackend(b);
+        record("key_switch", kernels::table().name, ctx.n(), limbs,
+               timeOp([&] {
+                   Ciphertext out = eval.rotate(ct, 1, rk1);
+                   (void)out;
+               }));
+    }
+}
+
+void
+writeJson(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"bench_kernels\",\n");
+    std::fprintf(f, "  \"smoke\": %s,\n", g_smoke ? "true" : "false");
+    std::fprintf(f, "  \"threads\": %u,\n", ThreadPool::globalThreads());
+    std::fprintf(f, "  \"results\": [\n");
+    for (size_t i = 0; i < g_results.size(); ++i) {
+        const Result &r = g_results[i];
+        std::fprintf(f,
+                     "    {\"bench\": \"%s\", \"backend\": \"%s\", "
+                     "\"n\": %llu, \"limbs\": %llu, "
+                     "\"ns_per_op\": %.1f, \"speedup_vs_reference\": %.3f}%s\n",
+                     r.bench.c_str(), r.backend.c_str(),
+                     static_cast<unsigned long long>(r.n),
+                     static_cast<unsigned long long>(r.limbs), r.ns_per_op,
+                     r.speedup, i + 1 < g_results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::applyThreadsFlag(argc, argv);
+
+    std::string json_path;
+    std::string only_backend;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            g_smoke = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--kernel") == 0 && i + 1 < argc) {
+            only_backend = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--kernel scalar|avx2|avx512] "
+                         "[--json path] [--smoke] [--threads N]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::vector<kernels::Backend> backends = selectedBackends(only_backend);
+    if (backends.empty()) {
+        std::fprintf(stderr, "no available backend matches '%s'\n",
+                     only_backend.c_str());
+        return 2;
+    }
+
+    std::printf("bench_kernels: backends:");
+    for (kernels::Backend b : backends)
+        std::printf(" %s", kernels::backendName(b));
+    std::printf("%s\n", g_smoke ? " (smoke)" : "");
+
+    benchNtt(backends);
+    benchBconv(backends);
+    benchKeySwitch(backends);
+
+    if (!json_path.empty())
+        writeJson(json_path);
+    return 0;
+}

@@ -1,0 +1,92 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace crophe {
+
+namespace {
+
+/** First block size; later blocks double until kMaxBlockBytes. */
+constexpr std::size_t kMinBlockBytes = 1u << 20;
+constexpr std::size_t kMaxBlockBytes = 64u << 20;
+
+std::size_t
+roundUpAligned(std::size_t bytes)
+{
+    return (bytes + kCacheLineBytes - 1) & ~(kCacheLineBytes - 1);
+}
+
+}  // namespace
+
+ScratchArena &
+ScratchArena::local()
+{
+    thread_local ScratchArena arena;
+    return arena;
+}
+
+void *
+ScratchArena::allocBytes(std::size_t bytes)
+{
+    bytes = roundUpAligned(std::max<std::size_t>(bytes, 1));
+    // Advance through existing blocks looking for room; each visited
+    // block's offset is left as-is so rewind() can restore it.
+    while (cur_ < blocks_.size()) {
+        Block &b = *blocks_[cur_];
+        if (b.buf.size() - b.offset >= bytes) {
+            void *p = b.buf.data() + b.offset;
+            b.offset += bytes;
+            return p;
+        }
+        ++cur_;
+    }
+    std::size_t want = kMinBlockBytes;
+    if (!blocks_.empty())
+        want = std::min(blocks_.back()->buf.size() * 2, kMaxBlockBytes);
+    want = std::max(want, bytes);
+    auto block = std::make_unique<Block>();
+    block->buf.assign(want);
+    block->offset = bytes;
+    blocks_.push_back(std::move(block));
+    cur_ = blocks_.size() - 1;
+    return blocks_.back()->buf.data();
+}
+
+std::size_t
+ScratchArena::capacityBytes() const
+{
+    std::size_t total = 0;
+    for (const auto &b : blocks_)
+        total += b->buf.size();
+    return total;
+}
+
+std::size_t
+ScratchArena::usedBytes() const
+{
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < blocks_.size() && i <= cur_; ++i)
+        total += blocks_[i]->offset;
+    return total;
+}
+
+std::size_t
+ScratchArena::curOffset() const
+{
+    return cur_ < blocks_.size() ? blocks_[cur_]->offset : 0;
+}
+
+void
+ScratchArena::rewind(std::size_t block, std::size_t offset)
+{
+    CROPHE_ASSERT(block <= cur_, "scope rewind past live allocations");
+    for (std::size_t i = block; i < blocks_.size(); ++i)
+        blocks_[i]->offset = (i == block) ? offset : 0;
+    cur_ = block;
+    if (cur_ >= blocks_.size())
+        cur_ = blocks_.empty() ? 0 : blocks_.size() - 1;
+}
+
+}  // namespace crophe

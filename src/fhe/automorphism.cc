@@ -3,6 +3,7 @@
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/parallel.h"
+#include "fhe/kernels/kernels.h"
 
 namespace crophe::fhe {
 
@@ -28,12 +29,12 @@ galoisElementForConjugation(u64 n)
 }
 
 void
-applyAutomorphismCoeff(const std::vector<u64> &in, std::vector<u64> &out,
-                       u64 galois, const Modulus &mod)
+applyAutomorphismCoeff(const u64 *in, u64 *out, u64 n, u64 galois,
+                       const Modulus &mod)
 {
-    const u64 n = in.size();
     const u64 m = 2 * n;
-    out.assign(n, 0);
+    for (u64 i = 0; i < n; ++i)
+        out[i] = 0;
     for (u64 i = 0; i < n; ++i) {
         u64 dest = (i * galois) % m;
         if (dest < n) {
@@ -69,16 +70,17 @@ applyAutomorphism(const RnsPoly &in, u64 galois)
     RnsPoly out(in.context(), in.basis(), in.rep());
     if (in.rep() == Rep::Coeff) {
         parallelFor(0, in.limbCount(), [&](u64 i) {
-            applyAutomorphismCoeff(in.limb(i), out.limb(i), galois,
-                                   in.mod(i));
+            applyAutomorphismCoeff(in.limb(i).data(), out.limb(i).data(),
+                                   in.n(), galois, in.mod(i));
         });
     } else {
-        auto table = evalAutomorphismTable(galois, in.n());
+        // The permutation table is context-cached; the gather itself is a
+        // kernel (AVX2/AVX-512 use hardware gathers).
+        const AlignedVec<u64> &table = in.context().autEvalTable(galois);
+        const auto &kt = kernels::table();
         parallelFor(0, in.limbCount(), [&](u64 i) {
-            const auto &src = in.limb(i);
-            auto &dst = out.limb(i);
-            for (u64 k = 0; k < in.n(); ++k)
-                dst[k] = src[table[k]];
+            kt.gather(out.limb(i).data(), in.limb(i).data(), table.data(),
+                      in.n());
         });
     }
     return out;

@@ -28,11 +28,12 @@ u64 galoisElementForRotation(i64 r, u64 n);
 u64 galoisElementForConjugation(u64 n);
 
 /**
- * Apply X -> X^g to one coefficient-domain limb.
- * out[i·g mod 2N adjusted] = ±in[i].
+ * Apply X -> X^g to one coefficient-domain limb of @p n coefficients.
+ * out[i·g mod 2N adjusted] = ±in[i]; out must not alias in and is fully
+ * overwritten.
  */
-void applyAutomorphismCoeff(const std::vector<u64> &in, std::vector<u64> &out,
-                            u64 galois, const Modulus &mod);
+void applyAutomorphismCoeff(const u64 *in, u64 *out, u64 n, u64 galois,
+                            const Modulus &mod);
 
 /**
  * Permutation table for the NTT-domain automorphism given this library's

@@ -1,11 +1,22 @@
 #include "fhe/bconv.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/arena.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 
 namespace crophe::fhe {
+
+namespace {
+
+/** Coefficients per BConv tile: the m × kTile xhat block plus the tile's
+ *  quotients stay L1/L2-resident while every target modulus consumes
+ *  them. 512 coefficients × 60 limbs is ~240 KiB of u64. */
+constexpr u64 kTileCoeffs = 512;
+
+}  // namespace
 
 BaseConverter::BaseConverter(const FheContext &ctx, std::vector<u32> from,
                              std::vector<u32> to)
@@ -14,39 +25,52 @@ BaseConverter::BaseConverter(const FheContext &ctx, std::vector<u32> from,
     const u32 m = static_cast<u32>(from_.size());
     const u32 t = static_cast<u32>(to_.size());
     CROPHE_ASSERT(m > 0 && t > 0, "empty basis in BaseConverter");
+    // The stage-2 kernels accumulate m products of <2^120 in 128 bits
+    // without intermediate reduction; m < 256 keeps that exact.
+    CROPHE_ASSERT(m < 256, "source basis too large for BConv kernels");
 
     std::vector<u64> from_vals;
+    from_vals.reserve(m);
     for (u32 idx : from_)
         from_vals.push_back(ctx.modValue(idx));
 
-    mhatInv_.resize(m);
-    invM_.resize(m);
+    // Each complement product M/m_i is computed exactly once and reused
+    // for every target modulus.
+    std::vector<BigUInt> mhat;
+    mhat.reserve(m);
+    std::vector<u64> others;
+    others.reserve(m > 0 ? m - 1 : 0);
     for (u32 i = 0; i < m; ++i) {
-        const Modulus &mi = ctx.mod(from_[i]);
-        std::vector<u64> others;
+        others.clear();
         for (u32 k = 0; k < m; ++k)
             if (k != i)
                 others.push_back(from_vals[k]);
-        BigUInt mhat = others.empty() ? BigUInt(1) : productOf(others);
-        mhatInv_[i] = mi.inv(mhat.modSmall(mi.value()));
+        mhat.push_back(others.empty() ? BigUInt(1) : productOf(others));
+    }
+
+    mhatInv_.assign(m);
+    mhatInvShoup_.assign(m);
+    fromQ_.assign(m);
+    invM_.assign(m);
+    for (u32 i = 0; i < m; ++i) {
+        const Modulus &mi = ctx.mod(from_[i]);
+        mhatInv_[i] = mi.inv(mhat[i].modSmall(mi.value()));
+        mhatInvShoup_[i] = shoupQuotient(mhatInv_[i], mi.value());
+        fromQ_[i] = mi.value();
         invM_[i] = 1.0 / static_cast<double>(mi.value());
     }
 
     BigUInt big_m = productOf(from_vals);
-    mhatModT_.resize(t);
+    mhatModT_.assign(static_cast<std::size_t>(t) * m);
     mModT_.resize(t);
+    toView_.resize(t);
     for (u32 j = 0; j < t; ++j) {
-        u64 tj = ctx.modValue(to_[j]);
-        mhatModT_[j].resize(m);
-        for (u32 i = 0; i < m; ++i) {
-            std::vector<u64> others;
-            for (u32 k = 0; k < m; ++k)
-                if (k != i)
-                    others.push_back(from_vals[k]);
-            BigUInt mhat = others.empty() ? BigUInt(1) : productOf(others);
-            mhatModT_[j][i] = mhat.modSmall(tj);
-        }
-        mModT_[j] = big_m.modSmall(tj);
+        const Modulus &tj = ctx.mod(to_[j]);
+        for (u32 i = 0; i < m; ++i)
+            mhatModT_[static_cast<std::size_t>(j) * m + i] =
+                mhat[i].modSmall(tj.value());
+        mModT_[j] = big_m.modSmall(tj.value());
+        toView_[j] = {tj.value(), tj.barrettLo(), tj.barrettHi()};
     }
 }
 
@@ -58,40 +82,36 @@ BaseConverter::convert(const RnsPoly &in) const
     const u32 m = static_cast<u32>(from_.size());
     const u32 t = static_cast<u32>(to_.size());
     const u64 n = in.n();
+    const u64 in_stride = in.limbStride();
 
     RnsPoly out(*ctx_, to_, Rep::Coeff);
+    const u64 out_stride = out.limbStride();
+    const auto &kt = kernels::table();
 
     // Coefficients are independent, so chunk the coefficient axis; each
-    // chunk keeps its own xhat scratch so nothing is shared between
-    // chunks. Per-coefficient arithmetic is exact (integer mod-q plus a
-    // float quotient computed in a fixed order within the coefficient),
-    // so the result is bit-identical for any chunking.
+    // chunk tiles through its range with thread-local arena scratch.
+    // Per-coefficient arithmetic is exact (integer mod-q plus a float
+    // quotient accumulated in fixed ascending-limb order), so the result
+    // is bit-identical for any chunking or tile size.
+    const u64 *in_base = in.limb(0).data();
+    u64 *out_base = out.limb(0).data();
     parallelForRange(0, n, [&](u64 c0, u64 c1) {
-        // Scratch: xhat_i = x_i * (M/m_i)^{-1} mod m_i, and the float
-        // quotient v = floor(sum_i xhat_i / m_i).
-        std::vector<u64> xhat(m);
-        for (u64 c = c0; c < c1; ++c) {
-            double v_est = 0.0;
-            for (u32 i = 0; i < m; ++i) {
-                const Modulus &mi = ctx_->mod(from_[i]);
-                xhat[i] = mi.mul(in.limb(i)[c], mhatInv_[i]);
-                v_est += static_cast<double>(xhat[i]) * invM_[i];
-            }
-            // v_est = u + x/M with x/M in [0,1); the overshoot count u is
-            // its floor (rounding would off-by-one whenever x > M/2).
-            u64 v = static_cast<u64>(v_est);
+        ScratchArena::Scope scope;
+        ScratchArena &arena = ScratchArena::local();
+        u64 *xhat = arena.alloc<u64>(static_cast<std::size_t>(m) *
+                                     kTileCoeffs);
+        double *vest = arena.alloc<double>(kTileCoeffs);
+        for (u64 tile = c0; tile < c1; tile += kTileCoeffs) {
+            const u64 cnt = std::min(kTileCoeffs, c1 - tile);
+            std::fill(vest, vest + cnt, 0.0);
+            kt.bconvXhat(xhat, kTileCoeffs, vest, in_base + tile, in_stride,
+                         m, cnt, mhatInv_.data(), mhatInvShoup_.data(),
+                         fromQ_.data(), invM_.data());
             for (u32 j = 0; j < t; ++j) {
-                const Modulus &tj = ctx_->mod(to_[j]);
-                u128 acc = 0;
-                for (u32 i = 0; i < m; ++i) {
-                    acc += static_cast<u128>(xhat[i]) * mhatModT_[j][i];
-                    // Keep the accumulator bounded (m can be ~60 limbs).
-                    if ((i & 7) == 7)
-                        acc = tj.reduce(acc);
-                }
-                u64 s = tj.reduce(acc);
-                u64 corr = tj.mul(tj.reduce64(v), mModT_[j]);
-                out.limb(j)[c] = tj.sub(s, corr);
+                kt.bconvOut(out_base + j * out_stride + tile, xhat,
+                            kTileCoeffs, m, cnt,
+                            mhatModT_.data() + static_cast<std::size_t>(j) * m,
+                            vest, mModT_[j], toView_[j]);
             }
         }
     });
@@ -118,7 +138,7 @@ modUpDigit(const FheContext &ctx, const RnsPoly &d_coeff, u32 digit,
         if (!have)
             missing.push_back(idx);
     }
-    BaseConverter conv(ctx, digit_limbs, missing);
+    const BaseConverter &conv = ctx.converter(digit_limbs, missing);
     RnsPoly converted = conv.convert(digit_poly);
 
     RnsPoly out(ctx, target, Rep::Coeff);
@@ -127,13 +147,13 @@ modUpDigit(const FheContext &ctx, const RnsPoly &d_coeff, u32 digit,
         bool own = false;
         for (u32 i = 0; i < digit_limbs.size(); ++i) {
             if (digit_limbs[i] == target[k]) {
-                out.limb(k) = digit_poly.limb(i);
+                out.copyLimbFrom(k, digit_poly, i);
                 own = true;
                 break;
             }
         }
         if (!own)
-            out.limb(k) = converted.limb(mi++);
+            out.copyLimbFrom(k, converted, mi++);
     }
     return out;
 }
@@ -148,21 +168,19 @@ modDown(const FheContext &ctx, const RnsPoly &in, u32 level)
     auto p_basis = ctx.pBasis();
 
     RnsPoly p_part = in.restrictedTo(p_basis);
-    BaseConverter conv(ctx, p_basis, q_basis);
+    const BaseConverter &conv = ctx.converter(p_basis, q_basis);
     RnsPoly p_in_q = conv.convert(p_part);
 
-    u64 p_mod_small = 0;  // P mod q_i computed per limb below
-    (void)p_mod_small;
-
+    const auto &kt = kernels::table();
     RnsPoly out(ctx, q_basis, Rep::Coeff);
     parallelFor(0, q_basis.size(), [&](u64 i) {
         const Modulus &qi = ctx.mod(q_basis[i]);
         u64 p_inv = qi.inv(ctx.bigP().modSmall(qi.value()));
-        const auto &top = in.limb(i);
-        const auto &low = p_in_q.limb(i);
-        auto &dst = out.limb(i);
-        for (u64 c = 0; c < in.n(); ++c)
-            dst[c] = qi.mul(qi.sub(top[c], low[c]), p_inv);
+        out.copyLimbFrom(static_cast<u32>(i), in, static_cast<u32>(i));
+        u64 *dst = out.limb(i).data();
+        kt.subMod(dst, p_in_q.limb(i).data(), in.n(), qi.value());
+        kt.mulScalarShoup(dst, in.n(), qi.value(), p_inv,
+                          shoupQuotient(p_inv, qi.value()));
     });
     return out;
 }
@@ -178,12 +196,12 @@ rescalePoly(const FheContext &ctx, const RnsPoly &in, u32 level)
     const Modulus &ql = ctx.mod(level);
 
     RnsPoly out(ctx, out_basis, Rep::Coeff);
-    const auto &last = in.limb(level);
+    auto last = in.limb(level);
     parallelFor(0, out_basis.size(), [&](u64 i) {
         const Modulus &qi = ctx.mod(out_basis[i]);
         u64 ql_inv = qi.inv(qi.reduce64(ql.value()));
-        const auto &src = in.limb(i);
-        auto &dst = out.limb(i);
+        auto src = in.limb(i);
+        auto dst = out.limb(i);
         for (u64 c = 0; c < in.n(); ++c) {
             // (x - [x]_{q_l}) / q_l mod q_i, with the centered lift of
             // [x]_{q_l} to reduce rounding bias.

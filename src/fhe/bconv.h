@@ -10,11 +10,25 @@
  * limb matrix by a constant t × m matrix of CRT factors. We implement the
  * HPS variant with floating-point quotient estimation so that values whose
  * representative lies in [0, M) convert exactly.
+ *
+ * convert() is limb-blocked and coefficient-tiled: a tile of coefficients
+ * has its xhat row block and float quotients computed once (kernel stage
+ * 1), then every target modulus consumes the resident tile (stage 2), so
+ * the traffic per source limb element is one read regardless of t. The
+ * float quotient is accumulated in ascending source-limb order with
+ * contraction pinned off — the summation order is part of the
+ * bit-identity contract across kernel backends.
+ *
+ * ModUp/ModDown fetch their converters from the FheContext memo, so the
+ * O(m²) big-integer constant setup happens once per basis pair per
+ * context rather than once per call.
  */
 
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/types.h"
+#include "fhe/kernels/kernels.h"
 #include "fhe/modarith.h"
 #include "fhe/rns.h"
 
@@ -46,14 +60,19 @@ class BaseConverter
     const FheContext *ctx_;
     std::vector<u32> from_;
     std::vector<u32> to_;
-    /** (M/m_i)^{-1} mod m_i. */
-    std::vector<u64> mhatInv_;
-    /** [M/m_i mod t_j] indexed [j][i]. */
-    std::vector<std::vector<u64>> mhatModT_;
+    /** (M/m_i)^{-1} mod m_i, with Shoup quotients. */
+    AlignedVec<u64> mhatInv_;
+    AlignedVec<u64> mhatInvShoup_;
+    /** Source modulus values m_i. */
+    AlignedVec<u64> fromQ_;
+    /** [M/m_i mod t_j] at index j·m + i. */
+    AlignedVec<u64> mhatModT_;
     /** M mod t_j. */
     std::vector<u64> mModT_;
     /** 1 / m_i as double, for the quotient estimate. */
-    std::vector<double> invM_;
+    AlignedVec<double> invM_;
+    /** Barrett constants of the target moduli. */
+    std::vector<kernels::BarrettView> toView_;
 };
 
 /**

@@ -1,0 +1,176 @@
+#include "fhe/kernels/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/cpu_features.h"
+#include "common/logging.h"
+
+namespace crophe::fhe::kernels {
+
+namespace {
+
+const KernelTable *
+tableFor(Backend b)
+{
+    switch (b) {
+    case Backend::Scalar:
+        return &scalarTable();
+    case Backend::Avx2:
+#ifdef CROPHE_HAVE_AVX2
+        return &avx2Table();
+#else
+        return nullptr;
+#endif
+    case Backend::Avx512:
+#ifdef CROPHE_HAVE_AVX512
+        return &avx512Table();
+#else
+        return nullptr;
+#endif
+    }
+    return nullptr;
+}
+
+Backend
+widestAvailable()
+{
+    if (available(Backend::Avx512))
+        return Backend::Avx512;
+    if (available(Backend::Avx2))
+        return Backend::Avx2;
+    return Backend::Scalar;
+}
+
+struct Active
+{
+    std::atomic<const KernelTable *> table{nullptr};
+    std::atomic<Backend> backend{Backend::Scalar};
+};
+
+Active &
+active()
+{
+    static Active a;
+    return a;
+}
+
+bool
+parseName(const std::string &name, Backend *out)
+{
+    if (name == "scalar")
+        *out = Backend::Scalar;
+    else if (name == "avx2")
+        *out = Backend::Avx2;
+    else if (name == "avx512")
+        *out = Backend::Avx512;
+    else if (name == "auto")
+        *out = widestAvailable();
+    else
+        return false;
+    return true;
+}
+
+/** One-time default selection: CROPHE_KERNEL env, else widest ISA. */
+const KernelTable *
+resolveDefault()
+{
+    Backend b = widestAvailable();
+    if (const char *env = std::getenv("CROPHE_KERNEL")) {
+        Backend requested;
+        if (!parseName(env, &requested)) {
+            CROPHE_WARN_ONCE("CROPHE_KERNEL=", env,
+                             " is not a backend name "
+                             "(scalar|avx2|avx512|auto); using ",
+                             backendName(b));
+        } else if (!available(requested)) {
+            CROPHE_WARN_ONCE("CROPHE_KERNEL=", env,
+                             " is unavailable on this host/binary; "
+                             "falling back to ",
+                             backendName(b));
+        } else {
+            b = requested;
+        }
+    }
+    active().backend.store(b, std::memory_order_relaxed);
+    return tableFor(b);
+}
+
+}  // namespace
+
+const KernelTable &
+table()
+{
+    const KernelTable *t = active().table.load(std::memory_order_acquire);
+    if (t == nullptr) {
+        t = resolveDefault();
+        active().table.store(t, std::memory_order_release);
+    }
+    return *t;
+}
+
+Backend
+activeBackend()
+{
+    table();  // force resolution
+    return active().backend.load(std::memory_order_relaxed);
+}
+
+bool
+available(Backend b)
+{
+    if (tableFor(b) == nullptr)
+        return false;
+    switch (b) {
+    case Backend::Scalar:
+        return true;
+    case Backend::Avx2:
+        return cpuFeatures().avx2;
+    case Backend::Avx512:
+        return cpuFeatures().avx512;
+    }
+    return false;
+}
+
+void
+setBackend(Backend b)
+{
+    CROPHE_ASSERT(available(b), "kernel backend '", backendName(b),
+                  "' unavailable");
+    active().backend.store(b, std::memory_order_relaxed);
+    active().table.store(tableFor(b), std::memory_order_release);
+}
+
+bool
+setBackendByName(const std::string &name)
+{
+    Backend b;
+    if (!parseName(name, &b))
+        return false;
+    if (!available(b)) {
+        Backend fallback = widestAvailable();
+        CROPHE_WARN_ONCE("kernel backend '", name,
+                         "' unavailable on this host/binary; "
+                         "falling back to ",
+                         backendName(fallback));
+        b = fallback;
+    }
+    setBackend(b);
+    return true;
+}
+
+const char *
+backendName(Backend b)
+{
+    switch (b) {
+    case Backend::Scalar:
+        return "scalar";
+    case Backend::Avx2:
+        return "avx2";
+    case Backend::Avx512:
+        return "avx512";
+    }
+    return "?";
+}
+
+}  // namespace crophe::fhe::kernels

@@ -1,0 +1,330 @@
+#ifndef CROPHE_FHE_KERNELS_NTT_SIMD256_INL_H_
+#define CROPHE_FHE_KERNELS_NTT_SIMD256_INL_H_
+
+/**
+ * @file
+ * 256-bit lazy-reduction NTT stage kernels shared by the AVX2 and
+ * AVX-512 backends (AVX-512F implies AVX2, so both translation units can
+ * instantiate these).
+ *
+ * The wide-gap stages broadcast one twiddle per butterfly block and are
+ * unrolled two vectors deep — the loop is front-end bound, so shaving
+ * per-iteration overhead is the remaining lever once the multiply count
+ * is minimal. The gap-2 and gap-1 stages (where the seed fell back to
+ * scalar butterflies) shuffle x/y operands into separate vectors with
+ * in-register permutes so every butterfly of the transform is vectorized.
+ * The forward gap-1 stage folds the final [0,4q) → [0,q) normalization
+ * into its stores, saving a full pass over the coefficient array.
+ *
+ * All values follow the Harvey invariants: forward inputs per stage in
+ * [0,4q), Shoup lazy products in [0,2q); inverse keeps sums in [0,2q).
+ * Everything is exact mod q, so outputs are bit-identical to the scalar
+ * and reference paths.
+ *
+ * Include only from kernel backend .cc files compiled with at least
+ * -mavx2; this header is not part of the public kernel API.
+ */
+
+#include <immintrin.h>
+
+#include "common/types.h"
+#include "fhe/kernels/kernels.h"
+
+namespace crophe::fhe::kernels::simd256 {
+
+inline __m256i
+set1(u64 x)
+{
+    return _mm256_set1_epi64x(static_cast<long long>(x));
+}
+
+/** Low 64 bits of the 4 lane-wise 64x64 products. */
+inline __m256i
+mulLo64(__m256i x, __m256i y)
+{
+    __m256i lo = _mm256_mul_epu32(x, y);
+    __m256i h1 = _mm256_mul_epu32(_mm256_srli_epi64(x, 32), y);
+    __m256i h2 = _mm256_mul_epu32(x, _mm256_srli_epi64(y, 32));
+    __m256i cross = _mm256_add_epi64(h1, h2);
+    return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+/** High 64 bits of the 4 lane-wise 64x64 products (exact). */
+inline __m256i
+mulHi64(__m256i x, __m256i y)
+{
+    const __m256i mask32 = _mm256_set1_epi64x(0xffffffff);
+    __m256i x1 = _mm256_srli_epi64(x, 32);
+    __m256i y1 = _mm256_srli_epi64(y, 32);
+    __m256i lolo = _mm256_mul_epu32(x, y);
+    __m256i hilo = _mm256_mul_epu32(x1, y);
+    __m256i lohi = _mm256_mul_epu32(x, y1);
+    __m256i hihi = _mm256_mul_epu32(x1, y1);
+    __m256i mid = _mm256_add_epi64(hilo, _mm256_srli_epi64(lolo, 32));
+    __m256i mid2 = _mm256_add_epi64(lohi, _mm256_and_si256(mid, mask32));
+    return _mm256_add_epi64(
+        hihi, _mm256_add_epi64(_mm256_srli_epi64(mid, 32),
+                               _mm256_srli_epi64(mid2, 32)));
+}
+
+/** x - (x >= bound ? bound : 0); values < 2^63 (signed compare safe). */
+inline __m256i
+condSub(__m256i x, __m256i bound, __m256i boundMinus1)
+{
+    return _mm256_sub_epi64(
+        x, _mm256_and_si256(_mm256_cmpgt_epi64(x, boundMinus1), bound));
+}
+
+/** Shoup lazy product in [0,2q) per lane; any a, requires w < q. */
+inline __m256i
+shoupMulLazy(__m256i a, __m256i w, __m256i ws, __m256i q)
+{
+    __m256i hi = mulHi64(a, ws);
+    return _mm256_sub_epi64(mulLo64(a, w), mulLo64(hi, q));
+}
+
+/** Broadcast-twiddle constants for one stage's block. */
+struct NttConsts
+{
+    __m256i vq, v2q, v2qm1;
+};
+
+inline NttConsts
+nttConsts(u64 q)
+{
+    return {set1(q), set1(2 * q), set1(2 * q - 1)};
+}
+
+/**
+ * Forward CT stage with gap >= 4: per block, x in [0,4q) is reduced to
+ * [0,2q), v = y·w lazy, x' = x+v, y' = x-v+2q (both in [0,4q)).
+ */
+inline void
+fwdStageWide(u64 *a, const NttView &t, u64 m, u64 gap, const NttConsts &c)
+{
+    for (u64 i = 0; i < m; ++i) {
+        u64 *x = a + 2 * i * gap;
+        u64 *y = x + gap;
+        const __m256i w = set1(t.w[m + i]);
+        const __m256i ws = set1(t.wShoup[m + i]);
+        u64 j = 0;
+        for (; j + 8 <= gap; j += 8) {
+            __m256i u0 =
+                _mm256_loadu_si256(reinterpret_cast<__m256i *>(x + j));
+            __m256i u1 =
+                _mm256_loadu_si256(reinterpret_cast<__m256i *>(x + j + 4));
+            __m256i y0 =
+                _mm256_loadu_si256(reinterpret_cast<__m256i *>(y + j));
+            __m256i y1 =
+                _mm256_loadu_si256(reinterpret_cast<__m256i *>(y + j + 4));
+            u0 = condSub(u0, c.v2q, c.v2qm1);
+            u1 = condSub(u1, c.v2q, c.v2qm1);
+            __m256i v0 = shoupMulLazy(y0, w, ws, c.vq);
+            __m256i v1 = shoupMulLazy(y1, w, ws, c.vq);
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(x + j),
+                                _mm256_add_epi64(u0, v0));
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(x + j + 4),
+                                _mm256_add_epi64(u1, v1));
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(y + j),
+                _mm256_add_epi64(_mm256_sub_epi64(u0, v0), c.v2q));
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(y + j + 4),
+                _mm256_add_epi64(_mm256_sub_epi64(u1, v1), c.v2q));
+        }
+        for (; j < gap; j += 4) {
+            __m256i u =
+                _mm256_loadu_si256(reinterpret_cast<__m256i *>(x + j));
+            __m256i yv =
+                _mm256_loadu_si256(reinterpret_cast<__m256i *>(y + j));
+            u = condSub(u, c.v2q, c.v2qm1);
+            __m256i v = shoupMulLazy(yv, w, ws, c.vq);
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(x + j),
+                                _mm256_add_epi64(u, v));
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(y + j),
+                _mm256_add_epi64(_mm256_sub_epi64(u, v), c.v2q));
+        }
+    }
+}
+
+/**
+ * Forward stage with gap == 2 (m = n/4 blocks of [x0 x1 y0 y1]). Two
+ * blocks per iteration; x/y are separated with 128-bit-lane permutes and
+ * twiddles are pair-broadcast from the table.
+ */
+inline void
+fwdStageGap2(u64 *a, const NttView &t, u64 m, const NttConsts &c)
+{
+    for (u64 i = 0; i < m; i += 2) {
+        u64 *p = a + 4 * i;
+        __m256i va = _mm256_loadu_si256(reinterpret_cast<__m256i *>(p));
+        __m256i vb = _mm256_loadu_si256(reinterpret_cast<__m256i *>(p + 4));
+        __m256i x = _mm256_permute2x128_si256(va, vb, 0x20);
+        __m256i y = _mm256_permute2x128_si256(va, vb, 0x31);
+        __m256i w = _mm256_permute4x64_epi64(
+            _mm256_castsi128_si256(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(t.w + m + i))),
+            0x50);
+        __m256i ws = _mm256_permute4x64_epi64(
+            _mm256_castsi128_si256(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(t.wShoup + m + i))),
+            0x50);
+        __m256i u = condSub(x, c.v2q, c.v2qm1);
+        __m256i v = shoupMulLazy(y, w, ws, c.vq);
+        __m256i nx = _mm256_add_epi64(u, v);
+        __m256i ny = _mm256_add_epi64(_mm256_sub_epi64(u, v), c.v2q);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p),
+                            _mm256_permute2x128_si256(nx, ny, 0x20));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p + 4),
+                            _mm256_permute2x128_si256(nx, ny, 0x31));
+    }
+}
+
+/**
+ * Forward stage with gap == 1 (m = n/2 blocks of [x y]), fused with the
+ * final normalization: outputs are canonical [0,q). Four blocks per
+ * iteration via 64-bit unpacks; the twiddle vectors are permuted into
+ * the matching [w0 w2 w1 w3] lane order.
+ */
+inline void
+fwdStageGap1Normalize(u64 *a, const NttView &t, u64 m, const NttConsts &c)
+{
+    const __m256i vq = c.vq;
+    const __m256i vqm1 = _mm256_sub_epi64(vq, _mm256_set1_epi64x(1));
+    for (u64 i = 0; i < m; i += 4) {
+        u64 *p = a + 2 * i;
+        __m256i va = _mm256_loadu_si256(reinterpret_cast<__m256i *>(p));
+        __m256i vb = _mm256_loadu_si256(reinterpret_cast<__m256i *>(p + 4));
+        __m256i xs = _mm256_unpacklo_epi64(va, vb);
+        __m256i ys = _mm256_unpackhi_epi64(va, vb);
+        __m256i w = _mm256_permute4x64_epi64(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(t.w + m + i)),
+            0xD8);
+        __m256i ws = _mm256_permute4x64_epi64(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(t.wShoup + m + i)),
+            0xD8);
+        __m256i u = condSub(xs, c.v2q, c.v2qm1);
+        __m256i v = shoupMulLazy(ys, w, ws, c.vq);
+        __m256i nx = _mm256_add_epi64(u, v);
+        __m256i ny = _mm256_add_epi64(_mm256_sub_epi64(u, v), c.v2q);
+        nx = condSub(condSub(nx, c.v2q, c.v2qm1), vq, vqm1);
+        ny = condSub(condSub(ny, c.v2q, c.v2qm1), vq, vqm1);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p),
+                            _mm256_unpacklo_epi64(nx, ny));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p + 4),
+                            _mm256_unpackhi_epi64(nx, ny));
+    }
+}
+
+/** Inverse GS stage with gap == 1 (h = n/2 blocks of [x y]). */
+inline void
+invStageGap1(u64 *a, const NttView &t, u64 h, const NttConsts &c)
+{
+    for (u64 i = 0; i < h; i += 4) {
+        u64 *p = a + 2 * i;
+        __m256i va = _mm256_loadu_si256(reinterpret_cast<__m256i *>(p));
+        __m256i vb = _mm256_loadu_si256(reinterpret_cast<__m256i *>(p + 4));
+        __m256i xs = _mm256_unpacklo_epi64(va, vb);
+        __m256i ys = _mm256_unpackhi_epi64(va, vb);
+        __m256i w = _mm256_permute4x64_epi64(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(t.w + h + i)),
+            0xD8);
+        __m256i ws = _mm256_permute4x64_epi64(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(t.wShoup + h + i)),
+            0xD8);
+        __m256i s = condSub(_mm256_add_epi64(xs, ys), c.v2q, c.v2qm1);
+        __m256i d = _mm256_add_epi64(_mm256_sub_epi64(xs, ys), c.v2q);
+        __m256i ny = shoupMulLazy(d, w, ws, c.vq);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p),
+                            _mm256_unpacklo_epi64(s, ny));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p + 4),
+                            _mm256_unpackhi_epi64(s, ny));
+    }
+}
+
+/** Inverse GS stage with gap == 2 (h = n/4 blocks of [x0 x1 y0 y1]). */
+inline void
+invStageGap2(u64 *a, const NttView &t, u64 h, const NttConsts &c)
+{
+    for (u64 i = 0; i < h; i += 2) {
+        u64 *p = a + 4 * i;
+        __m256i va = _mm256_loadu_si256(reinterpret_cast<__m256i *>(p));
+        __m256i vb = _mm256_loadu_si256(reinterpret_cast<__m256i *>(p + 4));
+        __m256i x = _mm256_permute2x128_si256(va, vb, 0x20);
+        __m256i y = _mm256_permute2x128_si256(va, vb, 0x31);
+        __m256i w = _mm256_permute4x64_epi64(
+            _mm256_castsi128_si256(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(t.w + h + i))),
+            0x50);
+        __m256i ws = _mm256_permute4x64_epi64(
+            _mm256_castsi128_si256(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(t.wShoup + h + i))),
+            0x50);
+        __m256i s = condSub(_mm256_add_epi64(x, y), c.v2q, c.v2qm1);
+        __m256i d = _mm256_add_epi64(_mm256_sub_epi64(x, y), c.v2q);
+        __m256i ny = shoupMulLazy(d, w, ws, c.vq);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p),
+                            _mm256_permute2x128_si256(s, ny, 0x20));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p + 4),
+                            _mm256_permute2x128_si256(s, ny, 0x31));
+    }
+}
+
+/** Inverse GS stage with gap >= 4, unrolled two vectors deep. */
+inline void
+invStageWide(u64 *a, const NttView &t, u64 h, u64 gap, const NttConsts &c)
+{
+    u64 j1 = 0;
+    for (u64 i = 0; i < h; ++i) {
+        u64 *x = a + j1;
+        u64 *y = x + gap;
+        const __m256i w = set1(t.w[h + i]);
+        const __m256i ws = set1(t.wShoup[h + i]);
+        u64 j = 0;
+        for (; j + 8 <= gap; j += 8) {
+            __m256i u0 =
+                _mm256_loadu_si256(reinterpret_cast<__m256i *>(x + j));
+            __m256i u1 =
+                _mm256_loadu_si256(reinterpret_cast<__m256i *>(x + j + 4));
+            __m256i v0 =
+                _mm256_loadu_si256(reinterpret_cast<__m256i *>(y + j));
+            __m256i v1 =
+                _mm256_loadu_si256(reinterpret_cast<__m256i *>(y + j + 4));
+            __m256i s0 =
+                condSub(_mm256_add_epi64(u0, v0), c.v2q, c.v2qm1);
+            __m256i s1 =
+                condSub(_mm256_add_epi64(u1, v1), c.v2q, c.v2qm1);
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(x + j), s0);
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(x + j + 4), s1);
+            __m256i d0 =
+                _mm256_add_epi64(_mm256_sub_epi64(u0, v0), c.v2q);
+            __m256i d1 =
+                _mm256_add_epi64(_mm256_sub_epi64(u1, v1), c.v2q);
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(y + j),
+                                shoupMulLazy(d0, w, ws, c.vq));
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(y + j + 4),
+                                shoupMulLazy(d1, w, ws, c.vq));
+        }
+        for (; j < gap; j += 4) {
+            __m256i u =
+                _mm256_loadu_si256(reinterpret_cast<__m256i *>(x + j));
+            __m256i v =
+                _mm256_loadu_si256(reinterpret_cast<__m256i *>(y + j));
+            __m256i s = condSub(_mm256_add_epi64(u, v), c.v2q, c.v2qm1);
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(x + j), s);
+            __m256i d = _mm256_add_epi64(_mm256_sub_epi64(u, v), c.v2q);
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(y + j),
+                                shoupMulLazy(d, w, ws, c.vq));
+        }
+        j1 += 2 * gap;
+    }
+}
+
+}  // namespace crophe::fhe::kernels::simd256
+
+#endif  // CROPHE_FHE_KERNELS_NTT_SIMD256_INL_H_

@@ -34,6 +34,11 @@ class Modulus
     u64 value() const { return q_; }
     u32 bits() const;
 
+    /** Low word of floor(2^128 / q) (kernel BarrettView plumbing). */
+    u64 barrettLo() const { return ratio0_; }
+    /** High word of floor(2^128 / q). */
+    u64 barrettHi() const { return ratio1_; }
+
     /** (a + b) mod q; inputs must already be < q. */
     u64
     add(u64 a, u64 b) const
@@ -128,10 +133,19 @@ class ShoupMul
         return r >= q ? r - q : r;
     }
 
+    u64 quotient() const { return wShoup_; }
+
   private:
     u64 w_;
     u64 wShoup_;
 };
+
+/** floor(w·2^64 / q), the precomputed Shoup quotient; requires w < q. */
+inline u64
+shoupQuotient(u64 w, u64 q)
+{
+    return static_cast<u64>((static_cast<u128>(w) << 64) / q);
+}
 
 }  // namespace crophe::fhe
 

@@ -6,6 +6,27 @@
 
 namespace crophe::fhe {
 
+namespace {
+
+/** Canonical Shoup product (a < q, w < q, ws = floor(w·2^64/q)). */
+inline u64
+shoupMulCanonical(u64 a, u64 w, u64 ws, u64 q)
+{
+    u64 hi = static_cast<u64>((static_cast<u128>(a) * ws) >> 64);
+    u64 r = a * w - hi * q;
+    return r >= q ? r - q : r;
+}
+
+/** The SIMD transforms process 8 lanes at a time; tiny transforms
+ *  (four-step building blocks can be this small) stay scalar. */
+inline const kernels::KernelTable &
+tableForSize(u64 n)
+{
+    return n >= 8 ? kernels::table() : kernels::scalarTable();
+}
+
+}  // namespace
+
 NttTables::NttTables(u64 n, const Modulus &mod)
     : n_(n), logn_(log2Exact(n)), mod_(mod)
 {
@@ -13,10 +34,13 @@ NttTables::NttTables(u64 n, const Modulus &mod)
                   "modulus ", mod.value(), " not NTT-friendly for N=", n);
     psi_ = findPrimitiveRoot(mod.value(), 2 * n);
     psiInv_ = mod_.inv(psi_);
-    nInv_ = ShoupMul(mod_.inv(n), mod_);
+    nInv_ = mod_.inv(n);
+    nInvShoup_ = shoupQuotient(nInv_, mod_.value());
 
-    fwd_.resize(n);
-    inv_.resize(n);
+    fwdW_.assign(n);
+    fwdShoup_.assign(n);
+    invW_.assign(n);
+    invShoup_.assign(n);
     u64 p = 1;
     std::vector<u64> psi_pow(n), psi_inv_pow(n);
     for (u64 i = 0; i < n; ++i) {
@@ -28,57 +52,41 @@ NttTables::NttTables(u64 n, const Modulus &mod)
         psi_inv_pow[i] = p;
         p = mod_.mul(p, psiInv_);
     }
+    const u64 q = mod_.value();
     for (u64 i = 0; i < n; ++i) {
         u64 br = bitReverse(i, logn_);
-        fwd_[i] = ShoupMul(psi_pow[br], mod_);
-        inv_[i] = ShoupMul(psi_inv_pow[br], mod_);
+        fwdW_[i] = psi_pow[br];
+        fwdShoup_[i] = shoupQuotient(psi_pow[br], q);
+        invW_[i] = psi_inv_pow[br];
+        invShoup_[i] = shoupQuotient(psi_inv_pow[br], q);
     }
+}
+
+kernels::NttView
+NttTables::forwardView() const
+{
+    return {fwdW_.data(), fwdShoup_.data(), n_, mod_.value(), 0, 0};
+}
+
+kernels::NttView
+NttTables::inverseView() const
+{
+    return {invW_.data(),  invShoup_.data(), n_,
+            mod_.value(), nInv_,            nInvShoup_};
 }
 
 void
 NttTables::forward(u64 *a) const
 {
-    const u64 q = mod_.value();
-    u64 t = n_;
-    for (u64 m = 1; m < n_; m <<= 1) {
-        t >>= 1;
-        for (u64 i = 0; i < m; ++i) {
-            u64 j1 = 2 * i * t;
-            u64 j2 = j1 + t;
-            const ShoupMul &s = fwd_[m + i];
-            for (u64 j = j1; j < j2; ++j) {
-                u64 u = a[j];
-                u64 v = s.mul(a[j + t], q);
-                a[j] = mod_.add(u, v);
-                a[j + t] = mod_.sub(u, v);
-            }
-        }
-    }
+    kernels::NttView v = forwardView();
+    tableForSize(n_).fwdNtt(a, v);
 }
 
 void
 NttTables::inverse(u64 *a) const
 {
-    const u64 q = mod_.value();
-    u64 t = 1;
-    for (u64 m = n_; m > 1; m >>= 1) {
-        u64 j1 = 0;
-        u64 h = m >> 1;
-        for (u64 i = 0; i < h; ++i) {
-            u64 j2 = j1 + t;
-            const ShoupMul &s = inv_[h + i];
-            for (u64 j = j1; j < j2; ++j) {
-                u64 u = a[j];
-                u64 v = a[j + t];
-                a[j] = mod_.add(u, v);
-                a[j + t] = s.mul(mod_.sub(u, v), q);
-            }
-            j1 += 2 * t;
-        }
-        t <<= 1;
-    }
-    for (u64 j = 0; j < n_; ++j)
-        a[j] = nInv_.mul(a[j], q);
+    kernels::NttView v = inverseView();
+    tableForSize(n_).invNtt(a, v);
 }
 
 std::vector<u64>
@@ -117,50 +125,83 @@ polyMulNaive(const std::vector<u64> &a, const std::vector<u64> &b,
     return out;
 }
 
-namespace {
-
-/** In-place decimation-in-time cyclic FFT, natural order in and out (the
- *  bit-reverse permutation is applied internally). */
-void
-cyclicNttCore(u64 *a, u64 n, const Modulus &mod, u64 omega)
+CyclicNtt::CyclicNtt(u64 n, const Modulus &mod, u64 omega)
+    : n_(n), logn_(log2Exact(n)), mod_(mod), omega_(omega)
 {
-    u32 logn = log2Exact(n);
+    buildStages(&fwd_, omega_);
+    buildStages(&inv_, mod_.inv(omega_));
+    nInv_ = mod_.inv(mod_.reduce64(n_));
+    nInvShoup_ = shoupQuotient(nInv_, mod_.value());
+}
+
+void
+CyclicNtt::buildStages(StageTables *t, u64 root) const
+{
+    const u64 q = mod_.value();
+    t->w.assign(n_ > 0 ? n_ - 1 : 0);
+    t->wShoup.assign(n_ > 0 ? n_ - 1 : 0);
+    for (u64 len = 2; len <= n_; len <<= 1) {
+        const u64 half = len / 2;
+        const u64 wLen = mod_.pow(root, n_ / len);
+        u64 w = 1;
+        for (u64 j = 0; j < half; ++j) {
+            t->w[half - 1 + j] = w;
+            t->wShoup[half - 1 + j] = shoupQuotient(w, q);
+            w = mod_.mul(w, wLen);
+        }
+    }
+}
+
+void
+CyclicNtt::core(u64 *a, const StageTables &t) const
+{
+    const u64 q = mod_.value();
     // Bit-reverse permutation so that natural input -> natural output.
-    for (u64 i = 0; i < n; ++i) {
-        u64 j = bitReverse(i, logn);
+    for (u64 i = 0; i < n_; ++i) {
+        u64 j = bitReverse(i, logn_);
         if (i < j)
             std::swap(a[i], a[j]);
     }
-    for (u64 len = 2; len <= n; len <<= 1) {
-        u64 w_len = mod.pow(omega, n / len);
-        for (u64 i = 0; i < n; i += len) {
-            u64 w = 1;
-            for (u64 j = 0; j < len / 2; ++j) {
+    for (u64 len = 2; len <= n_; len <<= 1) {
+        const u64 half = len / 2;
+        const u64 *w = t.w.data() + (half - 1);
+        const u64 *ws = t.wShoup.data() + (half - 1);
+        for (u64 i = 0; i < n_; i += len) {
+            for (u64 j = 0; j < half; ++j) {
                 u64 u = a[i + j];
-                u64 v = mod.mul(a[i + j + len / 2], w);
-                a[i + j] = mod.add(u, v);
-                a[i + j + len / 2] = mod.sub(u, v);
-                w = mod.mul(w, w_len);
+                u64 v = shoupMulCanonical(a[i + j + half], w[j], ws[j], q);
+                a[i + j] = mod_.add(u, v);
+                a[i + j + half] = mod_.sub(u, v);
             }
         }
     }
 }
 
-}  // namespace
+void
+CyclicNtt::forward(u64 *a) const
+{
+    core(a, fwd_);
+}
+
+void
+CyclicNtt::inverse(u64 *a) const
+{
+    core(a, inv_);
+    const u64 q = mod_.value();
+    for (u64 i = 0; i < n_; ++i)
+        a[i] = shoupMulCanonical(a[i], nInv_, nInvShoup_, q);
+}
 
 void
 cyclicNtt(u64 *a, u64 n, const Modulus &mod, u64 omega)
 {
-    cyclicNttCore(a, n, mod, omega);
+    CyclicNtt(n, mod, omega).forward(a);
 }
 
 void
 cyclicInverseNtt(u64 *a, u64 n, const Modulus &mod, u64 omega)
 {
-    cyclicNttCore(a, n, mod, mod.inv(omega));
-    u64 n_inv = mod.inv(mod.reduce64(n));
-    for (u64 i = 0; i < n; ++i)
-        a[i] = mod.mul(a[i], n_inv);
+    CyclicNtt(n, mod, omega).inverse(a);
 }
 
 }  // namespace crophe::fhe

@@ -11,13 +11,20 @@
  *    the fast path used by the CKKS library; and
  *  - naive reference transforms used by the test suite.
  *
+ * The butterfly loops live in the kernel layer (fhe/kernels/kernels.h):
+ * NttTables stores its twiddles as structure-of-arrays (value / Shoup
+ * quotient) in 64-byte-aligned storage and hands the selected backend a
+ * view, so the same tables drive the scalar, AVX2 and AVX-512 transforms.
+ *
  * The four-step (decomposed) NTT that CROPHE's dataflow optimization builds
  * on lives in fhe/ntt_fourstep.h.
  */
 
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/types.h"
+#include "fhe/kernels/kernels.h"
 #include "fhe/modarith.h"
 
 namespace crophe::fhe {
@@ -51,15 +58,22 @@ class NttTables
     void forward(std::vector<u64> &a) const { forward(a.data()); }
     void inverse(std::vector<u64> &a) const { inverse(a.data()); }
 
+    /** Kernel views over the precomputed tables (bench/tests). */
+    kernels::NttView forwardView() const;
+    kernels::NttView inverseView() const;
+
   private:
     u64 n_;
     u32 logn_;
     Modulus mod_;
     u64 psi_;     ///< primitive 2n-th root of unity
     u64 psiInv_;  ///< psi^{-1}
-    ShoupMul nInv_;
-    std::vector<ShoupMul> fwd_;  ///< ψ^br(i) at table index i
-    std::vector<ShoupMul> inv_;  ///< ψ^{-br(i)} at table index i
+    u64 nInv_;    ///< n^{-1} mod q
+    u64 nInvShoup_;
+    AlignedVec<u64> fwdW_;      ///< ψ^br(i) at table index i
+    AlignedVec<u64> fwdShoup_;  ///< floor(fwdW·2^64/q)
+    AlignedVec<u64> invW_;      ///< ψ^{-br(i)} at table index i
+    AlignedVec<u64> invShoup_;
 };
 
 /**
@@ -74,9 +88,54 @@ std::vector<u64> polyMulNaive(const std::vector<u64> &a,
                               const std::vector<u64> &b, const Modulus &mod);
 
 /**
+ * A cyclic NTT plan: the per-stage twiddle powers ω^(j·n/len) and their
+ * Shoup quotients, precomputed once, plus the cached inverse tables and
+ * n^{-1} — replacing the seed's chained Barrett mod.mul(w, w_len) per
+ * butterfly and per-call mod.inv(omega) recomputation. The transform is
+ * decimation-in-time with an explicit bit-reversal, so input and output
+ * are both in natural order.
+ */
+class CyclicNtt
+{
+  public:
+    /** @param n power of two; @param omega a primitive n-th root mod q. */
+    CyclicNtt(u64 n, const Modulus &mod, u64 omega);
+
+    u64 n() const { return n_; }
+    u64 omega() const { return omega_; }
+
+    /** In-place forward cyclic NTT, natural order in and out. */
+    void forward(u64 *a) const;
+
+    /** In-place inverse (includes the 1/n scaling). */
+    void inverse(u64 *a) const;
+
+  private:
+    /** One direction's twiddles: stage with half-length h occupies
+     *  entries [h-1, 2h-1), holding ω_len^j for j in [0, h). */
+    struct StageTables
+    {
+        AlignedVec<u64> w;
+        AlignedVec<u64> wShoup;
+    };
+
+    void buildStages(StageTables *t, u64 root) const;
+    void core(u64 *a, const StageTables &t) const;
+
+    u64 n_;
+    u32 logn_;
+    Modulus mod_;
+    u64 omega_;
+    StageTables fwd_;
+    StageTables inv_;
+    u64 nInv_;
+    u64 nInvShoup_;
+};
+
+/**
  * Generic in-place cyclic NTT (root ω of order n), natural input order,
- * natural output order (decimation-in-time with explicit bit reversal).
- * Shared by the four-step implementation and tests.
+ * natural output order. Convenience wrapper that builds a CyclicNtt plan
+ * per call; repeated transforms should hold a plan instead.
  */
 void cyclicNtt(u64 *a, u64 n, const Modulus &mod, u64 omega);
 

@@ -2,31 +2,86 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
-#include "fhe/ntt.h"
 #include "fhe/primes.h"
 
 namespace crophe::fhe {
 
-FourStepNtt::FourStepNtt(u64 n1, u64 n2, const Modulus &mod)
-    : n1_(n1), n2_(n2), mod_(mod)
+namespace {
+
+inline u64
+shoupMulCanonical(u64 a, u64 w, u64 ws, u64 q)
+{
+    u64 hi = static_cast<u64>((static_cast<u128>(a) * ws) >> 64);
+    u64 r = a * w - hi * q;
+    return r >= q ? r - q : r;
+}
+
+u64
+rootFor(u64 n1, u64 n2, const Modulus &mod)
 {
     CROPHE_ASSERT(isPow2(n1) && isPow2(n2), "factors must be powers of two");
     u64 n = n1 * n2;
     CROPHE_ASSERT((mod.value() - 1) % (2 * n) == 0,
                   "modulus not NTT-friendly for N=", n);
-    psi_ = findPrimitiveRoot(mod.value(), 2 * n);
-    omega_ = mod_.mul(psi_, psi_);
+    return findPrimitiveRoot(mod.value(), 2 * n);
+}
 
-    twist_.resize(n);
-    twistInv_.resize(n);
+}  // namespace
+
+FourStepNtt::FourStepNtt(u64 n1, u64 n2, const Modulus &mod)
+    : n1_(n1),
+      n2_(n2),
+      mod_(mod),
+      psi_(rootFor(n1, n2, mod)),
+      omega_(mod.mul(psi_, psi_)),
+      colFwd_(n2, mod, mod.pow(omega_, n1)),
+      rowFwd_(n1, mod, mod.pow(omega_, n2)),
+      colInv_(n2, mod, mod.pow(mod.inv(omega_), n1)),
+      rowInv_(n1, mod, mod.pow(mod.inv(omega_), n2)),
+      twFwd_(buildTwiddleMatrix(omega_)),
+      twInv_(buildTwiddleMatrix(mod.inv(omega_)))
+{
+    const u64 n = n1_ * n2_;
+    const u64 q = mod_.value();
+    twist_.w.assign(n);
+    twist_.wShoup.assign(n);
+    twistInv_.w.assign(n);
+    twistInv_.wShoup.assign(n);
     u64 psi_inv = mod_.inv(psi_);
     u64 p = 1, pi = 1;
     for (u64 i = 0; i < n; ++i) {
-        twist_[i] = p;
-        twistInv_[i] = pi;
+        twist_.w[i] = p;
+        twist_.wShoup[i] = shoupQuotient(p, q);
+        twistInv_.w[i] = pi;
+        twistInv_.wShoup[i] = shoupQuotient(pi, q);
         p = mod_.mul(p, psi_);
         pi = mod_.mul(pi, psi_inv);
     }
+    nInv_ = mod_.inv(mod_.reduce64(n));
+    nInvShoup_ = shoupQuotient(nInv_, q);
+}
+
+FourStepNtt::ShoupTable
+FourStepNtt::buildTwiddleMatrix(u64 omega) const
+{
+    // Row i1 holds ω^{i1·k2} for k2 in [0, N2): a geometric progression
+    // with ratio ω^{i1}, itself advanced by one ω multiply per row.
+    const u64 n = n1_ * n2_;
+    const u64 q = mod_.value();
+    ShoupTable t;
+    t.w.assign(n);
+    t.wShoup.assign(n);
+    u64 base = 1;  // ω^{i1}
+    for (u64 i1 = 0; i1 < n1_; ++i1) {
+        u64 w = 1;
+        for (u64 k2 = 0; k2 < n2_; ++k2) {
+            t.w[i1 * n2_ + k2] = w;
+            t.wShoup[i1 * n2_ + k2] = shoupQuotient(w, q);
+            w = mod_.mul(w, base);
+        }
+        base = mod_.mul(base, omega);
+    }
+    return t;
 }
 
 void
@@ -38,35 +93,36 @@ FourStepNtt::cyclicFourStep(std::vector<u64> &a, bool inverse) const
     // Step 3: N2 row transforms of length N1 (root ω^N2).
     // Step 4: transpose into natural output order.
     const u64 n = n1_ * n2_;
-    u64 omega = inverse ? mod_.inv(omega_) : omega_;
-    u64 omega_col = mod_.pow(omega, n1_);
-    u64 omega_row = mod_.pow(omega, n2_);
+    const u64 q = mod_.value();
+    const CyclicNtt &col = inverse ? colInv_ : colFwd_;
+    const CyclicNtt &row = inverse ? rowInv_ : rowFwd_;
+    const ShoupTable &tw = inverse ? twInv_ : twFwd_;
 
-    std::vector<u64> col(n2_);
+    std::vector<u64> colBuf(n2_);
     std::vector<u64> work(n);
     for (u64 i1 = 0; i1 < n1_; ++i1) {
         for (u64 i2 = 0; i2 < n2_; ++i2)
-            col[i2] = a[i1 + n1_ * i2];
-        cyclicNtt(col.data(), n2_, mod_, omega_col);
-        for (u64 k2 = 0; k2 < n2_; ++k2) {
-            u64 tw = mod_.pow(omega, (i1 * k2) % n);
-            work[i1 + n1_ * k2] = mod_.mul(col[k2], tw);
-        }
+            colBuf[i2] = a[i1 + n1_ * i2];
+        col.forward(colBuf.data());
+        const u64 *w = tw.w.data() + i1 * n2_;
+        const u64 *ws = tw.wShoup.data() + i1 * n2_;
+        for (u64 k2 = 0; k2 < n2_; ++k2)
+            work[i1 + n1_ * k2] =
+                shoupMulCanonical(colBuf[k2], w[k2], ws[k2], q);
     }
 
-    std::vector<u64> row(n1_);
+    std::vector<u64> rowBuf(n1_);
     for (u64 k2 = 0; k2 < n2_; ++k2) {
         for (u64 i1 = 0; i1 < n1_; ++i1)
-            row[i1] = work[i1 + n1_ * k2];
-        cyclicNtt(row.data(), n1_, mod_, omega_row);
+            rowBuf[i1] = work[i1 + n1_ * k2];
+        row.forward(rowBuf.data());
         for (u64 k1 = 0; k1 < n1_; ++k1)
-            a[k2 + n2_ * k1] = row[k1];
+            a[k2 + n2_ * k1] = rowBuf[k1];
     }
 
     if (inverse) {
-        u64 n_inv = mod_.inv(mod_.reduce64(n));
         for (auto &x : a)
-            x = mod_.mul(x, n_inv);
+            x = shoupMulCanonical(x, nInv_, nInvShoup_, q);
     }
 }
 
@@ -75,9 +131,11 @@ FourStepNtt::forward(const std::vector<u64> &a) const
 {
     const u64 n = n1_ * n2_;
     CROPHE_ASSERT(a.size() == n, "input size mismatch");
+    const u64 q = mod_.value();
     std::vector<u64> out(n);
     for (u64 i = 0; i < n; ++i)
-        out[i] = mod_.mul(a[i], twist_[i]);
+        out[i] =
+            shoupMulCanonical(a[i], twist_.w[i], twist_.wShoup[i], q);
     cyclicFourStep(out, false);
     return out;
 }
@@ -87,10 +145,12 @@ FourStepNtt::inverse(const std::vector<u64> &a) const
 {
     const u64 n = n1_ * n2_;
     CROPHE_ASSERT(a.size() == n, "input size mismatch");
+    const u64 q = mod_.value();
     std::vector<u64> out = a;
     cyclicFourStep(out, true);
     for (u64 i = 0; i < n; ++i)
-        out[i] = mod_.mul(out[i], twistInv_[i]);
+        out[i] = shoupMulCanonical(out[i], twistInv_.w[i],
+                                   twistInv_.wShoup[i], q);
     return out;
 }
 

@@ -16,12 +16,20 @@
  *
  * Functionally, the negacyclic transform is realized by twisting the input
  * with ψ^i and running a cyclic four-step transform with ω = ψ².
+ *
+ * All data-independent work — the column/row CyclicNtt plans for both
+ * directions, the N1×N2 step-2 twiddle matrix, the ψ^i twist factors and
+ * 1/N — is precomputed at construction with Shoup quotients, so a
+ * transform performs no modular inversions, pow() calls, or chained
+ * twiddle generation.
  */
 
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/types.h"
 #include "fhe/modarith.h"
+#include "fhe/ntt.h"
 
 namespace crophe::fhe {
 
@@ -57,15 +65,31 @@ class FourStepNtt
     static u32 orientationSwitchesMonolithic() { return 4; }
 
   private:
+    /** Per-element constants with their Shoup quotients, index-aligned. */
+    struct ShoupTable
+    {
+        AlignedVec<u64> w;
+        AlignedVec<u64> wShoup;
+    };
+
     void cyclicFourStep(std::vector<u64> &a, bool inverse) const;
+    ShoupTable buildTwiddleMatrix(u64 omega) const;
 
     u64 n1_;
     u64 n2_;
     Modulus mod_;
     u64 psi_;
-    u64 omega_;                    ///< ψ², an N-th root of unity
-    std::vector<u64> twist_;       ///< ψ^i
-    std::vector<u64> twistInv_;    ///< ψ^{-i} / N folded at inverse
+    u64 omega_;           ///< ψ², an N-th root of unity
+    CyclicNtt colFwd_;    ///< length-N2 plan, root ω^N1
+    CyclicNtt rowFwd_;    ///< length-N1 plan, root ω^N2
+    CyclicNtt colInv_;    ///< length-N2 plan, root ω^{-N1}
+    CyclicNtt rowInv_;    ///< length-N1 plan, root ω^{-N2}
+    ShoupTable twFwd_;    ///< ω^{i1·k2} at index i1·N2 + k2
+    ShoupTable twInv_;    ///< ω^{-i1·k2}
+    ShoupTable twist_;    ///< ψ^i
+    ShoupTable twistInv_; ///< ψ^{-i}
+    u64 nInv_;            ///< N^{-1} mod q
+    u64 nInvShoup_;
 };
 
 }  // namespace crophe::fhe

@@ -5,9 +5,22 @@
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/parallel.h"
+#include "fhe/automorphism.h"
+#include "fhe/bconv.h"
+#include "fhe/kernels/kernels.h"
 #include "fhe/primes.h"
 
 namespace crophe::fhe {
+
+namespace {
+
+inline kernels::BarrettView
+barrettView(const Modulus &m)
+{
+    return {m.value(), m.barrettLo(), m.barrettHi()};
+}
+
+}  // namespace
 
 FheContext::FheContext(const FheContextParams &params)
     : n_(params.n),
@@ -39,6 +52,8 @@ FheContext::FheContext(const FheContextParams &params)
     }
     bigP_ = productOf(pj);
 }
+
+FheContext::~FheContext() = default;
 
 std::vector<u32>
 FheContext::qBasis(u32 level) const
@@ -87,12 +102,53 @@ FheContext::bigQ(u32 level) const
     return productOf(qs);
 }
 
+const BaseConverter &
+FheContext::converter(const std::vector<u32> &from,
+                      const std::vector<u32> &to) const
+{
+    std::lock_guard<std::mutex> lock(cacheMu_);
+    auto key = std::make_pair(from, to);
+    auto it = convCache_.find(key);
+    if (it == convCache_.end()) {
+        it = convCache_
+                 .emplace(std::move(key),
+                          std::make_unique<BaseConverter>(*this, from, to))
+                 .first;
+    }
+    return *it->second;
+}
+
+const AlignedVec<u64> &
+FheContext::autEvalTable(u64 galois) const
+{
+    std::lock_guard<std::mutex> lock(cacheMu_);
+    auto it = autCache_.find(galois);
+    if (it == autCache_.end()) {
+        auto table = evalAutomorphismTable(galois, n_);
+        auto stored = std::make_unique<AlignedVec<u64>>();
+        stored->assign(table.size());
+        std::copy(table.begin(), table.end(), stored->data());
+        it = autCache_.emplace(galois, std::move(stored)).first;
+    }
+    return *it->second;
+}
+
 RnsPoly::RnsPoly(const FheContext &ctx, std::vector<u32> basis, Rep rep)
     : ctx_(&ctx), rep_(rep), basis_(std::move(basis))
 {
-    limbs_.resize(basis_.size());
-    for (auto &l : limbs_)
-        l.assign(ctx.n(), 0);
+    // Round the row stride up to a cache line so every limb row starts
+    // 64-byte aligned in the slab.
+    stride_ = (ctx.n() + 7) & ~static_cast<u64>(7);
+    data_.assign(basis_.size() * stride_);
+}
+
+void
+RnsPoly::copyLimbFrom(u32 dst_limb, const RnsPoly &src, u32 src_limb)
+{
+    auto d = limb(dst_limb);
+    auto s = src.limb(src_limb);
+    CROPHE_ASSERT(d.size() == s.size(), "limb size mismatch in copy");
+    std::copy(s.begin(), s.end(), d.begin());
 }
 
 void
@@ -100,13 +156,11 @@ RnsPoly::addInplace(const RnsPoly &other)
 {
     CROPHE_ASSERT(basis_ == other.basis_ && rep_ == other.rep_,
                   "basis/representation mismatch in add");
+    const auto &kt = kernels::table();
     // Limbs are independent: one chunk per limb, disjoint writes.
     parallelFor(0, limbCount(), [&](u64 i) {
-        const Modulus &m = mod(i);
-        const auto &src = other.limbs_[i];
-        auto &dst = limbs_[i];
-        for (u64 j = 0; j < n(); ++j)
-            dst[j] = m.add(dst[j], src[j]);
+        kt.addMod(limb(i).data(), other.limb(i).data(), n(),
+                  mod(i).value());
     });
 }
 
@@ -115,23 +169,19 @@ RnsPoly::subInplace(const RnsPoly &other)
 {
     CROPHE_ASSERT(basis_ == other.basis_ && rep_ == other.rep_,
                   "basis/representation mismatch in sub");
+    const auto &kt = kernels::table();
     parallelFor(0, limbCount(), [&](u64 i) {
-        const Modulus &m = mod(i);
-        const auto &src = other.limbs_[i];
-        auto &dst = limbs_[i];
-        for (u64 j = 0; j < n(); ++j)
-            dst[j] = m.sub(dst[j], src[j]);
+        kt.subMod(limb(i).data(), other.limb(i).data(), n(),
+                  mod(i).value());
     });
 }
 
 void
 RnsPoly::negateInplace()
 {
-    parallelFor(0, limbCount(), [&](u64 i) {
-        const Modulus &m = mod(i);
-        for (auto &x : limbs_[i])
-            x = m.neg(x);
-    });
+    const auto &kt = kernels::table();
+    parallelFor(0, limbCount(),
+                [&](u64 i) { kt.negMod(limb(i).data(), n(), mod(i).value()); });
 }
 
 void
@@ -140,12 +190,10 @@ RnsPoly::mulEwInplace(const RnsPoly &other)
     CROPHE_ASSERT(basis_ == other.basis_, "basis mismatch in mul");
     CROPHE_ASSERT(rep_ == Rep::Eval && other.rep_ == Rep::Eval,
                   "element-wise multiply requires Eval representation");
+    const auto &kt = kernels::table();
     parallelFor(0, limbCount(), [&](u64 i) {
-        const Modulus &m = mod(i);
-        const auto &src = other.limbs_[i];
-        auto &dst = limbs_[i];
-        for (u64 j = 0; j < n(); ++j)
-            dst[j] = m.mul(dst[j], src[j]);
+        kernels::BarrettView b = barrettView(mod(i));
+        kt.mulModBarrett(limb(i).data(), other.limb(i).data(), n(), b);
     });
 }
 
@@ -154,22 +202,23 @@ RnsPoly::mulScalarInplace(const std::vector<u64> &scalar_per_limb)
 {
     CROPHE_ASSERT(scalar_per_limb.size() == limbCount(),
                   "scalar vector size mismatch");
+    const auto &kt = kernels::table();
     parallelFor(0, limbCount(), [&](u64 i) {
-        const Modulus &m = mod(i);
-        u64 s = scalar_per_limb[i];
-        for (auto &x : limbs_[i])
-            x = m.mul(x, s);
+        const u64 q = mod(i).value();
+        const u64 s = scalar_per_limb[i];
+        kt.mulScalarShoup(limb(i).data(), n(), q, s, shoupQuotient(s, q));
     });
 }
 
 void
 RnsPoly::mulConstInplace(u64 c)
 {
+    const auto &kt = kernels::table();
     parallelFor(0, limbCount(), [&](u64 i) {
         const Modulus &m = mod(i);
-        u64 s = m.reduce64(c);
-        for (auto &x : limbs_[i])
-            x = m.mul(x, s);
+        const u64 s = m.reduce64(c);
+        kt.mulScalarShoup(limb(i).data(), n(), m.value(), s,
+                          shoupQuotient(s, m.value()));
     });
 }
 
@@ -178,7 +227,7 @@ RnsPoly::toEval()
 {
     CROPHE_ASSERT(rep_ == Rep::Coeff, "already in Eval representation");
     parallelFor(0, limbCount(),
-                [&](u64 i) { ctx_->ntt(basis_[i]).forward(limbs_[i]); });
+                [&](u64 i) { ctx_->ntt(basis_[i]).forward(limb(i).data()); });
     rep_ = Rep::Eval;
 }
 
@@ -187,7 +236,7 @@ RnsPoly::toCoeff()
 {
     CROPHE_ASSERT(rep_ == Rep::Eval, "already in Coeff representation");
     parallelFor(0, limbCount(),
-                [&](u64 i) { ctx_->ntt(basis_[i]).inverse(limbs_[i]); });
+                [&](u64 i) { ctx_->ntt(basis_[i]).inverse(limb(i).data()); });
     rep_ = Rep::Coeff;
 }
 
@@ -195,8 +244,8 @@ void
 RnsPoly::dropLastLimb()
 {
     CROPHE_ASSERT(limbCount() > 1, "cannot drop the only limb");
+    // O(1): the slab keeps its storage; only the logical row count drops.
     basis_.pop_back();
-    limbs_.pop_back();
 }
 
 RnsPoly
@@ -207,7 +256,7 @@ RnsPoly::restrictedTo(const std::vector<u32> &basis) const
         auto it = std::find(basis_.begin(), basis_.end(), basis[k]);
         CROPHE_ASSERT(it != basis_.end(),
                       "limb for modulus index ", basis[k], " not present");
-        out.limbs_[k] = limbs_[it - basis_.begin()];
+        out.copyLimbFrom(k, *this, static_cast<u32>(it - basis_.begin()));
     }
     return out;
 }
@@ -232,7 +281,7 @@ RnsPoly::reconstructCoeff(u64 coeff_idx) const
                 others.push_back(mods[k]);
         BigUInt mhat = productOf(others);
         u64 mhat_mod = mhat.modSmall(m.value());
-        u64 coef = m.mul(limbs_[i][coeff_idx], m.inv(mhat_mod));
+        u64 coef = m.mul(limb(i)[coeff_idx], m.inv(mhat_mod));
         acc.addMulSmall(mhat, coef);
     }
     // acc < limbCount * M; reduce.
@@ -248,7 +297,7 @@ RnsPoly::uniformRandom(crophe::Rng &rng)
     // determinism contract, so sampling must not depend on thread count.
     for (u32 i = 0; i < limbCount(); ++i) {
         u64 q = mod(i).value();
-        for (auto &x : limbs_[i])
+        for (u64 &x : limb(i))
             x = rng.nextBounded(q);
     }
 }

@@ -10,11 +10,22 @@
  * the RNS bases: q_0…q_L (ciphertext moduli) and p_0…p_{α-1} (the special
  * modulus P used by key-switching), together with the per-modulus NTT
  * tables and digit-decomposition parameters (α, dnum).
+ *
+ * RnsPoly stores its limb matrix as a single 64-byte-aligned slab with a
+ * cache-line-rounded row stride (DESIGN.md §10): limb i occupies
+ * [data + i·stride, data + i·stride + N). Rows are handed out as spans,
+ * the element-wise operations run through the kernel dispatch layer, and
+ * dropping the last limb is O(1) bookkeeping.
  */
 
+#include <map>
 #include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "fhe/biguint.h"
@@ -22,6 +33,8 @@
 #include "fhe/ntt.h"
 
 namespace crophe::fhe {
+
+class BaseConverter;
 
 /** Parameters used to build an FheContext. */
 struct FheContextParams
@@ -40,11 +53,21 @@ struct FheContextParams
  *
  * Modulus indexing is global: indices 0…L name q_0…q_L and indices
  * L+1…L+α name p_0…p_{α-1}.
+ *
+ * The context also memoizes the expensive derived objects that earlier
+ * versions rebuilt on every operation: BaseConverters (O(m²) big-integer
+ * work each) and NTT-domain automorphism permutation tables. Both caches
+ * are value-transparent — a cached object is a pure function of the
+ * context and the key — so caching cannot change any result.
  */
 class FheContext
 {
   public:
     explicit FheContext(const FheContextParams &params);
+    ~FheContext();
+
+    FheContext(const FheContext &) = delete;
+    FheContext &operator=(const FheContext &) = delete;
 
     u64 n() const { return n_; }
     u32 maxLevel() const { return levels_; }
@@ -79,6 +102,19 @@ class FheContext
     /** Product q_0…q_level. */
     BigUInt bigQ(u32 level) const;
 
+    /**
+     * The memoized BaseConverter for @p from → @p to. Thread-safe; the
+     * returned reference lives as long as the context.
+     */
+    const BaseConverter &converter(const std::vector<u32> &from,
+                                   const std::vector<u32> &to) const;
+
+    /**
+     * The memoized NTT-domain automorphism permutation for @p galois:
+     * output slot k takes input slot table[k]. Thread-safe.
+     */
+    const AlignedVec<u64> &autEvalTable(u64 galois) const;
+
   private:
     u64 n_;
     u32 levels_;
@@ -88,6 +124,12 @@ class FheContext
     std::vector<Modulus> moduli_;
     std::vector<std::unique_ptr<NttTables>> ntt_;
     BigUInt bigP_;
+
+    mutable std::mutex cacheMu_;
+    mutable std::map<std::pair<std::vector<u32>, std::vector<u32>>,
+                     std::unique_ptr<BaseConverter>>
+        convCache_;
+    mutable std::map<u64, std::unique_ptr<AlignedVec<u64>>> autCache_;
 };
 
 /** Domain of an RnsPoly's values. */
@@ -98,7 +140,8 @@ enum class Rep
 };
 
 /**
- * A polynomial held limb-wise over an explicit basis of context moduli.
+ * A polynomial held limb-wise over an explicit basis of context moduli,
+ * in one aligned slab (rows are 64-byte aligned, stride ≥ N).
  */
 class RnsPoly
 {
@@ -119,8 +162,31 @@ class RnsPoly
     u32 modIndex(u32 limb) const { return basis_[limb]; }
     const Modulus &mod(u32 limb) const { return ctx_->mod(basis_[limb]); }
 
-    std::vector<u64> &limb(u32 i) { return limbs_[i]; }
-    const std::vector<u64> &limb(u32 i) const { return limbs_[i]; }
+    /** Row i of the limb matrix (N elements, 64-byte-aligned start). */
+    std::span<u64>
+    limb(u32 i)
+    {
+        return {data_.data() + i * stride_, static_cast<std::size_t>(n())};
+    }
+    std::span<const u64>
+    limb(u32 i) const
+    {
+        return {data_.data() + i * stride_, static_cast<std::size_t>(n())};
+    }
+
+    /** Copy of limb @p i (tests compare limbs by value). */
+    std::vector<u64>
+    limbVec(u32 i) const
+    {
+        auto s = limb(i);
+        return {s.begin(), s.end()};
+    }
+
+    /** Slab row stride in elements (≥ n, multiple of 8). */
+    u64 limbStride() const { return stride_; }
+
+    /** limb(dst_limb) = src.limb(src_limb) (sizes must match). */
+    void copyLimbFrom(u32 dst_limb, const RnsPoly &src, u32 src_limb);
 
     /** this += other (same basis, same representation). */
     void addInplace(const RnsPoly &other);
@@ -159,7 +225,8 @@ class RnsPoly
     const FheContext *ctx_;
     Rep rep_;
     std::vector<u32> basis_;
-    std::vector<std::vector<u64>> limbs_;
+    u64 stride_ = 0;
+    AlignedVec<u64> data_;
 };
 
 }  // namespace crophe::fhe

@@ -30,8 +30,9 @@ TEST(Automorphism, CoeffPermutationIsBijective)
     a.uniformRandom(rng);
 
     u64 g = galoisElementForRotation(3, ctx.n());
-    std::vector<u64> out;
-    applyAutomorphismCoeff(a.limb(0), out, g, ctx.mod(0));
+    std::vector<u64> out(ctx.n());
+    applyAutomorphismCoeff(a.limb(0).data(), out.data(), ctx.n(), g,
+                           ctx.mod(0));
 
     // Every input magnitude appears exactly once (up to sign), so applying
     // the inverse automorphism returns the original.
@@ -44,9 +45,10 @@ TEST(Automorphism, CoeffPermutationIsBijective)
             break;
         }
     }
-    std::vector<u64> back;
-    applyAutomorphismCoeff(out, back, g_inv, ctx.mod(0));
-    EXPECT_EQ(back, a.limb(0));
+    std::vector<u64> back(ctx.n());
+    applyAutomorphismCoeff(out.data(), back.data(), ctx.n(), g_inv,
+                           ctx.mod(0));
+    EXPECT_EQ(back, a.limbVec(0));
 }
 
 TEST(Automorphism, EvalTableIsPermutation)
@@ -83,7 +85,8 @@ TEST(Automorphism, EvalDomainMatchesCoeffDomain)
     eval_path = applyAutomorphism(eval_path, g);
 
     for (u32 l = 0; l < a.limbCount(); ++l)
-        EXPECT_EQ(coeff_path.limb(l), eval_path.limb(l)) << "limb " << l;
+        EXPECT_EQ(coeff_path.limbVec(l), eval_path.limbVec(l))
+            << "limb " << l;
 }
 
 TEST(Automorphism, RotatesPlaintextSlots)

@@ -140,7 +140,7 @@ TEST(Rescale, DividesByLastPrime)
 
     RnsPoly got = rescalePoly(ctx, x, level);
     for (u32 k = 0; k < got.limbCount(); ++k)
-        EXPECT_EQ(got.limb(k), y.limb(k));
+        EXPECT_EQ(got.limbVec(k), y.limbVec(k));
 }
 
 }  // namespace

@@ -60,13 +60,13 @@ TEST(RnsPoly, AddSubNegateRoundTrip)
     c.addInplace(b);
     c.subInplace(b);
     for (u32 l = 0; l < a.limbCount(); ++l)
-        EXPECT_EQ(c.limb(l), a.limb(l));
+        EXPECT_EQ(c.limbVec(l), a.limbVec(l));
 
     RnsPoly d = a;
     d.negateInplace();
     d.negateInplace();
     for (u32 l = 0; l < a.limbCount(); ++l)
-        EXPECT_EQ(d.limb(l), a.limb(l));
+        EXPECT_EQ(d.limbVec(l), a.limbVec(l));
 }
 
 TEST(RnsPoly, EvalMultiplyMatchesCoeffConvolution)
@@ -78,13 +78,13 @@ TEST(RnsPoly, EvalMultiplyMatchesCoeffConvolution)
     a.uniformRandom(rng);
     b.uniformRandom(rng);
 
-    auto expect = polyMulNaive(a.limb(0), b.limb(0), ctx.mod(0));
+    auto expect = polyMulNaive(a.limbVec(0), b.limbVec(0), ctx.mod(0));
 
     a.toEval();
     b.toEval();
     a.mulEwInplace(b);
     a.toCoeff();
-    EXPECT_EQ(a.limb(0), expect);
+    EXPECT_EQ(a.limbVec(0), expect);
 }
 
 TEST(RnsPoly, CrtReconstructionOfSmallConstant)
@@ -121,10 +121,10 @@ TEST(RnsPoly, RestrictedToSelectsLimbs)
     RnsPoly q_only = a.restrictedTo(ctx.qBasis(2));
     EXPECT_EQ(q_only.limbCount(), 3u);
     for (u32 l = 0; l < 3; ++l)
-        EXPECT_EQ(q_only.limb(l), a.limb(l));
+        EXPECT_EQ(q_only.limbVec(l), a.limbVec(l));
     RnsPoly p_only = a.restrictedTo(ctx.pBasis());
-    EXPECT_EQ(p_only.limb(0), a.limb(3));
-    EXPECT_EQ(p_only.limb(1), a.limb(4));
+    EXPECT_EQ(p_only.limbVec(0), a.limbVec(3));
+    EXPECT_EQ(p_only.limbVec(1), a.limbVec(4));
 }
 
 TEST(RnsPoly, MulConstMatchesScalar)

@@ -64,7 +64,17 @@ FlagParser::parse(int argc, char **argv)
 {
     threads_ = 0;
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+        std::string arg = argv[i];
+        // `--flag=value` splits at the first '='; `--flag value` is the
+        // space-separated equivalent.
+        bool inlineValue = false;
+        std::string value;
+        const std::size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            inlineValue = true;
+        }
         const Flag *flag = nullptr;
         for (const auto &f : flags_)
             if (f.name == arg)
@@ -73,12 +83,16 @@ FlagParser::parse(int argc, char **argv)
             return fail(argv[0], "unknown flag: " + arg);
 
         if (flag->kind == Kind::Bool) {
+            if (inlineValue)
+                return fail(argv[0], arg + " takes no value");
             *static_cast<bool *>(flag->out) = true;
             continue;
         }
-        if (i + 1 >= argc)
-            return fail(argv[0], arg + " requires a value");
-        const std::string value = argv[++i];
+        if (!inlineValue) {
+            if (i + 1 >= argc)
+                return fail(argv[0], arg + " requires a value");
+            value = argv[++i];
+        }
         if (flag->kind == Kind::String) {
             *static_cast<std::string *>(flag->out) = value;
             continue;

@@ -9,8 +9,9 @@
  * registrations, and unknown flags (or flags missing their value) print
  * the usage and fail parsing instead of being silently ignored.
  *
- * Supported shapes: `--flag VALUE` (string / unsigned) and presence-only
- * `--flag` (bool). Parsing is strict and order-independent.
+ * Supported shapes: `--flag VALUE` and `--flag=VALUE` (string /
+ * numeric) and presence-only `--flag` (bool, which rejects `=`).
+ * Parsing is strict and order-independent.
  */
 
 #include <ostream>

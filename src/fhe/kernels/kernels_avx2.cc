@@ -69,6 +69,30 @@ mulHi64v(__m256i x, __m256i y)
                                _mm256_srli_epi64(mid2, 32)));
 }
 
+/**
+ * Both halves of the 4 lane-wise 64x64 products from one set of four
+ * vpmuludq partials — callers needing hi *and* lo (the BConv accumulate,
+ * Barrett) save the three partial products a separate mulLo64 re-derives.
+ */
+inline void
+mulWide64(__m256i x, __m256i y, __m256i &hi, __m256i &lo)
+{
+    const __m256i mask32 = _mm256_set1_epi64x(0xffffffff);
+    __m256i x1 = _mm256_srli_epi64(x, 32);
+    __m256i y1 = _mm256_srli_epi64(y, 32);
+    __m256i lolo = _mm256_mul_epu32(x, y);
+    __m256i hilo = _mm256_mul_epu32(x1, y);
+    __m256i lohi = _mm256_mul_epu32(x, y1);
+    __m256i hihi = _mm256_mul_epu32(x1, y1);
+    __m256i mid = _mm256_add_epi64(hilo, _mm256_srli_epi64(lolo, 32));
+    __m256i mid2 = _mm256_add_epi64(lohi, _mm256_and_si256(mid, mask32));
+    hi = _mm256_add_epi64(
+        hihi, _mm256_add_epi64(_mm256_srli_epi64(mid, 32),
+                               _mm256_srli_epi64(mid2, 32)));
+    lo = _mm256_add_epi64(_mm256_slli_epi64(mid2, 32),
+                          _mm256_and_si256(lolo, mask32));
+}
+
 /** mask of lanes with x >= bound, both < 2^63 (signed compare is safe). */
 inline __m256i
 geSmall(__m256i x, __m256i boundMinus1)
@@ -124,10 +148,9 @@ barrettReduceV(__m256i xhi, __m256i xlo, const BarrettV &b)
 {
     __m256i carry = mulHi64v(xlo, b.lo);
     // mid = xlo*hi + xhi*lo + carry (128-bit); we need its high word.
-    __m256i m1hi = mulHi64v(xlo, b.hi);
-    __m256i m1lo = mulLo64(xlo, b.hi);
-    __m256i m2hi = mulHi64v(xhi, b.lo);
-    __m256i m2lo = mulLo64(xhi, b.lo);
+    __m256i m1hi, m1lo, m2hi, m2lo;
+    mulWide64(xlo, b.hi, m1hi, m1lo);
+    mulWide64(xhi, b.lo, m2hi, m2lo);
     __m256i s1 = _mm256_add_epi64(m1lo, m2lo);
     __m256i c1 = ltU64(s1, m1lo);  // all-ones where carry
     __m256i s2 = _mm256_add_epi64(s1, carry);
@@ -146,7 +169,9 @@ barrettReduceV(__m256i xhi, __m256i xlo, const BarrettV &b)
 inline __m256i
 barrettMulV(__m256i a, __m256i c, const BarrettV &b)
 {
-    return barrettReduceV(mulHi64v(a, c), mulLo64(a, c), b);
+    __m256i hi, lo;
+    mulWide64(a, c, hi, lo);
+    return barrettReduceV(hi, lo, b);
 }
 
 void
@@ -317,23 +342,28 @@ gatherAvx2(u64 *dst, const u64 *src, const u64 *idx, u64 n)
         dst[k] = src[idx[k]];
 }
 
-/** Exact u64→double for values < 2^60 (== correctly rounded scalar cast). */
+/**
+ * Exact u64→double for values < 2^60 (== correctly rounded scalar cast).
+ *
+ * Magic-constant conversion: the high half is planted on the 2^84
+ * exponent (ulp 2^32, so hi·2^32 is exact) and the low half on 2^52
+ * (ulp 1, lo exact); subtracting 2^84+2^52 cancels both biases without
+ * rounding, and the single final add rounds once — exactly like the
+ * scalar cast. Five ops vs the previous split-halves sequence's eight.
+ */
 inline __m256d
 u64ToPd(__m256i x)
 {
-    const __m256i mask32 = _mm256_set1_epi64x(0xffffffff);
-    const __m256i expo = _mm256_set1_epi64x(
+    const __m256i magicLo = _mm256_set1_epi64x(
         static_cast<long long>(0x4330000000000000ull));  // 2^52
-    const __m256d expoD = _mm256_castsi256_pd(expo);
-    __m256i lo = _mm256_and_si256(x, mask32);
-    __m256i hi = _mm256_srli_epi64(x, 32);
-    // or-in the 2^52 exponent then subtract it: exact for values < 2^52.
-    __m256d dlo = _mm256_sub_pd(
-        _mm256_castsi256_pd(_mm256_or_si256(lo, expo)), expoD);
-    __m256d dhi = _mm256_sub_pd(
-        _mm256_castsi256_pd(_mm256_or_si256(hi, expo)), expoD);
-    return _mm256_add_pd(_mm256_mul_pd(dhi, _mm256_set1_pd(4294967296.0)),
-                         dlo);
+    const __m256i magicHi = _mm256_set1_epi64x(
+        static_cast<long long>(0x4530000000000000ull));  // 2^84
+    const __m256d magicAll = _mm256_castsi256_pd(_mm256_set1_epi64x(
+        static_cast<long long>(0x4530000000100000ull)));  // 2^84 + 2^52
+    __m256i lo = _mm256_blend_epi32(magicLo, x, 0x55);
+    __m256i hi = _mm256_xor_si256(_mm256_srli_epi64(x, 32), magicHi);
+    __m256d dhi = _mm256_sub_pd(_mm256_castsi256_pd(hi), magicAll);
+    return _mm256_add_pd(dhi, _mm256_castsi256_pd(lo));
 }
 
 void
@@ -385,6 +415,13 @@ bconvOutAvx2(u64 *out, const u64 *xhat, u64 xhatStride, u64 m, u64 cnt,
     const BarrettV b = broadcastBarrett(q);
     const __m256i vmmod =
         _mm256_set1_epi64x(static_cast<long long>(mModT));
+    // Shoup constant for the per-call-fixed multiplicand mModT < q: the
+    // one u128 division amortizes over the tile and replaces the full
+    // two-word Barrett correction multiply with a three-product Shoup.
+    const u64 mModTShoup = static_cast<u64>(
+        (static_cast<u128>(mModT) << 64) / q.q);
+    const __m256i vmmods =
+        _mm256_set1_epi64x(static_cast<long long>(mModTShoup));
     u64 c = 0;
     for (; c + 4 <= cnt; c += 4) {
         __m256i accLo = _mm256_setzero_si256();
@@ -394,8 +431,8 @@ bconvOutAvx2(u64 *out, const u64 *xhat, u64 xhatStride, u64 m, u64 cnt,
                 reinterpret_cast<const __m256i *>(xhat + i * xhatStride +
                                                   c));
             __m256i vw = _mm256_set1_epi64x(static_cast<long long>(w[i]));
-            __m256i plo = mulLo64(x, vw);
-            __m256i phi = mulHi64v(x, vw);
+            __m256i plo, phi;
+            mulWide64(x, vw, phi, plo);
             __m256i s = _mm256_add_epi64(accLo, plo);
             __m256i carry = ltU64(s, plo);
             accLo = s;
@@ -406,7 +443,8 @@ bconvOutAvx2(u64 *out, const u64 *xhat, u64 xhatStride, u64 m, u64 cnt,
         // v = trunc(vest); v < m <= 255 so a 32-bit convert suffices.
         __m128i v32 = _mm256_cvttpd_epi32(_mm256_loadu_pd(vest + c));
         __m256i v = _mm256_cvtepi32_epi64(v32);
-        __m256i corr = barrettMulV(v, vmmod, b);
+        __m256i corr = shoupMulLazyV(v, vmmod, vmmods, b.q);
+        corr = condSub(corr, b.q, b.qm1);
         __m256i r = _mm256_add_epi64(_mm256_sub_epi64(sres, corr), b.q);
         r = condSub(r, b.q, b.qm1);
         _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + c), r);

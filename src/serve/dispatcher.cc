@@ -1,0 +1,267 @@
+#include "serve/dispatcher.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+
+namespace crophe::serve {
+
+Dispatcher::Dispatcher(const hw::HwConfig &cfg, const Catalog &catalog,
+                       const std::vector<TenantSpec> &tenants,
+                       ServeOptions opt)
+    : cfg_(cfg), catalog_(catalog), tenants_(tenants), opt_(std::move(opt))
+{
+    if (tenants_.empty())
+        throw RecoverableError("dispatcher needs at least one tenant");
+    hw::validateConfig(cfg_);
+    if (opt_.maxBatch == 0)
+        opt_.maxBatch = 1;
+    services_.resize(catalog_.templates.size());
+    planCharge_.assign(catalog_.templates.size(), 0.0);
+}
+
+const ServiceTimes &
+Dispatcher::service(u32 templateIdx)
+{
+    if (services_[templateIdx].has_value())
+        return *services_[templateIdx];
+    const RequestTemplate &t = catalog_.templates[templateIdx];
+    ServiceTimes st;
+    if (opt_.serviceModel) {
+        st = opt_.serviceModel(t);
+    } else {
+        sched::SchedOptions so;
+        so.planCache = opt_.planCache;
+        so.deadlineSeconds = opt_.searchDeadlineSeconds;
+        const double hz = cfg_.freqGhz * 1e9;
+        bool missed = opt_.planCache == nullptr;
+        for (const auto &seg : t.workload.segments) {
+            const u64 missesBefore =
+                opt_.planCache ? opt_.planCache->stats().misses : 0;
+            auto sched = sched::scheduleGraph(seg.graph, cfg_, so);
+            if (opt_.planCache &&
+                opt_.planCache->stats().misses > missesBefore)
+                missed = true;
+            auto sim = sim::simulateSchedule(sched, cfg_);
+            const double cold = sim.cycles / hz;
+            // Steady-state repetitions keep resident aux on chip; scale
+            // the simulated time by the scheduler's warm/cold ratio.
+            const double ratio =
+                sched.stats.cycles > 0.0
+                    ? std::min(1.0,
+                               sched.warmStats.cycles / sched.stats.cycles)
+                    : 1.0;
+            const double warm = cold * ratio;
+            st.coldSeconds +=
+                cold + static_cast<double>(seg.repetitions - 1) * warm;
+            st.warmSeconds += static_cast<double>(seg.repetitions) * warm;
+        }
+        st.planCacheHit = !missed;
+        st.planSeconds =
+            missed ? opt_.planSecondsPerOp * static_cast<double>(t.ops)
+                   : 0.0;
+    }
+    services_[templateIdx] = st;
+    planCharge_[templateIdx] = st.planSeconds;
+    ++planCompiles_;
+    if (st.planCacheHit)
+        ++planCacheHits_;
+    return *services_[templateIdx];
+}
+
+ServeResult
+Dispatcher::run(const std::vector<Request> &arrivals,
+                double durationSeconds)
+{
+    ServeResult res;
+    res.durationSeconds = durationSeconds;
+    const u64 compiles0 = planCompiles_;
+    const u64 hits0 = planCacheHits_;
+
+    std::vector<double> weights;
+    weights.reserve(tenants_.size());
+    for (const auto &t : tenants_)
+        weights.push_back(t.weight);
+    RequestQueue queue(opt_.policy, weights);
+    AdmissionController admission(opt_.admission, tenants_);
+
+    telemetry::TraceRecorder *tr = opt_.trace;
+    u32 accelTrack = 0;
+    std::vector<u32> tenantTracks;
+    if (tr != nullptr) {
+        tr->beginProcess("serve");
+        accelTrack = tr->track("accelerator");
+        for (const auto &t : tenants_)
+            tenantTracks.push_back(tr->track("tenant:" + t.name));
+    }
+
+    // Request lifetime spans (arrival -> finish) overlap whenever
+    // requests queue, and Perfetto rejects partially overlapping slices
+    // on one track — buffer them and emit onto first-fit lanes at the
+    // end of the run.
+    struct RequestSpan
+    {
+        u32 tenant;
+        u64 id;
+        double ts;
+        double dur;
+        std::string name;
+        double slaMet;
+    };
+    std::vector<RequestSpan> spans;
+
+    double now = 0.0;       // virtual clock (monotone)
+    double accelFree = 0.0; // when the accelerator next goes idle
+    u64 lastBatchKey = 0;
+    bool haveLastKey = false;
+    std::size_t next = 0;
+
+    auto admit = [&](const Request &r) {
+        now = std::max(now, r.arrival);
+        const double residual = std::max(0.0, accelFree - now);
+        const double wait = residual + queue.backlogSeconds();
+        RequestOutcome out;
+        out.id = r.id;
+        out.tenant = r.tenant;
+        out.templateIdx = r.templateIdx;
+        out.arrival = r.arrival;
+        try {
+            admission.admitOrThrow(r, now, wait, queue.depth());
+        } catch (const AdmissionRejected &e) {
+            out.disposition = e.reason == RejectReason::Throttled
+                                  ? Disposition::RejectedThrottled
+                                  : Disposition::RejectedOverload;
+            res.outcomes.push_back(out);
+            if (tr != nullptr)
+                tr->instant("reject:" + tenants_[r.tenant].name + ":" +
+                                rejectReasonName(e.reason),
+                            r.arrival * 1e6);
+            return;
+        }
+        // The estimate prices queueing (WFQ tags, backlog shedding) at
+        // the steady-state rate; compilation happens here on first use.
+        const ServiceTimes &st = service(r.templateIdx);
+        queue.push(r, catalog_.templates[r.templateIdx].graphHash,
+                   st.warmSeconds, now);
+        if (tr != nullptr)
+            tr->counter("queue.depth", now * 1e6,
+                        static_cast<double>(queue.depth()));
+    };
+
+    while (next < arrivals.size() || !queue.empty()) {
+        if (opt_.cancelled && opt_.cancelled()) {
+            res.truncated = true;
+            break;
+        }
+        if (queue.empty()) {
+            admit(arrivals[next++]);
+            continue;
+        }
+        // The accelerator dispatches at t; everything arriving by then
+        // competes for the batch.
+        const double t = std::max(accelFree, now);
+        while (next < arrivals.size() && arrivals[next].arrival <= t)
+            admit(arrivals[next++]);
+        if (queue.empty())
+            continue;  // all candidates were rejected
+
+        auto batch = queue.popBatch(opt_.maxBatch);
+        const u32 tidx = batch.front().templateIdx;
+        const RequestTemplate &tmpl = catalog_.templates[tidx];
+        const ServiceTimes &st = service(tidx);
+        const double plan = planCharge_[tidx];
+        planCharge_[tidx] = 0.0;
+        // Back-to-back batches of the same template keep aux resident.
+        const bool auxResident = haveLastKey && lastBatchKey == tmpl.graphHash;
+        const double first = auxResident ? st.warmSeconds : st.coldSeconds;
+        const double compute =
+            first + static_cast<double>(batch.size() - 1) * st.warmSeconds;
+        const double start = t;
+        const double finish = start + plan + compute;
+        accelFree = finish;
+        now = std::max(now, start);
+        lastBatchKey = tmpl.graphHash;
+        haveLastKey = true;
+
+        ++res.batches;
+        res.batchedRequests += batch.size();
+        res.busySeconds += compute;
+        res.horizonSeconds = std::max(res.horizonSeconds, finish);
+
+        for (const Request &r : batch) {
+            RequestOutcome out;
+            out.id = r.id;
+            out.tenant = r.tenant;
+            out.templateIdx = r.templateIdx;
+            out.disposition = Disposition::Completed;
+            out.arrival = r.arrival;
+            out.start = start;
+            out.finish = finish;
+            out.slaMet = finish <= r.deadline;
+            out.planCacheHit = st.planCacheHit;
+            out.batchSize = static_cast<u32>(batch.size());
+            res.outcomes.push_back(out);
+            if (tr != nullptr)
+                spans.push_back({r.tenant, r.id, r.arrival * 1e6,
+                                 (finish - r.arrival) * 1e6, tmpl.name,
+                                 out.slaMet ? 1.0 : 0.0});
+        }
+        if (tr != nullptr) {
+            tr->complete(accelTrack, tmpl.name, start * 1e6,
+                         (finish - start) * 1e6,
+                         {{"batch", static_cast<double>(batch.size())},
+                          {"plan_ms", plan * 1e3},
+                          {"cache_hit", st.planCacheHit ? 1.0 : 0.0}});
+            tr->counter("queue.depth", finish * 1e6,
+                        static_cast<double>(queue.depth()));
+        }
+    }
+
+    if (tr != nullptr && !spans.empty()) {
+        std::sort(spans.begin(), spans.end(),
+                  [](const RequestSpan &a, const RequestSpan &b) {
+                      if (a.ts != b.ts)
+                          return a.ts < b.ts;
+                      return a.id < b.id;
+                  });
+        // First-fit lanes per tenant: lane 0 is the pre-created
+        // "tenant:<name>" track, overflow lanes get " #k" suffixes.
+        std::vector<std::vector<double>> laneEnd(tenants_.size());
+        std::vector<std::vector<u32>> laneTrack(tenants_.size());
+        for (u32 ti = 0; ti < tenants_.size(); ++ti) {
+            laneEnd[ti].push_back(0.0);
+            laneTrack[ti].push_back(tenantTracks[ti]);
+        }
+        for (const RequestSpan &s : spans) {
+            auto &ends = laneEnd[s.tenant];
+            auto &tracks = laneTrack[s.tenant];
+            std::size_t lane = 0;
+            while (lane < ends.size() && ends[lane] > s.ts)
+                ++lane;
+            if (lane == ends.size()) {
+                ends.push_back(0.0);
+                tracks.push_back(
+                    tr->track("tenant:" + tenants_[s.tenant].name + " #" +
+                              std::to_string(lane + 1)));
+            }
+            ends[lane] = s.ts + s.dur;
+            tr->complete(tracks[lane], s.name, s.ts, s.dur,
+                         {{"id", static_cast<double>(s.id)},
+                          {"sla_met", s.slaMet}});
+        }
+    }
+
+    res.horizonSeconds = std::max(res.horizonSeconds, durationSeconds);
+    std::sort(res.outcomes.begin(), res.outcomes.end(),
+              [](const RequestOutcome &a, const RequestOutcome &b) {
+                  return a.id < b.id;
+              });
+    res.planCompiles = planCompiles_ - compiles0;
+    res.planCacheHits = planCacheHits_ - hits0;
+    return res;
+}
+
+}  // namespace crophe::serve

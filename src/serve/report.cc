@@ -1,0 +1,232 @@
+#include "serve/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "telemetry/stats_registry.h"
+
+namespace crophe::serve {
+
+double
+percentile(std::vector<double> xs, double q)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    // Nearest-rank: smallest value with at least q of the mass below it.
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(xs.size())));
+    if (rank == 0)
+        rank = 1;
+    if (rank > xs.size())
+        rank = xs.size();
+    return xs[rank - 1];
+}
+
+double
+jainIndex(const std::vector<double> &xs)
+{
+    double sum = 0.0, sumSq = 0.0;
+    for (double x : xs) {
+        sum += x;
+        sumSq += x * x;
+    }
+    if (sumSq <= 0.0)
+        return 1.0;
+    return sum * sum / (static_cast<double>(xs.size()) * sumSq);
+}
+
+namespace {
+
+void
+finishLatencies(TenantReport &r, std::vector<double> &latenciesMs,
+                double duration)
+{
+    r.p50Ms = percentile(latenciesMs, 0.50);
+    r.p95Ms = percentile(latenciesMs, 0.95);
+    r.p99Ms = percentile(latenciesMs, 0.99);
+    double sum = 0.0, mx = 0.0;
+    for (double x : latenciesMs) {
+        sum += x;
+        mx = std::max(mx, x);
+    }
+    r.meanMs = latenciesMs.empty()
+                   ? 0.0
+                   : sum / static_cast<double>(latenciesMs.size());
+    r.maxMs = mx;
+    r.goodput =
+        duration > 0.0 ? static_cast<double>(r.slaMet) / duration : 0.0;
+}
+
+}  // namespace
+
+ServeReport
+buildReport(const ServeResult &result,
+            const std::vector<TenantSpec> &tenants)
+{
+    ServeReport rep;
+    rep.durationSeconds = result.durationSeconds;
+    rep.horizonSeconds = result.horizonSeconds;
+    rep.utilization = result.horizonSeconds > 0.0
+                          ? result.busySeconds / result.horizonSeconds
+                          : 0.0;
+    rep.batches = result.batches;
+    rep.meanBatchSize =
+        result.batches > 0 ? static_cast<double>(result.batchedRequests) /
+                                 static_cast<double>(result.batches)
+                           : 0.0;
+    rep.planCompiles = result.planCompiles;
+    rep.planCacheHits = result.planCacheHits;
+    rep.truncated = result.truncated;
+
+    rep.tenants.resize(tenants.size());
+    std::vector<std::vector<double>> latMs(tenants.size());
+    std::vector<double> totalLatMs;
+    for (u32 i = 0; i < tenants.size(); ++i)
+        rep.tenants[i].name = tenants[i].name;
+    rep.total.name = "total";
+
+    for (const auto &o : result.outcomes) {
+        TenantReport &t = rep.tenants[o.tenant];
+        ++t.offered;
+        ++rep.total.offered;
+        switch (o.disposition) {
+        case Disposition::RejectedThrottled:
+            ++t.rejectedThrottled;
+            ++rep.total.rejectedThrottled;
+            break;
+        case Disposition::RejectedOverload:
+            ++t.rejectedOverload;
+            ++rep.total.rejectedOverload;
+            break;
+        case Disposition::Completed: {
+            ++t.admitted;
+            ++rep.total.admitted;
+            ++t.completed;
+            ++rep.total.completed;
+            if (o.slaMet) {
+                ++t.slaMet;
+                ++rep.total.slaMet;
+            } else {
+                ++t.slaMissed;
+                ++rep.total.slaMissed;
+            }
+            const double ms = (o.finish - o.arrival) * 1e3;
+            latMs[o.tenant].push_back(ms);
+            totalLatMs.push_back(ms);
+            break;
+        }
+        }
+    }
+
+    std::vector<double> goodputs;
+    for (u32 i = 0; i < tenants.size(); ++i) {
+        finishLatencies(rep.tenants[i], latMs[i], rep.durationSeconds);
+        goodputs.push_back(rep.tenants[i].goodput);
+    }
+    finishLatencies(rep.total, totalLatMs, rep.durationSeconds);
+    rep.jainIndex = jainIndex(goodputs);
+    return rep;
+}
+
+namespace {
+
+void
+registerTenant(const TenantReport &t, telemetry::StatsRegistry &reg,
+               const std::string &prefix)
+{
+    reg.counter(prefix + ".offered", "requests generated").set(t.offered);
+    reg.counter(prefix + ".admitted", "requests past admission")
+        .set(t.admitted);
+    reg.counter(prefix + ".rejected.throttled",
+                "token-bucket rejections")
+        .set(t.rejectedThrottled);
+    reg.counter(prefix + ".rejected.overload", "load-shed rejections")
+        .set(t.rejectedOverload);
+    reg.counter(prefix + ".completed", "requests served to completion")
+        .set(t.completed);
+    reg.counter(prefix + ".sla.met", "completions within the SLA")
+        .set(t.slaMet);
+    reg.counter(prefix + ".sla.missed", "completions past the SLA")
+        .set(t.slaMissed);
+    reg.scalar(prefix + ".latency.p50Ms", "median latency").set(t.p50Ms);
+    reg.scalar(prefix + ".latency.p95Ms", "95th-percentile latency")
+        .set(t.p95Ms);
+    reg.scalar(prefix + ".latency.p99Ms", "99th-percentile latency")
+        .set(t.p99Ms);
+    reg.scalar(prefix + ".latency.meanMs", "mean latency").set(t.meanMs);
+    reg.scalar(prefix + ".latency.maxMs", "max latency").set(t.maxMs);
+    reg.scalar(prefix + ".goodput", "SLA-met completions per second")
+        .set(t.goodput);
+}
+
+}  // namespace
+
+void
+registerReport(const ServeReport &report, telemetry::StatsRegistry &reg,
+               const std::string &prefix)
+{
+    registerTenant(report.total, reg, prefix + ".requests");
+    for (const auto &t : report.tenants)
+        registerTenant(t, reg, prefix + ".tenant." + t.name);
+    reg.scalar(prefix + ".durationSeconds", "traffic window")
+        .set(report.durationSeconds);
+    reg.scalar(prefix + ".horizonSeconds", "last completion time")
+        .set(report.horizonSeconds);
+    reg.scalar(prefix + ".accel.utilization",
+               "accelerator busy fraction of the horizon")
+        .set(report.utilization);
+    reg.scalar(prefix + ".fairness.jain",
+               "Jain index over per-tenant goodput")
+        .set(report.jainIndex);
+    reg.counter(prefix + ".batch.count", "batches dispatched")
+        .set(report.batches);
+    reg.scalar(prefix + ".batch.meanSize", "mean requests per batch")
+        .set(report.meanBatchSize);
+    reg.counter(prefix + ".plan.compiles",
+                "templates compiled (scheduled + simulated)")
+        .set(report.planCompiles);
+    reg.counter(prefix + ".plan.cacheHits",
+                "template compiles served by the plan cache")
+        .set(report.planCacheHits);
+    if (report.truncated)
+        reg.scalar(prefix + ".truncated", "run was cancelled mid-loop")
+            .set(1.0);
+}
+
+void
+printReport(const ServeReport &report, std::ostream &os)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%-8s %8s %8s %6s %6s %6s %9s %9s %9s %9s\n", "tenant",
+                  "offered", "admit", "thr", "ovl", "sla", "p50 ms",
+                  "p95 ms", "p99 ms", "goodput");
+    os << buf;
+    auto row = [&](const TenantReport &t) {
+        std::snprintf(buf, sizeof(buf),
+                      "%-8s %8llu %8llu %6llu %6llu %6llu %9.3f %9.3f "
+                      "%9.3f %9.1f\n",
+                      t.name.c_str(),
+                      static_cast<unsigned long long>(t.offered),
+                      static_cast<unsigned long long>(t.admitted),
+                      static_cast<unsigned long long>(t.rejectedThrottled),
+                      static_cast<unsigned long long>(t.rejectedOverload),
+                      static_cast<unsigned long long>(t.slaMet), t.p50Ms,
+                      t.p95Ms, t.p99Ms, t.goodput);
+        os << buf;
+    };
+    for (const auto &t : report.tenants)
+        row(t);
+    row(report.total);
+    std::snprintf(buf, sizeof(buf),
+                  "fairness (Jain over goodput): %.4f   utilization: "
+                  "%.1f%%   batches: %llu (mean size %.2f)\n",
+                  report.jainIndex, 100.0 * report.utilization,
+                  static_cast<unsigned long long>(report.batches),
+                  report.meanBatchSize);
+    os << buf;
+}
+
+}  // namespace crophe::serve

@@ -1,0 +1,86 @@
+#ifndef CROPHE_SERVE_REPORT_H_
+#define CROPHE_SERVE_REPORT_H_
+
+/**
+ * @file
+ * Per-tenant and aggregate serving metrics: latency percentiles
+ * (nearest-rank), goodput (SLA-met completions per second of offered
+ * traffic window), rejection counts, plan-compile cache hit rate and the
+ * Jain fairness index over per-tenant goodput.
+ *
+ * registerReport() publishes everything under `serve.*` in the
+ * telemetry registry; printReport() renders the human table. The table
+ * deliberately contains no plan-cache-dependent numbers, so a cold and
+ * a warm run with planSecondsPerOp = 0 print byte-identical tables (the
+ * cache's effect lives in the stats JSON under serve.plan.* and
+ * plan.cache.*).
+ */
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "serve/dispatcher.h"
+
+namespace crophe::telemetry {
+class StatsRegistry;
+}  // namespace crophe::telemetry
+
+namespace crophe::serve {
+
+/** One tenant's scoreboard. */
+struct TenantReport
+{
+    std::string name;
+    u64 offered = 0;
+    u64 admitted = 0;
+    u64 rejectedThrottled = 0;
+    u64 rejectedOverload = 0;
+    u64 completed = 0;
+    u64 slaMet = 0;
+    u64 slaMissed = 0;
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double meanMs = 0.0;
+    double maxMs = 0.0;
+    double goodput = 0.0;  ///< SLA-met completions / duration
+};
+
+/** Whole-run scoreboard. */
+struct ServeReport
+{
+    std::vector<TenantReport> tenants;
+    TenantReport total;  ///< name = "total", aggregates all tenants
+    double durationSeconds = 0.0;
+    double horizonSeconds = 0.0;
+    double utilization = 0.0;  ///< busy / horizon
+    double jainIndex = 1.0;    ///< fairness over per-tenant goodput
+    u64 batches = 0;
+    double meanBatchSize = 0.0;
+    u64 planCompiles = 0;
+    u64 planCacheHits = 0;
+    bool truncated = false;
+};
+
+/** Nearest-rank percentile; @p q in (0, 1]; sorts a copy of @p xs. */
+double percentile(std::vector<double> xs, double q);
+
+/** Jain fairness index (Σx)² / (n·Σx²); 1.0 for n = 0 or all-zero. */
+double jainIndex(const std::vector<double> &xs);
+
+/** Aggregate @p result per tenant (tenant indices refer to @p tenants). */
+ServeReport buildReport(const ServeResult &result,
+                        const std::vector<TenantSpec> &tenants);
+
+/** Publish as `<prefix>.*` counters/scalars (default prefix "serve"). */
+void registerReport(const ServeReport &report,
+                    telemetry::StatsRegistry &reg,
+                    const std::string &prefix = "serve");
+
+/** Human-readable per-tenant table (see file doc on cache neutrality). */
+void printReport(const ServeReport &report, std::ostream &os);
+
+}  // namespace crophe::serve
+
+#endif  // CROPHE_SERVE_REPORT_H_

@@ -1,0 +1,64 @@
+#ifndef CROPHE_SERVE_REQUEST_H_
+#define CROPHE_SERVE_REQUEST_H_
+
+/**
+ * @file
+ * The unit of work in the serving layer: one tenant asking for one
+ * execution of a catalog template (a workload such as a bootstrap or a
+ * ResNet inference) at a virtual arrival time, with an SLA deadline.
+ *
+ * All times in the serving layer are *virtual seconds* on the simulated
+ * accelerator's clock — never wall clock — so every run is deterministic
+ * for a fixed seed regardless of host speed or thread count
+ * (DESIGN.md §11).
+ */
+
+#include "common/types.h"
+
+namespace crophe::serve {
+
+/** One tenant request for one execution of a catalog template. */
+struct Request
+{
+    u64 id = 0;          ///< global arrival-order id (0-based)
+    u32 tenant = 0;      ///< index into the tenant list
+    u32 templateIdx = 0; ///< index into the catalog
+    double arrival = 0.0;  ///< virtual seconds
+    double deadline = 0.0; ///< arrival + the tenant's SLA
+};
+
+/** Why admission control turned a request away. */
+enum class RejectReason : u8
+{
+    Throttled,  ///< tenant token bucket empty (per-tenant rate contract)
+    Overload,   ///< system shedding load (backlog or queue-depth bound)
+};
+
+const char *rejectReasonName(RejectReason reason);
+
+/** Terminal state of a request. */
+enum class Disposition : u8
+{
+    Completed,
+    RejectedThrottled,
+    RejectedOverload,
+};
+
+/** Everything the reporter needs about one finished request. */
+struct RequestOutcome
+{
+    u64 id = 0;
+    u32 tenant = 0;
+    u32 templateIdx = 0;
+    Disposition disposition = Disposition::Completed;
+    double arrival = 0.0;
+    double start = 0.0;   ///< batch dispatch time (Completed only)
+    double finish = 0.0;  ///< batch completion time (Completed only)
+    bool slaMet = false;
+    bool planCacheHit = false;  ///< template's schedule came from the cache
+    u32 batchSize = 0;          ///< size of the batch that served it
+};
+
+}  // namespace crophe::serve
+
+#endif  // CROPHE_SERVE_REQUEST_H_

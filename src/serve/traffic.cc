@@ -1,0 +1,122 @@
+#include "serve/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace crophe::serve {
+
+namespace {
+
+void
+validate(const TrafficSpec &spec, const Catalog &catalog)
+{
+    if (spec.tenants.empty())
+        throw RecoverableError("traffic spec has no tenants");
+    if (!(spec.durationSeconds > 0.0))
+        throw RecoverableError("traffic duration must be positive");
+    for (const auto &t : spec.tenants) {
+        if (!(t.rate > 0.0))
+            throw RecoverableError("tenant '" + t.name +
+                                   "' has non-positive arrival rate");
+        if (t.mix.size() != catalog.templates.size())
+            throw RecoverableError(
+                "tenant '" + t.name + "' mix has " +
+                std::to_string(t.mix.size()) + " weights for " +
+                std::to_string(catalog.templates.size()) + " templates");
+        double sum = 0.0;
+        for (double w : t.mix) {
+            if (w < 0.0)
+                throw RecoverableError("tenant '" + t.name +
+                                       "' has a negative mix weight");
+            sum += w;
+        }
+        if (!(sum > 0.0))
+            throw RecoverableError("tenant '" + t.name +
+                                   "' mix weights are all zero");
+    }
+}
+
+/** Draw a template index from the tenant's cumulative mix. */
+u32
+drawTemplate(const std::vector<double> &mix, double u)
+{
+    double total = 0.0;
+    for (double w : mix)
+        total += w;
+    double x = u * total;
+    double acc = 0.0;
+    for (u32 i = 0; i < mix.size(); ++i) {
+        acc += mix[i];
+        if (x < acc)
+            return i;
+    }
+    // u ~ 1 rounding: last non-zero weight.
+    for (u32 i = static_cast<u32>(mix.size()); i-- > 0;)
+        if (mix[i] > 0.0)
+            return i;
+    return 0;
+}
+
+}  // namespace
+
+std::vector<Request>
+generateTraffic(const TrafficSpec &spec, const Catalog &catalog)
+{
+    validate(spec, catalog);
+
+    struct Draft
+    {
+        Request req;
+        u64 seq;  ///< per-tenant sequence number (merge tie-break)
+    };
+    std::vector<Draft> drafts;
+
+    for (u32 ti = 0; ti < spec.tenants.size(); ++ti) {
+        const TenantSpec &t = spec.tenants[ti];
+        // Independent per-tenant stream: whitened (seed, index) mix so
+        // adjacent seeds/tenants do not correlate.
+        Rng rng(spec.seed ^
+                (0x9e3779b97f4a7c15ULL * (static_cast<u64>(ti) + 1)));
+        double now = 0.0;
+        u64 seq = 0;
+        while (true) {
+            if (t.process == ArrivalProcess::Poisson)
+                now += -std::log1p(-rng.nextDouble()) / t.rate;
+            else
+                // Exact k/rate spacing: accumulating 1/rate drifts and
+                // can round an arrival back inside the window.
+                now = static_cast<double>(seq + 1) / t.rate;
+            if (now >= spec.durationSeconds)
+                break;
+            Draft d;
+            d.req.tenant = ti;
+            d.req.templateIdx = drawTemplate(t.mix, rng.nextDouble());
+            d.req.arrival = now;
+            d.req.deadline = now + t.slaSeconds;
+            d.seq = seq++;
+            drafts.push_back(d);
+        }
+    }
+
+    std::sort(drafts.begin(), drafts.end(),
+              [](const Draft &a, const Draft &b) {
+                  if (a.req.arrival != b.req.arrival)
+                      return a.req.arrival < b.req.arrival;
+                  if (a.req.tenant != b.req.tenant)
+                      return a.req.tenant < b.req.tenant;
+                  return a.seq < b.seq;
+              });
+
+    std::vector<Request> out;
+    out.reserve(drafts.size());
+    for (u64 i = 0; i < drafts.size(); ++i) {
+        drafts[i].req.id = i;
+        out.push_back(drafts[i].req);
+    }
+    return out;
+}
+
+}  // namespace crophe::serve

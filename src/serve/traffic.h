@@ -1,0 +1,66 @@
+#ifndef CROPHE_SERVE_TRAFFIC_H_
+#define CROPHE_SERVE_TRAFFIC_H_
+
+/**
+ * @file
+ * Deterministic seeded traffic generation (DESIGN.md §11).
+ *
+ * Each tenant gets an independent xoshiro stream derived from the run
+ * seed and its index, so adding or re-ordering tenants never perturbs
+ * another tenant's arrivals. Open-loop arrivals are Poisson
+ * (exponential inter-arrival times) or fixed-rate; each arrival draws a
+ * catalog template from the tenant's mix. The merged trace is sorted by
+ * (arrival, tenant, per-tenant sequence) — a total order, so the
+ * request ids and everything downstream are reproducible bit-for-bit.
+ */
+
+#include <string>
+#include <vector>
+
+#include "serve/catalog.h"
+#include "serve/request.h"
+
+namespace crophe::serve {
+
+/** Arrival process of one tenant's open-loop stream. */
+enum class ArrivalProcess : u8
+{
+    Poisson,  ///< exponential inter-arrival times at the given rate
+    Fixed,    ///< deterministic 1/rate spacing (first arrival at 1/rate)
+};
+
+/** One tenant's traffic contract and SLA. */
+struct TenantSpec
+{
+    std::string name;
+    ArrivalProcess process = ArrivalProcess::Poisson;
+    double rate = 1.0;         ///< mean requests per virtual second
+    double slaSeconds = 0.05;  ///< per-request latency objective
+    double weight = 1.0;       ///< weighted-fair-queueing share
+    /** Admission token bucket: sustained tokens/second and burst size.
+     *  bucketRate 0 disables per-tenant throttling. */
+    double bucketRate = 0.0;
+    double bucketBurst = 1.0;
+    /** Relative weight per catalog template (size = catalog size). */
+    std::vector<double> mix;
+};
+
+/** A full seeded traffic description. */
+struct TrafficSpec
+{
+    double durationSeconds = 1.0;  ///< arrivals generated in [0, duration)
+    u64 seed = 1;
+    std::vector<TenantSpec> tenants;
+};
+
+/**
+ * Generate the merged, id-assigned arrival trace. Throws
+ * RecoverableError on an invalid spec (no tenants, non-positive rate or
+ * duration, mix size mismatch, all-zero mix).
+ */
+std::vector<Request> generateTraffic(const TrafficSpec &spec,
+                                     const Catalog &catalog);
+
+}  // namespace crophe::serve
+
+#endif  // CROPHE_SERVE_TRAFFIC_H_

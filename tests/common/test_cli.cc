@@ -55,6 +55,70 @@ TEST(FlagParser, EmptyArgvParsesAndKeepsDefaults)
     EXPECT_EQ(s, "default");
 }
 
+TEST(FlagParser, ParsesEqualsSyntaxForEveryValueKind)
+{
+    std::string out_file;
+    u32 count = 0;
+    double x = 0.0;
+    FlagParser p;
+    p.addString("--out", &out_file, "output file");
+    p.addUint("--count", &count, "how many");
+    p.addDouble("--x", &x, "a real");
+
+    Argv a({"prog", "--count=42", "--out=x.json", "--x=2.5"});
+    EXPECT_TRUE(p.parse(a.argc(), a.argv()));
+    EXPECT_EQ(out_file, "x.json");
+    EXPECT_EQ(count, 42u);
+    EXPECT_EQ(x, 2.5);
+}
+
+TEST(FlagParser, EqualsSyntaxMixesWithSpaceSyntax)
+{
+    u32 a_val = 0, b_val = 0;
+    FlagParser p;
+    p.addUint("--a", &a_val, "first");
+    p.addUint("--b", &b_val, "second");
+    Argv a({"prog", "--a=1", "--b", "2"});
+    EXPECT_TRUE(p.parse(a.argc(), a.argv()));
+    EXPECT_EQ(a_val, 1u);
+    EXPECT_EQ(b_val, 2u);
+}
+
+TEST(FlagParser, EqualsValueMayBeEmptyOrContainEquals)
+{
+    std::string out = "default", spec;
+    FlagParser p;
+    p.addString("--out", &out, "output file");
+    p.addString("--spec", &spec, "key=value spec");
+    Argv a({"prog", "--out=", "--spec=seed=7,rate=1e-3"});
+    EXPECT_TRUE(p.parse(a.argc(), a.argv()));
+    EXPECT_EQ(out, "");
+    EXPECT_EQ(spec, "seed=7,rate=1e-3");
+}
+
+TEST(FlagParser, BoolRejectsEqualsValue)
+{
+    FlagParser p;
+    bool b = false;
+    p.addBool("--quick", &b, "presence toggle");
+    Argv a({"prog", "--quick=1"});
+    EXPECT_FALSE(p.parse(a.argc(), a.argv()));
+    EXPECT_FALSE(b);
+}
+
+TEST(FlagParser, EqualsSyntaxRejectsMalformedNumber)
+{
+    FlagParser p;
+    u32 n = 0;
+    double x = 0.0;
+    p.addUint("--n", &n, "a number");
+    p.addDouble("--x", &x, "a real");
+    Argv a({"prog", "--n=12abc"});
+    EXPECT_FALSE(p.parse(a.argc(), a.argv()));
+    Argv b({"prog", "--x="});
+    EXPECT_FALSE(p.parse(b.argc(), b.argv()));
+}
+
 TEST(FlagParser, RejectsUnknownFlag)
 {
     FlagParser p;

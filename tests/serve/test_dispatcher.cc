@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include "graph/params.h"
+#include "hw/config.h"
+#include "serve/dispatcher.h"
+#include "serve/report.h"
+#include "telemetry/stats_registry.h"
+
+namespace crophe::serve {
+namespace {
+
+Catalog
+microCatalog()
+{
+    return buildCatalog(graph::paramsArk(), {"hmult", "hrot", "matvec"});
+}
+
+std::vector<TenantSpec>
+oneTenant(double sla = 10.0, double bucketRate = 0.0,
+          double bucketBurst = 1.0)
+{
+    TenantSpec t;
+    t.name = "t0";
+    t.rate = 1.0;
+    t.slaSeconds = sla;
+    t.bucketRate = bucketRate;
+    t.bucketBurst = bucketBurst;
+    t.mix = {1.0, 1.0, 1.0};
+    return {t};
+}
+
+Request
+request(u64 id, u32 templateIdx, double arrival, double sla = 10.0)
+{
+    Request r;
+    r.id = id;
+    r.tenant = 0;
+    r.templateIdx = templateIdx;
+    r.arrival = arrival;
+    r.deadline = arrival + sla;
+    return r;
+}
+
+/** Synthetic per-template service model keyed by template name. */
+ServeOptions
+stubOptions(double cold0, double warm0, double cold1 = 0.2,
+            double warm1 = 0.08)
+{
+    ServeOptions opt;
+    opt.policy = Policy::Fifo;
+    opt.admission.shedFactor = 0.0;
+    opt.serviceModel = [=](const RequestTemplate &t) {
+        ServiceTimes st;
+        if (t.name == "hmult") {
+            st.coldSeconds = cold0;
+            st.warmSeconds = warm0;
+        } else {
+            st.coldSeconds = cold1;
+            st.warmSeconds = warm1;
+        }
+        return st;
+    };
+    return opt;
+}
+
+TEST(Dispatcher, BatchesCompatibleRequestsAndModelsOccupancy)
+{
+    auto cat = microCatalog();
+    auto tenants = oneTenant();
+    Dispatcher d(hw::configCrophe64(), cat, tenants,
+                 stubOptions(0.1, 0.05));
+    std::vector<Request> arrivals = {request(0, 0, 0.0),
+                                     request(1, 0, 0.01),
+                                     request(2, 0, 0.02)};
+    auto res = d.run(arrivals, 1.0);
+    ASSERT_EQ(res.outcomes.size(), 3u);
+    // r0 dispatches alone (cold): busy [0, 0.1).
+    EXPECT_DOUBLE_EQ(res.outcomes[0].start, 0.0);
+    EXPECT_DOUBLE_EQ(res.outcomes[0].finish, 0.1);
+    EXPECT_EQ(res.outcomes[0].batchSize, 1u);
+    // r1 + r2 queue behind it and dispatch as one batch; same template
+    // back-to-back keeps aux resident, so both run warm.
+    for (int i = 1; i <= 2; ++i) {
+        EXPECT_DOUBLE_EQ(res.outcomes[i].start, 0.1);
+        EXPECT_DOUBLE_EQ(res.outcomes[i].finish, 0.2);
+        EXPECT_EQ(res.outcomes[i].batchSize, 2u);
+        EXPECT_TRUE(res.outcomes[i].slaMet);
+    }
+    EXPECT_EQ(res.batches, 2u);
+    EXPECT_EQ(res.batchedRequests, 3u);
+    EXPECT_DOUBLE_EQ(res.busySeconds, 0.2);
+    EXPECT_DOUBLE_EQ(res.horizonSeconds, 1.0);
+    EXPECT_EQ(res.planCompiles, 1u);
+}
+
+TEST(Dispatcher, BatchSkipsIncompatibleTemplatesAndPaysColdOnSwitch)
+{
+    auto cat = microCatalog();
+    auto tenants = oneTenant();
+    Dispatcher d(hw::configCrophe64(), cat, tenants,
+                 stubOptions(0.1, 0.04, 0.2, 0.08));
+    // A and C share a template; B (other template) sits between them.
+    std::vector<Request> arrivals = {request(0, 0, 0.0),
+                                     request(1, 1, 0.0),
+                                     request(2, 0, 0.0)};
+    auto res = d.run(arrivals, 1.0);
+    ASSERT_EQ(res.outcomes.size(), 3u);
+    // Batch 1: A + C (cold + warm = 0.14).
+    EXPECT_DOUBLE_EQ(res.outcomes[0].finish, 0.14);
+    EXPECT_DOUBLE_EQ(res.outcomes[2].finish, 0.14);
+    EXPECT_EQ(res.outcomes[0].batchSize, 2u);
+    // Batch 2: B switches templates, so it pays its cold time.
+    EXPECT_DOUBLE_EQ(res.outcomes[1].start, 0.14);
+    EXPECT_DOUBLE_EQ(res.outcomes[1].finish, 0.34);
+    EXPECT_EQ(res.batches, 2u);
+}
+
+TEST(Dispatcher, VirtualPlanningChargeAppliesOncePerTemplate)
+{
+    auto cat = microCatalog();
+    auto tenants = oneTenant();
+    auto opt = stubOptions(0.1, 0.04);
+    opt.serviceModel = [](const RequestTemplate &) {
+        ServiceTimes st;
+        st.coldSeconds = 0.1;
+        st.warmSeconds = 0.04;
+        st.planSeconds = 0.02;
+        return st;
+    };
+    Dispatcher d(hw::configCrophe64(), cat, tenants, opt);
+    std::vector<Request> arrivals = {request(0, 0, 0.0),
+                                     request(1, 0, 0.5)};
+    auto res = d.run(arrivals, 1.0);
+    // First batch pays plan + cold; planning does not occupy the
+    // accelerator's compute accounting.
+    EXPECT_DOUBLE_EQ(res.outcomes[0].finish, 0.12);
+    EXPECT_DOUBLE_EQ(res.busySeconds, 0.1 + 0.04);
+    // Second batch of the same template: no plan charge, aux resident.
+    EXPECT_DOUBLE_EQ(res.outcomes[1].start, 0.5);
+    EXPECT_DOUBLE_EQ(res.outcomes[1].finish, 0.54);
+}
+
+TEST(Dispatcher, OverloadSheddingCountsAreExact)
+{
+    auto cat = microCatalog();
+    // Fixed arrivals at 0.1 .. 0.9, SLA 50 ms, shed past 1 x SLA,
+    // service 250 ms: the hand-computed timeline admits exactly
+    // r0 (0.1), r2 (0.3), r5 (0.6), r7 (0.8).
+    auto tenants = oneTenant(0.05);
+    tenants[0].process = ArrivalProcess::Fixed;
+    tenants[0].rate = 10.0;
+    TrafficSpec ts;
+    ts.durationSeconds = 1.0;
+    ts.seed = 123;
+    ts.tenants = tenants;
+    auto arrivals = generateTraffic(ts, cat);
+    ASSERT_EQ(arrivals.size(), 9u);
+
+    auto opt = stubOptions(0.25, 0.25, 0.25, 0.25);
+    opt.admission.shedFactor = 1.0;
+    opt.maxBatch = 1;
+    Dispatcher d(hw::configCrophe64(), cat, tenants, opt);
+    auto res = d.run(arrivals, 1.0);
+    auto rep = buildReport(res, tenants);
+    EXPECT_EQ(rep.total.offered, 9u);
+    EXPECT_EQ(rep.total.admitted, 4u);
+    EXPECT_EQ(rep.total.rejectedOverload, 5u);
+    EXPECT_EQ(rep.total.rejectedThrottled, 0u);
+    std::vector<u64> admitted;
+    for (const auto &o : res.outcomes)
+        if (o.disposition == Disposition::Completed)
+            admitted.push_back(o.id);
+    EXPECT_EQ(admitted, (std::vector<u64>{0, 2, 5, 7}));
+}
+
+TEST(Dispatcher, ThrottleCountsAreExact)
+{
+    auto cat = microCatalog();
+    // Fixed 10 req/s against a 2.5 token/s bucket of burst 1: exactly
+    // every fourth arrival finds a full token (0.1, 0.5, 0.9).
+    auto tenants = oneTenant(10.0, /*bucketRate=*/2.5, /*bucketBurst=*/1.0);
+    tenants[0].process = ArrivalProcess::Fixed;
+    tenants[0].rate = 10.0;
+    TrafficSpec ts;
+    ts.durationSeconds = 1.0;
+    ts.seed = 9;
+    ts.tenants = tenants;
+    auto arrivals = generateTraffic(ts, cat);
+    ASSERT_EQ(arrivals.size(), 9u);
+
+    auto opt = stubOptions(0.001, 0.001, 0.001, 0.001);
+    Dispatcher d(hw::configCrophe64(), cat, tenants, opt);
+    auto rep = buildReport(d.run(arrivals, 1.0), tenants);
+    EXPECT_EQ(rep.total.admitted, 3u);
+    EXPECT_EQ(rep.total.rejectedThrottled, 6u);
+    EXPECT_EQ(rep.total.rejectedOverload, 0u);
+}
+
+TEST(Dispatcher, CancellationTruncatesTheRun)
+{
+    auto cat = microCatalog();
+    auto tenants = oneTenant();
+    auto opt = stubOptions(0.1, 0.05);
+    int polls = 0;
+    opt.cancelled = [&polls]() { return ++polls > 1; };
+    Dispatcher d(hw::configCrophe64(), cat, tenants, opt);
+    std::vector<Request> arrivals = {request(0, 0, 0.0),
+                                     request(1, 0, 0.2)};
+    auto res = d.run(arrivals, 1.0);
+    EXPECT_TRUE(res.truncated);
+    EXPECT_LT(res.outcomes.size(), 2u);
+}
+
+TEST(Dispatcher, TraceRecordsSpansInVirtualMicroseconds)
+{
+    auto cat = microCatalog();
+    auto tenants = oneTenant();
+    auto opt = stubOptions(0.1, 0.05);
+    telemetry::TraceRecorder trace;
+    opt.trace = &trace;
+    Dispatcher d(hw::configCrophe64(), cat, tenants, opt);
+    d.run({request(0, 0, 0.0)}, 1.0);
+    ASSERT_FALSE(trace.events().empty());
+    bool sawAccel = false, sawTenant = false;
+    for (const auto &e : trace.events()) {
+        if (e.phase != 'X')
+            continue;
+        const std::string track = trace.trackName(e.pid, e.tid);
+        if (track == "accelerator") {
+            sawAccel = true;
+            EXPECT_DOUBLE_EQ(e.ts, 0.0);
+            EXPECT_DOUBLE_EQ(e.dur, 0.1 * 1e6);
+        }
+        if (track == "tenant:t0")
+            sawTenant = true;
+    }
+    EXPECT_TRUE(sawAccel);
+    EXPECT_TRUE(sawTenant);
+}
+
+TEST(Report, PercentilesAndFairness)
+{
+    std::vector<double> xs;
+    for (int i = 1; i <= 100; ++i)
+        xs.push_back(i);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.50), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.95), 95.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.99), 99.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 100.0);
+    EXPECT_DOUBLE_EQ(percentile({42.0}, 0.99), 42.0);
+    EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+
+    EXPECT_DOUBLE_EQ(jainIndex({1.0, 1.0, 1.0}), 1.0);
+    EXPECT_DOUBLE_EQ(jainIndex({1.0, 0.0}), 0.5);
+    EXPECT_DOUBLE_EQ(jainIndex({}), 1.0);
+    EXPECT_DOUBLE_EQ(jainIndex({0.0, 0.0}), 1.0);
+}
+
+TEST(Report, RegistersServeStats)
+{
+    auto cat = microCatalog();
+    auto tenants = oneTenant();
+    Dispatcher d(hw::configCrophe64(), cat, tenants,
+                 stubOptions(0.1, 0.05));
+    auto rep = buildReport(
+        d.run({request(0, 0, 0.0), request(1, 1, 0.05)}, 1.0), tenants);
+    telemetry::StatsRegistry reg;
+    registerReport(rep, reg);
+    EXPECT_EQ(reg.value("serve.requests.offered"), 2.0);
+    EXPECT_EQ(reg.value("serve.requests.completed"), 2.0);
+    EXPECT_EQ(reg.value("serve.batch.count"), 2.0);
+    EXPECT_EQ(reg.value("serve.plan.compiles"), 2.0);
+    EXPECT_EQ(reg.value("serve.tenant.t0.sla.met"), 2.0);
+    EXPECT_GT(reg.value("serve.fairness.jain"), 0.0);
+    EXPECT_GT(reg.value("serve.accel.utilization"), 0.0);
+}
+
+}  // namespace
+}  // namespace crophe::serve

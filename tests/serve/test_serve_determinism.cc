@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The serving determinism contract (DESIGN.md §11): a fixed seed gives
+ * byte-identical stats and trace at any thread count; a warm plan cache
+ * changes nothing but the plan.cache/serve.plan counters when planning
+ * is free, and strictly improves tail latency when planning costs
+ * virtual time.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/parallel.h"
+#include "graph/params.h"
+#include "hw/config.h"
+#include "plan/plan_cache.h"
+#include "serve/dispatcher.h"
+#include "serve/report.h"
+#include "telemetry/stats_registry.h"
+#include "telemetry/trace_recorder.h"
+
+namespace crophe::serve {
+namespace {
+
+Catalog
+microCatalog()
+{
+    return buildCatalog(graph::paramsArk(), {"hmult", "hrot", "matvec"});
+}
+
+std::vector<TenantSpec>
+twoTenants()
+{
+    std::vector<TenantSpec> tenants;
+    for (u32 i = 0; i < 2; ++i) {
+        TenantSpec t;
+        t.name = "t" + std::to_string(i);
+        t.rate = i == 0 ? 1200.0 : 800.0;
+        t.slaSeconds = 100e-6;  // tight: some met, some missed
+        t.weight = i == 0 ? 2.0 : 1.0;
+        t.bucketRate = i == 0 ? 600.0 : 0.0;  // tenant 0 gets throttled
+        t.bucketBurst = 4.0;
+        t.mix = {0.5, 0.3, 0.2};
+        tenants.push_back(std::move(t));
+    }
+    return tenants;
+}
+
+std::vector<Request>
+traffic(const Catalog &cat, const std::vector<TenantSpec> &tenants,
+        double duration = 0.05, u64 seed = 77)
+{
+    TrafficSpec ts;
+    ts.durationSeconds = duration;
+    ts.seed = seed;
+    ts.tenants = tenants;
+    return generateTraffic(ts, cat);
+}
+
+/** Full serve run -> "<stats json>|<trace json>" byte string. */
+std::string
+runFingerprint(plan::PlanCache *cache, double planSecondsPerOp,
+               Policy policy = Policy::Wfq)
+{
+    auto cat = microCatalog();
+    auto tenants = twoTenants();
+    auto arrivals = traffic(cat, tenants);
+
+    telemetry::TraceRecorder trace;
+    ServeOptions opt;
+    opt.policy = policy;
+    opt.maxBatch = 4;
+    opt.admission.shedFactor = 4.0;
+    opt.planSecondsPerOp = planSecondsPerOp;
+    opt.planCache = cache;
+    opt.trace = &trace;
+    Dispatcher d(hw::configCrophe64(), cat, tenants, opt);
+    auto rep = buildReport(d.run(arrivals, 0.05), tenants);
+
+    telemetry::StatsRegistry reg;
+    registerReport(rep, reg);
+    if (cache != nullptr)
+        cache->registerStats(reg);
+    std::ostringstream os;
+    reg.dumpJson(os);
+    os << "|";
+    trace.writeJson(os);
+    return os.str();
+}
+
+/** Registry text dump with every plan-related line removed. */
+std::string
+statsTextWithoutPlanLines(const ServeReport &rep, plan::PlanCache &cache)
+{
+    telemetry::StatsRegistry reg;
+    registerReport(rep, reg);
+    cache.registerStats(reg);
+    std::ostringstream os;
+    reg.dumpText(os);
+    std::istringstream in(os.str());
+    std::string line, kept;
+    while (std::getline(in, line))
+        if (line.find("plan") == std::string::npos)
+            kept += line + "\n";
+    return kept;
+}
+
+TEST(ServeDeterminism, ByteIdenticalStatsAndTraceAcrossThreadCounts)
+{
+    // Each run uses a fresh memory-only cache (cold), so the plan.cache
+    // counters are part of the fingerprint too.
+    ThreadPool::setGlobalThreads(1);
+    plan::PlanCache c1;
+    const std::string one = runFingerprint(&c1, 1e-5);
+    ThreadPool::setGlobalThreads(2);
+    plan::PlanCache c2;
+    const std::string two = runFingerprint(&c2, 1e-5);
+    ThreadPool::setGlobalThreads(8);
+    plan::PlanCache c8;
+    const std::string eight = runFingerprint(&c8, 1e-5);
+    ThreadPool::setGlobalThreads(0);  // back to the hardware default
+
+    EXPECT_FALSE(one.empty());
+    EXPECT_EQ(one, two);
+    EXPECT_EQ(two, eight);
+}
+
+TEST(ServeDeterminism, WarmCacheEqualsColdCacheModuloPlanCounters)
+{
+    auto cat = microCatalog();
+    auto tenants = twoTenants();
+    auto arrivals = traffic(cat, tenants);
+
+    plan::PlanCache cache;  // shared: run 1 fills it, run 2 hits it
+    auto runOnce = [&]() {
+        ServeOptions opt;
+        opt.policy = Policy::Edf;
+        opt.maxBatch = 4;
+        opt.planSecondsPerOp = 0.0;  // free planning: timing-neutral
+        opt.planCache = &cache;
+        Dispatcher d(hw::configCrophe64(), cat, tenants, opt);
+        return buildReport(d.run(arrivals, 0.05), tenants);
+    };
+    auto cold = runOnce();
+    auto warm = runOnce();
+
+    EXPECT_EQ(cold.planCacheHits, 0u);
+    EXPECT_EQ(warm.planCompiles, 3u);
+    EXPECT_EQ(warm.planCacheHits, 3u);  // 100% >= the 90% bar
+    EXPECT_EQ(statsTextWithoutPlanLines(cold, cache),
+              statsTextWithoutPlanLines(warm, cache));
+}
+
+TEST(ServeDeterminism, WarmCacheStrictlyImprovesTailLatency)
+{
+    auto cat = microCatalog();
+    auto tenants = twoTenants();
+    auto arrivals = traffic(cat, tenants);
+
+    plan::PlanCache cache;
+    auto runOnce = [&]() {
+        ServeOptions opt;
+        opt.policy = Policy::Edf;
+        opt.maxBatch = 4;
+        // Cache misses pay a virtual planning latency that dwarfs the
+        // micro-template service times; hits pay nothing.
+        opt.planSecondsPerOp = 1e-4;
+        opt.planCache = &cache;
+        Dispatcher d(hw::configCrophe64(), cat, tenants, opt);
+        return buildReport(d.run(arrivals, 0.05), tenants);
+    };
+    auto cold = runOnce();
+    auto warm = runOnce();
+
+    EXPECT_EQ(warm.planCacheHits, warm.planCompiles);
+    EXPECT_LT(warm.total.p99Ms, cold.total.p99Ms);
+    EXPECT_LT(warm.total.p50Ms, cold.total.p50Ms);
+    EXPECT_LE(warm.horizonSeconds, cold.horizonSeconds);
+}
+
+TEST(ServeDeterminism, PoliciesShareArrivalsButReorderService)
+{
+    // Same trace under fifo/edf/wfq: identical offered counts,
+    // deterministic (possibly different) service orders each.
+    plan::PlanCache c1, c2;
+    EXPECT_EQ(runFingerprint(&c1, 0.0, Policy::Fifo),
+              runFingerprint(&c2, 0.0, Policy::Fifo));
+    plan::PlanCache c3, c4;
+    EXPECT_EQ(runFingerprint(&c3, 0.0, Policy::Edf),
+              runFingerprint(&c4, 0.0, Policy::Edf));
+}
+
+}  // namespace
+}  // namespace crophe::serve

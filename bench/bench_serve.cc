@@ -20,13 +20,13 @@
  */
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "baselines/baseline.h"
 #include "bench/bench_util.h"
+#include "common/cli.h"
 #include "common/error.h"
 #include "plan/plan_cache.h"
 #include "serve/dispatcher.h"
@@ -175,21 +175,14 @@ main(int argc, char **argv)
     bool smoke = false;
     u32 seed = 42;
     std::string json;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0) {
-            smoke = true;
-        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-            json = argv[++i];
-        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-            seed = static_cast<u32>(std::strtoul(argv[++i], nullptr, 10));
-        } else {
-            std::fprintf(stderr,
-                         "usage: %s [--smoke] [--seed N] [--json FILE] "
-                         "[--threads N]\n",
-                         argv[0]);
-            return 1;
-        }
-    }
+    cli::FlagParser flags(
+        "Serving bench: goodput and tail latency vs offered load.");
+    flags.addBool("--smoke", &smoke, "short traces for CI");
+    flags.addUint("--seed", &seed, "traffic seed");
+    flags.addString("--json", &json, "write BENCH_serve.json-style output");
+    flags.addThreadsFlag();
+    if (!flags.parse(argc, argv))
+        return 1;
 
     try {
         const double duration = smoke ? 2.0 : 10.0;

@@ -38,6 +38,7 @@
 #include "fault/fault_plan.h"
 #include "graph/workloads.h"
 #include "plan/plan_cache.h"
+#include "pod/pod.h"
 #include "sched/scheduler.h"
 #include "sim/simulator.h"
 #include "telemetry/telemetry.h"
@@ -53,6 +54,9 @@ run(int argc, char **argv)
     std::string plan_dir = plan::PlanCache::dirFromEnv();
     std::string fault_spec = fault::FaultPlan::specFromEnv();
     double deadline = 0.0;
+    u32 chips = 1;
+    double link_gbs = 600.0;
+    double link_latency = 500.0;
     cli::FlagParser flags(
         "Cycle-level simulation of ResNet-20 on CROPHE-36.");
     flags.addString("--trace-out", &trace_out,
@@ -67,9 +71,26 @@ run(int argc, char **argv)
     flags.addDouble("--deadline", &deadline,
                     "anytime scheduling budget per graph search in seconds "
                     "(0 = exact search)");
+    flags.addUint("--chips", &chips,
+                  "shard the workload across a pod of this many chips "
+                  "(1 = single chip)");
+    flags.addDouble("--link-gbs", &link_gbs,
+                    "pod ring-link bandwidth per direction (GB/s)");
+    flags.addDouble("--link-latency", &link_latency,
+                    "pod ring-link latency per hop (chip cycles)");
     flags.addThreadsFlag();
     if (!flags.parse(argc, argv))
         return 1;
+    try {
+        cli::requirePositive("--chips", chips);
+        cli::requirePositive("--link-gbs", link_gbs);
+        cli::requireNonNegative("--link-latency", link_latency);
+        cli::requireNonNegative("--deadline", deadline);
+    } catch (const RecoverableError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        flags.printUsage(argv[0], std::cerr);
+        return 1;
+    }
 
     installShutdownHandler();
 
@@ -78,6 +99,11 @@ run(int argc, char **argv)
         cache = std::make_unique<plan::PlanCache>(plan_dir);
 
     fault::FaultPlan fplan = fault::FaultPlan::parse(fault_spec);
+    if (fplan.deadChips >= chips)
+        throw RecoverableError(
+            "fault plan kills " + std::to_string(fplan.deadChips) +
+            " chips but the pod has only " + std::to_string(chips) +
+            " (--chips)");
     fault::FaultInjector injector(fplan);
     const bool faulty = !fplan.empty();
     const fault::FaultInjector *faults = faulty ? &injector : nullptr;
@@ -223,6 +249,44 @@ run(int argc, char **argv)
                 100 * result.stats.peUtil, 100 * result.stats.nocUtil,
                 100 * result.stats.sramBwUtil,
                 100 * result.stats.dramBwUtil);
+
+    if (chips > 1) {
+        if (shutdownRequested())
+            return bail_out();
+        pod::PodConfig podCfg;
+        podCfg.chips = chips;
+        podCfg.linkGBs = link_gbs;
+        podCfg.linkLatencyCycles = link_latency;
+        podCfg.deadChips = fplan.deadChips;
+        auto podRes = pod::schedulePodWorkload(
+            w, run_design.cfg, podCfg, opt,
+            !stats_out.empty() ? &registry : nullptr,
+            !trace_out.empty() ? &recorder : nullptr);
+        std::printf("\npod: %u chips (%u alive), ring links %.0f GB/s, "
+                    "hop latency %.0f cycles\n",
+                    chips, podCfg.aliveChips(), link_gbs, link_latency);
+        std::printf("%-16s %6s %7s %12s %14s %6s\n", "segment", "reps",
+                    "stages", "pipeline cyc", "interchip wd", "moves");
+        for (const auto &sr : podRes.perSegment)
+            std::printf("%-16s %6llu %7u %12.3e %14llu %6u%s\n",
+                        sr.name.c_str(),
+                        static_cast<unsigned long long>(sr.repetitions),
+                        sr.stages, sr.cycles,
+                        static_cast<unsigned long long>(sr.interchipWords),
+                        sr.partitionMoves,
+                        sr.sramOverflow ? " [sram overflow]" : "");
+        // The 1-chip reference uses the same analytic pipeline model, so
+        // the ratio isolates the pod's sharding gain.
+        pod::PodConfig solo;
+        auto soloRes =
+            pod::schedulePodWorkload(w, run_design.cfg, solo, opt);
+        std::printf("pod end-to-end: %.3f ms (1 chip: %.3f ms, speedup "
+                    "%.2fx), %llu interchip words in %llu transfers\n",
+                    podRes.seconds * 1e3, soloRes.seconds * 1e3,
+                    soloRes.seconds / podRes.seconds,
+                    static_cast<unsigned long long>(podRes.interchipWords),
+                    static_cast<unsigned long long>(podRes.transfers));
+    }
 
     if (faulty) {
         if (shutdownRequested())

@@ -58,6 +58,9 @@ run(int argc, char **argv)
     double bucket_rate = 0.0;
     double bucket_burst = 4.0;
     double search_deadline = 0.0;
+    u32 chips = 1;
+    double link_gbs = 600.0;
+    double link_latency = 500.0;
     std::string plan_dir = plan::PlanCache::dirFromEnv();
     std::string stats_out, trace_out;
 
@@ -94,6 +97,12 @@ run(int argc, char **argv)
                     "anytime budget per cache-miss schedule search in "
                     "seconds (nonzero trades determinism for bounded "
                     "wall-clock)");
+    flags.addUint("--chips", &chips,
+                  "accelerators in the serving pod (1 = single chip)");
+    flags.addDouble("--link-gbs", &link_gbs,
+                    "pod ring-link bandwidth per direction (GB/s)");
+    flags.addDouble("--link-latency", &link_latency,
+                    "pod ring-link latency per hop (chip cycles)");
     flags.addString("--plan-cache", &plan_dir,
                     "schedule-cache directory (default $CROPHE_PLAN_CACHE)");
     flags.addString("--stats-out", &stats_out,
@@ -103,8 +112,29 @@ run(int argc, char **argv)
     flags.addThreadsFlag();
     if (!flags.parse(argc, argv))
         return 1;
-    if (tenants == 0)
-        throw RecoverableError("--tenants must be at least 1");
+
+    // Flag-domain validation (DESIGN.md §9): nonsensical values are
+    // rejected here with a typed error + usage instead of reaching the
+    // dispatcher.
+    try {
+        cli::requirePositive("--duration", duration);
+        cli::requirePositive("--arrival-rate", arrival_rate);
+        cli::requirePositive("--tenants", tenants);
+        cli::requirePositive("--sla-ms", sla_ms);
+        cli::requirePositive("--max-batch", max_batch);
+        cli::requireNonNegative("--plan-ms", plan_ms);
+        cli::requireNonNegative("--shed-factor", shed_factor);
+        cli::requireNonNegative("--bucket-rate", bucket_rate);
+        cli::requireNonNegative("--bucket-burst", bucket_burst);
+        cli::requireNonNegative("--search-deadline", search_deadline);
+        cli::requirePositive("--chips", chips);
+        cli::requirePositive("--link-gbs", link_gbs);
+        cli::requireNonNegative("--link-latency", link_latency);
+    } catch (const RecoverableError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        flags.printUsage(argv[0], std::cerr);
+        return 1;
+    }
 
     installShutdownHandler();
     setVerbose(false);
@@ -143,6 +173,10 @@ run(int argc, char **argv)
                 arrival_rate, duration, arrivals.size(), seed);
     std::printf("policy %s, max batch %u, SLA %.1f ms\n",
                 policy_name.c_str(), max_batch, sla_ms);
+    if (chips > 1)
+        std::printf("pod: %u chips, ring links %.0f GB/s, hop latency "
+                    "%.0f cycles\n",
+                    chips, link_gbs, link_latency);
 
     telemetry::TraceRecorder recorder;
     telemetry::StatsRegistry registry;
@@ -154,6 +188,9 @@ run(int argc, char **argv)
     opt.planSecondsPerOp = plan_ms * 1e-3;
     opt.searchDeadlineSeconds = search_deadline;
     opt.planCache = cache.get();
+    opt.pod.chips = chips;
+    opt.pod.linkGBs = link_gbs;
+    opt.pod.linkLatencyCycles = link_latency;
     if (!trace_out.empty())
         opt.trace = &recorder;
     opt.cancelled = []() { return shutdownRequested(); };

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "common/error.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 
@@ -148,6 +149,29 @@ FlagParser::printUsage(const char *argv0, std::ostream &os) const
             os << ' ';
         os << f.help << "\n";
     }
+}
+
+void
+requirePositive(const std::string &flag, double value)
+{
+    if (!(value > 0.0))
+        throw RecoverableError(flag + " must be positive, got " +
+                               std::to_string(value));
+}
+
+void
+requirePositive(const std::string &flag, u32 value)
+{
+    if (value == 0)
+        throw RecoverableError(flag + " must be at least 1");
+}
+
+void
+requireNonNegative(const std::string &flag, double value)
+{
+    if (!(value >= 0.0))
+        throw RecoverableError(flag + " cannot be negative, got " +
+                               std::to_string(value));
 }
 
 }  // namespace crophe::cli

@@ -82,6 +82,18 @@ class FlagParser
     u32 threads_ = 0;
 };
 
+/**
+ * Domain checks for parsed flag values (DESIGN.md §9 error contract):
+ * each throws crophe::RecoverableError naming the offending flag, so
+ * harnesses can reject nonsensical inputs (`--arrival-rate 0`,
+ * `--tenants 0`) at startup with a typed error plus their usage text
+ * instead of letting the value reach the dispatcher. @{
+ */
+void requirePositive(const std::string &flag, double value);
+void requirePositive(const std::string &flag, u32 value);
+void requireNonNegative(const std::string &flag, double value);
+/** @} */
+
 }  // namespace crophe::cli
 
 #endif  // CROPHE_COMMON_CLI_H_

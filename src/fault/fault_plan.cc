@@ -66,7 +66,7 @@ FaultPlan::empty() const
 {
     return dramErrorRate == 0.0 && stalledDramChannels == 0 &&
            nocLinkFailRate == 0.0 && deadPeGroups == 0 &&
-           failedSramBanks == 0;
+           failedSramBanks == 0 && deadChips == 0;
 }
 
 FaultPlan
@@ -109,6 +109,8 @@ FaultPlan::parse(const std::string &spec)
         else if (key == "failed-sram-banks")
             plan.failedSramBanks =
                 static_cast<u32>(parseU64(spec, key, value));
+        else if (key == "dead-chips")
+            plan.deadChips = static_cast<u32>(parseU64(spec, key, value));
         else
             badSpec(spec, "unknown key \"" + key + "\"");
     }
@@ -151,6 +153,7 @@ FaultPlan::toString() const
     emit("noc-extra-hops", nocRerouteExtraHops, def.nocRerouteExtraHops);
     emit("dead-pe-groups", deadPeGroups, def.deadPeGroups);
     emit("failed-sram-banks", failedSramBanks, def.failedSramBanks);
+    emit("dead-chips", deadChips, def.deadChips);
     return os.str();
 }
 

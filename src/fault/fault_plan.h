@@ -59,6 +59,15 @@ struct FaultPlan
     u32 deadPeGroups = 0;
     /** Failed global-buffer banks out of kSramBanks. */
     u32 failedSramBanks = 0;
+    /**
+     * Whole accelerators removed from a multi-chip pod (DESIGN.md §12).
+     * Consumed by the pod layer, not degradedConfig(): the pod
+     * repartitions onto the survivors and its digest changes with the
+     * count, so degraded-pod schedules never share plan-cache entries
+     * with healthy-pod ones. Ignored (after validation against the
+     * --chips count) in single-chip runs.
+     */
+    u32 deadChips = 0;
 
     /** Banked-buffer granularity for failed-bank degradation. */
     static constexpr u32 kSramBanks = 32;
@@ -84,8 +93,8 @@ struct FaultPlan
      * dead-pe-groups=1,failed-sram-banks=2`). Keys: seed, dram-err,
      * dram-ecc, dram-retries, dram-backoff, stalled-channels,
      * channel-stall, noc-fail, noc-extra-hops, dead-pe-groups,
-     * failed-sram-banks. Throws RecoverableError on an unknown key, a
-     * malformed value, or an out-of-range rate.
+     * failed-sram-banks, dead-chips. Throws RecoverableError on an
+     * unknown key, a malformed value, or an out-of-range rate.
      */
     static FaultPlan parse(const std::string &spec);
 

@@ -198,6 +198,49 @@ Graph::structuralHash(const std::vector<OpId> &nodes) const
     return h;
 }
 
+Graph
+Graph::inducedSubgraph(const std::vector<OpId> &nodes) const
+{
+    std::map<OpId, OpId> local;
+    Graph sub;
+    for (OpId id : nodes) {
+        CROPHE_ASSERT(id < size(), "subgraph node out of range");
+        CROPHE_ASSERT(local.find(id) == local.end(),
+                      "duplicate subgraph node ", id);
+        local[id] = sub.add(ops_[id]);
+    }
+    for (OpId id : nodes) {
+        const OpId to = local[id];
+        for (OpId p : pred_[id]) {
+            auto it = local.find(p);
+            if (it != local.end()) {
+                // Internal edges are connected from the consumer side (in
+                // producer-list order) so both adjacency lists preserve
+                // the original insertion order exactly.
+                continue;
+            }
+            // The external producer becomes a boundary Input carrying the
+            // crossing ciphertext's volume.
+            const Op &ext = ops_[p];
+            OpId in = sub.add(makeInput(ext.n, ext.limbsOut,
+                                        "xchip:" + ext.label));
+            sub.connect(in, to);
+        }
+        for (OpId p : pred_[id]) {
+            auto it = local.find(p);
+            if (it != local.end())
+                sub.connect(it->second, to);
+        }
+        for (OpId c : succ_[id]) {
+            if (local.find(c) != local.end())
+                continue;
+            OpId out = sub.add(makeOutput(ops_[id].n, ops_[id].limbsOut));
+            sub.connect(to, out);
+        }
+    }
+    return sub;
+}
+
 std::string
 Graph::toString() const
 {

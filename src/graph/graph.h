@@ -85,6 +85,18 @@ class Graph
      */
     u64 structuralHash(const std::vector<OpId> &nodes) const;
 
+    /**
+     * Induced subgraph over @p nodes (kept in the given order) with the
+     * boundary materialized: every edge from an op outside @p nodes adds
+     * an Input op shaped like the external producer's output, and every
+     * edge to an op outside adds an Output op — so a scheduler seeing only
+     * the subgraph still charges the crossing ciphertexts as off-chip
+     * traffic. Edges among @p nodes keep their insertion order. This is
+     * what the pod partitioner hands each chip. Panics if @p nodes has
+     * duplicates or out-of-range ids.
+     */
+    Graph inducedSubgraph(const std::vector<OpId> &nodes) const;
+
     /** Human-readable dump (for examples and debugging). */
     std::string toString() const;
 

@@ -207,6 +207,10 @@ configDigest(const HwConfig &cfg)
     mix(cfg.homogeneous ? 1 : 0);
     for (double f : cfg.fuFraction)
         mixd(f);
+    // Mixed only when set: a zero salt keeps the digest byte-identical to
+    // pre-salt builds (existing disk plan caches stay valid).
+    if (cfg.digestSalt != 0)
+        mix(cfg.digestSalt);
     return h;
 }
 

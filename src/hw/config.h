@@ -51,6 +51,15 @@ struct HwConfig
     /** Capacity fraction per FU class (specialized designs only). */
     std::array<double, kFuClassCount> fuFraction{0.40, 0.30, 0.15, 0.15};
 
+    /**
+     * Extra context mixed into configDigest() by layers that schedule on
+     * this chip under additional constraints the fields above cannot
+     * express (the pod layer salts per-chip configs with the pod digest).
+     * Zero — the default — leaves the digest identical to pre-salt
+     * builds, so single-chip plan-cache keys are unchanged.
+     */
+    u64 digestSalt = 0;
+
     /** Bytes per machine word as stored in SRAM/DRAM. */
     double wordBytes() const { return wordBits / 8.0; }
 

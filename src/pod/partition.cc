@@ -1,0 +1,225 @@
+#include "pod/partition.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "common/logging.h"
+#include "sim/interconnect.h"
+
+namespace crophe::pod {
+
+namespace {
+
+/** SRAM footprint an op needs live while it executes (words). */
+u64
+opFootprint(const graph::Op &op)
+{
+    return op.inputWords + op.outputWords + op.auxWords;
+}
+
+/** Mutable per-stage load tracked across refinement moves. */
+struct StageLoad
+{
+    u64 weight = 0;  ///< flops (or op count when the graph has none)
+    u32 ops = 0;
+    u64 auxWords = 0;  ///< distinct-auxKey volume + keyless per op
+    /** Reference counts so removing one sharer keeps the key charged. */
+    std::map<std::string, u32> auxKeys;
+    /**
+     * Largest single-op footprint ever inserted. Never lowered on
+     * removal — a deterministic, conservative upper bound that keeps
+     * move evaluation O(1).
+     */
+    u64 maxFootprint = 0;
+
+    void
+    insert(const graph::Op &op, u64 w)
+    {
+        weight += w;
+        ++ops;
+        maxFootprint = std::max(maxFootprint, opFootprint(op));
+        if (op.auxWords == 0)
+            return;
+        if (op.auxKey.empty()) {
+            auxWords += op.auxWords;
+        } else if (++auxKeys[op.auxKey] == 1) {
+            auxWords += op.auxWords;
+        }
+    }
+
+    void
+    remove(const graph::Op &op, u64 w)
+    {
+        weight -= w;
+        --ops;
+        if (op.auxWords == 0)
+            return;
+        if (op.auxKey.empty()) {
+            auxWords -= op.auxWords;
+        } else if (--auxKeys[op.auxKey] == 0) {
+            auxKeys.erase(op.auxKey);
+            auxWords -= op.auxWords;
+        }
+    }
+
+    u64 sramProxy() const { return auxWords + maxFootprint; }
+};
+
+}  // namespace
+
+PartitionResult
+partitionGraph(const graph::Graph &g, u32 parts, const hw::HwConfig &chip,
+               const PartitionOptions &opt)
+{
+    CROPHE_ASSERT(parts >= 1, "need at least one stage");
+    CROPHE_ASSERT(parts <= g.size(), "more stages than ops (", parts,
+                  " > ", g.size(), ")");
+
+    PartitionResult res;
+    res.partOf.assign(g.size(), 0);
+
+    // Per-op balance weight: flops, or 1 each for all-data graphs so the
+    // prefix-sum seed still spreads the ops.
+    const bool useFlops = g.totalFlops() > 0;
+    auto weightOf = [&](graph::OpId id) -> u64 {
+        return useFlops ? g.op(id).flops : 1;
+    };
+
+    // --- Phase 1: balanced contiguous seed over the affinity order ------
+    const auto order = g.topoOrderAuxAffinity();
+    u64 total = 0;
+    for (graph::OpId id : order)
+        total += weightOf(id);
+
+    std::vector<StageLoad> load(parts);
+    u64 acc = 0;
+    u32 k = 0;
+    for (u32 i = 0; i < order.size(); ++i) {
+        if (k + 1 < parts) {
+            // Advance when this stage holds its balanced share — or when
+            // exactly one op per remaining stage is left.
+            const bool must =
+                (order.size() - i) <= (parts - 1 - k);
+            const bool want = load[k].ops > 0 &&
+                              acc * parts >= total * (k + 1);
+            if (must || want)
+                ++k;
+        }
+        const graph::OpId id = order[i];
+        res.partOf[id] = k;
+        load[k].insert(g.op(id), weightOf(id));
+        acc += weightOf(id);
+    }
+
+    // --- Phase 2: KL-style boundary refinement ---------------------------
+    const u64 weightCap = static_cast<u64>(
+        (1.0 + opt.balanceTolerance) *
+        (static_cast<double>(total) / static_cast<double>(parts)));
+    const u64 sramBudget = chip.sramWords();
+
+    auto hops = [&](u32 a, u32 b) -> u64 {
+        return sim::Interconnect::ringHops(a, b, parts);
+    };
+    // Hop-weighted cut delta of moving @p u to stage @p to.
+    auto gainOf = [&](graph::OpId u, u32 to) -> i64 {
+        const u32 from = res.partOf[u];
+        i64 gain = 0;
+        for (graph::OpId w : g.producers(u)) {
+            const i64 words = static_cast<i64>(g.op(w).outputWords);
+            gain += words * (static_cast<i64>(hops(res.partOf[w], from)) -
+                             static_cast<i64>(hops(res.partOf[w], to)));
+        }
+        for (graph::OpId v : g.consumers(u)) {
+            const i64 words = static_cast<i64>(g.op(u).outputWords);
+            gain += words * (static_cast<i64>(hops(from, res.partOf[v])) -
+                             static_cast<i64>(hops(to, res.partOf[v])));
+        }
+        return gain;
+    };
+    // A move is legal iff it keeps every edge pointing to an
+    // equal-or-later stage (acyclic pipeline invariant), keeps the source
+    // stage populated, and respects the balance + SRAM constraints.
+    auto legal = [&](graph::OpId u, u32 to) -> bool {
+        const u32 from = res.partOf[u];
+        if (load[from].ops <= 1)
+            return false;
+        if (to > from) {
+            for (graph::OpId v : g.consumers(u))
+                if (res.partOf[v] < to)
+                    return false;
+        } else {
+            for (graph::OpId w : g.producers(u))
+                if (res.partOf[w] > to)
+                    return false;
+        }
+        if (load[to].weight + weightOf(u) > weightCap)
+            return false;
+        StageLoad probe = load[to];
+        probe.insert(g.op(u), weightOf(u));
+        if (probe.sramProxy() > sramBudget &&
+            probe.sramProxy() > load[to].sramProxy())
+            return false;
+        return true;
+    };
+
+    if (parts > 1) {
+        for (u32 pass = 0; pass < opt.refinePasses; ++pass) {
+            u32 applied = 0;
+            for (graph::OpId u = 0; u < g.size(); ++u) {
+                const u32 from = res.partOf[u];
+                i64 best = 0;
+                u32 bestTo = from;
+                // Forward first so ties resolve identically everywhere.
+                if (from + 1 < parts && legal(u, from + 1)) {
+                    const i64 gain = gainOf(u, from + 1);
+                    if (gain > best) {
+                        best = gain;
+                        bestTo = from + 1;
+                    }
+                }
+                if (from > 0 && legal(u, from - 1)) {
+                    const i64 gain = gainOf(u, from - 1);
+                    if (gain > best) {
+                        best = gain;
+                        bestTo = from - 1;
+                    }
+                }
+                if (bestTo == from)
+                    continue;
+                load[from].remove(g.op(u), weightOf(u));
+                load[bestTo].insert(g.op(u), weightOf(u));
+                res.partOf[u] = bestTo;
+                ++applied;
+            }
+            res.moves += applied;
+            if (applied == 0)
+                break;
+        }
+    }
+
+    // --- Assemble stages + final cut accounting --------------------------
+    res.parts.assign(parts, {});
+    for (graph::OpId id : g.topoOrder())
+        res.parts[res.partOf[id]].push_back(id);
+    for (u32 p = 0; p < parts; ++p) {
+        CROPHE_ASSERT(!res.parts[p].empty(), "stage ", p, " ended empty");
+        if (load[p].sramProxy() > sramBudget)
+            res.sramOverflow = true;
+    }
+    for (graph::OpId u = 0; u < g.size(); ++u) {
+        for (graph::OpId v : g.consumers(u)) {
+            if (res.partOf[u] == res.partOf[v])
+                continue;
+            CROPHE_ASSERT(res.partOf[u] < res.partOf[v],
+                          "edge ", u, "->", v, " points backwards across "
+                          "stages; refinement broke the pipeline");
+            res.cutWords += g.op(u).outputWords;
+            res.cutHopWords +=
+                g.op(u).outputWords * hops(res.partOf[u], res.partOf[v]);
+        }
+    }
+    return res;
+}
+
+}  // namespace crophe::pod

@@ -1,0 +1,77 @@
+#ifndef CROPHE_POD_PARTITION_H_
+#define CROPHE_POD_PARTITION_H_
+
+/**
+ * @file
+ * Cost-driven DAG partitioning for multi-accelerator pods
+ * (DESIGN.md §12). The partitioner shards an operator graph into K
+ * acyclic stages — one per chip — minimizing the ring-hop-weighted
+ * inter-chip ciphertext traffic subject to per-stage balance and SRAM
+ * constraints:
+ *
+ *   minimize   Σ_{(u,v) cut} outputWords(u) × ringHops(part(u), part(v))
+ *   subject to flops(p) ≤ (1 + tol) × Σflops / K          (balance)
+ *              auxWords(p) + maxOpFootprint(p) ≤ sramWords (capacity)
+ *
+ * Two phases, both deterministic and thread-count independent:
+ *  1. Greedy seed: contiguous chunks of the aux-affinity topological
+ *     order split at balanced flop prefix sums (same family as the
+ *     Keembay workload partitioner's Balanced cost function).
+ *  2. Kernighan–Lin-style boundary refinement: bounded best-gain passes
+ *     moving single ops between adjacent stages. A move u: p → p+1 is
+ *     legal only when every consumer of u sits in a stage ≥ p+1 (and
+ *     symmetrically backwards), which preserves the seed's forward-edge
+ *     invariant — every edge points to an equal-or-later stage — so
+ *     stages always form an acyclic pipeline.
+ *
+ * Ties break on the smallest op id and the scan order is fixed, so the
+ * result is byte-identical at any CROPHE_THREADS value.
+ */
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "hw/config.h"
+
+namespace crophe::pod {
+
+/** Partitioner knobs (defaults match the pod scheduler). */
+struct PartitionOptions
+{
+    /** Max stage flops over the perfect-balance average. */
+    double balanceTolerance = 0.20;
+    /** Max refinement passes; each pass applies at most one move per
+     *  boundary op, so work is bounded by passes × ops. */
+    u32 refinePasses = 8;
+};
+
+/** K acyclic stages plus the cut the refinement settled on. */
+struct PartitionResult
+{
+    /** Stage index per op of the input graph. */
+    std::vector<u32> partOf;
+    /** Ops per stage, each in the input graph's topological order. */
+    std::vector<std::vector<graph::OpId>> parts;
+    /** Words crossing stage boundaries (each edge once). */
+    u64 cutWords = 0;
+    /** Ring-hop-weighted cut (the refinement objective). */
+    u64 cutHopWords = 0;
+    /** Refinement moves applied (0 = the seed was locally optimal). */
+    u32 moves = 0;
+    /** True when some stage exceeds the SRAM proxy even after
+     *  refinement (the pod still runs; aux streams from DRAM). */
+    bool sramOverflow = false;
+};
+
+/**
+ * Partition @p g into @p parts pipeline stages for chips shaped like
+ * @p chip. @p parts must be ≥ 1 and ≤ g.size(); parts == 1 returns the
+ * trivial single-stage partition with zero cut.
+ */
+PartitionResult partitionGraph(const graph::Graph &g, u32 parts,
+                               const hw::HwConfig &chip,
+                               const PartitionOptions &opt = {});
+
+}  // namespace crophe::pod
+
+#endif  // CROPHE_POD_PARTITION_H_

@@ -1,0 +1,141 @@
+#ifndef CROPHE_POD_POD_H_
+#define CROPHE_POD_POD_H_
+
+/**
+ * @file
+ * Multi-accelerator pod scheduling (DESIGN.md §12): shard each workload
+ * segment across the chips of a pod with the cost-driven partitioner,
+ * schedule every stage independently on one chip, place stages on the
+ * ring, and pipeline segment repetitions through the stages with
+ * cross-chip transfers charged on the interconnect model.
+ *
+ * Plan-cache isolation. Every per-stage schedule runs on a *salted* copy
+ * of the chip config whose digestSalt is the pod digest (chip count,
+ * link bandwidth/latency, dead chips). hw::configDigest keys the plan
+ * cache, so pod plans and single-chip plans can never cross-serve, and
+ * two pods with different shapes cannot share entries either. A
+ * single-chip pod (chips == 1, no dead chips) is NOT salted: it is
+ * contractually the same machine as the plain scheduler and shares its
+ * cache entries.
+ *
+ * Fault composition. FaultPlan::deadChips removes whole chips: the
+ * survivors repartition the graph (fewer, larger stages), the pod digest
+ * changes with the dead-chip count, and per-chip structural faults can
+ * additionally shrink the chip config itself before it reaches here.
+ *
+ * Determinism: partitioning, placement and the virtual-time pipeline are
+ * all single-threaded deterministic code; the only parallelism is inside
+ * each stage's schedule search, which is bit-deterministic (DESIGN.md
+ * §7). The same inputs give byte-identical PodResults at any thread
+ * count.
+ */
+
+#include <string>
+#include <vector>
+
+#include "graph/workloads.h"
+#include "hw/config.h"
+#include "sched/group.h"
+#include "sim/interconnect.h"
+
+namespace crophe::telemetry {
+class StatsRegistry;
+class TraceRecorder;
+}  // namespace crophe::telemetry
+
+namespace crophe::pod {
+
+/** Pod shape + interconnect parameters (the pod digest covers all). */
+struct PodConfig
+{
+    u32 chips = 1;
+    /** Bandwidth of one directed ring link (GB/s). */
+    double linkGBs = 600.0;
+    /** Fixed latency per ring hop, in chip cycles. */
+    double linkLatencyCycles = 500.0;
+    /**
+     * Chips removed by structural faults (FaultPlan::deadChips). The
+     * highest-numbered chips die — a deterministic convention, so equal
+     * plans repartition identically. Survivors = chips - deadChips.
+     */
+    u32 deadChips = 0;
+
+    u32 aliveChips() const { return chips - deadChips; }
+};
+
+/** Reject nonsensical pod shapes with a RecoverableError (PR 4 contract). */
+void validatePod(const PodConfig &pod);
+
+/**
+ * Order-sensitive digest over every pod parameter. Changes with the
+ * chip count, link bandwidth/latency and dead-chip set, so degraded
+ * pods never share schedules with healthy ones.
+ */
+u64 podDigest(const PodConfig &pod);
+
+/**
+ * The per-chip config stage schedules run on: a copy of @p chip salted
+ * with podDigest(pod) whenever the pod is a real pod (chips > 1 or dead
+ * chips). A trivial 1-chip pod returns @p chip unchanged, sharing the
+ * single-chip plan-cache namespace.
+ */
+hw::HwConfig chipConfigForPod(const PodConfig &pod,
+                              const hw::HwConfig &chip);
+
+/** One segment's pod execution summary. */
+struct PodSegmentResult
+{
+    std::string name;
+    u64 repetitions = 1;
+    u32 stages = 1;
+    /** Physical chip each stage runs on. */
+    std::vector<u32> stageChip;
+    /** Makespan of all repetitions through the pipeline (cycles). */
+    double cycles = 0.0;
+    /** Steady-state cycles per additional repetition (bottleneck stage
+     *  or bottleneck link, whichever is slower). */
+    double warmCyclesPerRep = 0.0;
+    u64 interchipWords = 0;  ///< per full segment (all reps)
+    u64 cutHopWords = 0;     ///< partitioner objective value (one rep)
+    u32 partitionMoves = 0;
+    bool sramOverflow = false;
+    bool degraded = false;   ///< any stage schedule was anytime-truncated
+};
+
+/** Whole-workload pod execution summary. */
+struct PodResult
+{
+    std::string workload;
+    PodConfig pod;
+    /** Wall time of one cold request: every segment's pipeline makespan,
+     *  segments in sequence (pipeline drains between segments). */
+    double seconds = 0.0;
+    /** Steady-state seconds per additional back-to-back request: the
+     *  pipeline-throughput bound Σ_seg reps × warmCyclesPerRep. */
+    double warmSeconds = 0.0;
+    u64 interchipWords = 0;
+    u64 transfers = 0;
+    double linkBusyCycles = 0.0;
+    double maxLinkBusyCycles = 0.0;
+    std::vector<PodSegmentResult> perSegment;
+    bool degraded = false;
+};
+
+/**
+ * Shard and pipeline @p w over @p pod chips shaped like @p chip.
+ * Per-stage schedule searches honor @p opt (plan cache, deadline,
+ * search telemetry). With @p reg set, interconnect totals accumulate
+ * under `sim.pod.*`; with @p trace set, each segment becomes one trace
+ * process with per-chip stage spans and per-link occupancy tracks.
+ * Throws RecoverableError on an invalid pod or chip config.
+ */
+PodResult schedulePodWorkload(const graph::Workload &w,
+                              const hw::HwConfig &chip,
+                              const PodConfig &pod,
+                              const sched::SchedOptions &opt,
+                              telemetry::StatsRegistry *reg = nullptr,
+                              telemetry::TraceRecorder *trace = nullptr);
+
+}  // namespace crophe::pod
+
+#endif  // CROPHE_POD_POD_H_

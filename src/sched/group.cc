@@ -73,6 +73,14 @@ sramCycles(const hw::HwConfig &cfg, u64 words)
 }
 
 double
+linkCycles(const hw::HwConfig &cfg, double link_gbs, u64 words)
+{
+    CROPHE_ASSERT(link_gbs > 0.0, "link bandwidth must be positive");
+    return static_cast<double>(words) * cfg.wordBytes() * cfg.freqGhz /
+           link_gbs;
+}
+
+double
 nocCycles(const hw::HwConfig &cfg, u64 words)
 {
     // Aggregate mesh capacity: each PE can inject/eject a quarter-lane-width

@@ -174,6 +174,9 @@ bool analyzeSpatialGroup(const graph::Graph &g,
 double dramCycles(const hw::HwConfig &cfg, u64 words);
 double sramCycles(const hw::HwConfig &cfg, u64 words);
 double nocCycles(const hw::HwConfig &cfg, u64 words);
+/** Serialization time of @p words over one inter-chip link of
+ *  @p link_gbs GB/s, in @p cfg's cycles (pod partitioner / interconnect). */
+double linkCycles(const hw::HwConfig &cfg, double link_gbs, u64 words);
 /** @} */
 
 }  // namespace crophe::sched

@@ -17,6 +17,7 @@ Dispatcher::Dispatcher(const hw::HwConfig &cfg, const Catalog &catalog,
     if (tenants_.empty())
         throw RecoverableError("dispatcher needs at least one tenant");
     hw::validateConfig(cfg_);
+    pod::validatePod(opt_.pod);
     if (opt_.maxBatch == 0)
         opt_.maxBatch = 1;
     services_.resize(catalog_.templates.size());
@@ -38,6 +39,32 @@ Dispatcher::service(u32 templateIdx)
         so.deadlineSeconds = opt_.searchDeadlineSeconds;
         const double hz = cfg_.freqGhz * 1e9;
         bool missed = opt_.planCache == nullptr;
+        if (opt_.pod.aliveChips() > 1) {
+            // Pod dispatch: the template's segments shard across the
+            // chips and repetitions pipeline through them. cold = one
+            // request through the pipeline (fill included); warm = the
+            // steady-state throughput bound for back-to-back requests.
+            const u64 missesBefore =
+                opt_.planCache ? opt_.planCache->stats().misses : 0;
+            auto pr = pod::schedulePodWorkload(t.workload, cfg_,
+                                               opt_.pod, so);
+            if (opt_.planCache &&
+                opt_.planCache->stats().misses > missesBefore)
+                missed = true;
+            st.coldSeconds = pr.seconds;
+            st.warmSeconds = pr.warmSeconds;
+            st.planCacheHit = !missed;
+            st.planSeconds =
+                missed
+                    ? opt_.planSecondsPerOp * static_cast<double>(t.ops)
+                    : 0.0;
+            services_[templateIdx] = st;
+            planCharge_[templateIdx] = st.planSeconds;
+            ++planCompiles_;
+            if (st.planCacheHit)
+                ++planCacheHits_;
+            return *services_[templateIdx];
+        }
         for (const auto &seg : t.workload.segments) {
             const u64 missesBefore =
                 opt_.planCache ? opt_.planCache->stats().misses : 0;

@@ -43,6 +43,7 @@
 
 #include "hw/config.h"
 #include "plan/plan_cache.h"
+#include "pod/pod.h"
 #include "serve/admission.h"
 #include "serve/catalog.h"
 #include "serve/queue.h"
@@ -79,6 +80,15 @@ struct ServeOptions
      */
     double searchDeadlineSeconds = 0.0;
     plan::PlanCache *planCache = nullptr;
+    /**
+     * Pod the batches dispatch to (DESIGN.md §12). chips == 1 (the
+     * default) is the single-accelerator path, byte-identical to
+     * pre-pod builds; chips > 1 shards each template across the pod and
+     * prices batches at the pipeline's cold/steady-state times. The pod
+     * digest salts the plan-cache keys, so pod and single-chip plans
+     * never cross-serve.
+     */
+    pod::PodConfig pod;
     /** Optional Chrome-trace recorder (virtual microseconds). */
     telemetry::TraceRecorder *trace = nullptr;
     /** Polled each event-loop step; true stops the run (SIGINT). */

@@ -43,9 +43,24 @@ void
 finishLatencies(TenantReport &r, std::vector<double> &latenciesMs,
                 double duration)
 {
-    r.p50Ms = percentile(latenciesMs, 0.50);
-    r.p95Ms = percentile(latenciesMs, 0.95);
-    r.p99Ms = percentile(latenciesMs, 0.99);
+    // One sort serves all three percentiles (the vector is scratch, so
+    // sorting in place is free); indexing the sorted data reproduces
+    // percentile()'s nearest-rank answers exactly.
+    std::sort(latenciesMs.begin(), latenciesMs.end());
+    auto nearestRank = [&](double q) {
+        auto rank = static_cast<std::size_t>(
+            std::ceil(q * static_cast<double>(latenciesMs.size())));
+        if (rank == 0)
+            rank = 1;
+        if (rank > latenciesMs.size())
+            rank = latenciesMs.size();
+        return latenciesMs[rank - 1];
+    };
+    if (!latenciesMs.empty()) {
+        r.p50Ms = nearestRank(0.50);
+        r.p95Ms = nearestRank(0.95);
+        r.p99Ms = nearestRank(0.99);
+    }
     double sum = 0.0, mx = 0.0;
     for (double x : latenciesMs) {
         sum += x;

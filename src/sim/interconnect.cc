@@ -1,0 +1,127 @@
+#include "sim/interconnect.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sched/group.h"
+#include "telemetry/stats_registry.h"
+#include "telemetry/trace_recorder.h"
+
+namespace crophe::sim {
+
+Interconnect::Interconnect(const InterconnectConfig &ic,
+                           const hw::HwConfig &chip)
+    : cfg_(ic), hopLatency_(ic.linkLatencyCycles)
+{
+    CROPHE_ASSERT(ic.chips >= 1, "interconnect needs at least one chip");
+    CROPHE_ASSERT(ic.linkGBs > 0.0, "link bandwidth must be positive");
+    CROPHE_ASSERT(ic.linkLatencyCycles >= 0.0,
+                  "link latency cannot be negative");
+    if (ic.chips < 2)
+        return;  // a single chip has no links
+    // Words one directed link moves per chip cycle.
+    const double words_per_cycle =
+        ic.linkGBs / (chip.wordBytes() * chip.freqGhz);
+    links_.reserve(2 * ic.chips);
+    linkNames_.reserve(2 * ic.chips);
+    for (u32 c = 0; c < ic.chips; ++c) {
+        links_.emplace_back(words_per_cycle);
+        linkNames_.push_back("pod link c" + std::to_string(c) + "->c" +
+                             std::to_string((c + 1) % ic.chips));
+    }
+    for (u32 c = 0; c < ic.chips; ++c) {
+        links_.emplace_back(words_per_cycle);
+        linkNames_.push_back(
+            "pod link c" + std::to_string(c) + "->c" +
+            std::to_string((c + ic.chips - 1) % ic.chips));
+    }
+}
+
+u32
+Interconnect::ringHops(u32 from, u32 to, u32 chips)
+{
+    CROPHE_ASSERT(chips >= 1 && from < chips && to < chips,
+                  "ring endpoint out of range");
+    u32 cw = (to + chips - from) % chips;
+    return std::min(cw, chips - cw);
+}
+
+Server &
+Interconnect::link(u32 chip, bool clockwise)
+{
+    return links_[clockwise ? chip : cfg_.chips + chip];
+}
+
+SimTime
+Interconnect::transfer(SimTime ready, u32 from, u32 to, u64 words)
+{
+    CROPHE_ASSERT(from < cfg_.chips && to < cfg_.chips,
+                  "transfer endpoint out of range");
+    if (from == to || words == 0)
+        return ready;
+    const u32 cw = (to + cfg_.chips - from) % cfg_.chips;
+    const u32 ccw = cfg_.chips - cw;
+    // Shorter direction; ties break clockwise so routing never depends
+    // on anything but the endpoints.
+    const bool clockwise = cw <= ccw;
+    const u32 hops = clockwise ? cw : ccw;
+
+    SimTime t = ready;
+    u32 at = from;
+    for (u32 h = 0; h < hops; ++h) {
+        Server &l = link(at, clockwise);
+        t = l.serve(t, static_cast<double>(words), hopLatency_);
+        at = clockwise ? (at + 1) % cfg_.chips
+                       : (at + cfg_.chips - 1) % cfg_.chips;
+    }
+    ++transfers_;
+    totalWords_ += words;
+    totalHopWords_ += words * hops;
+    return t;
+}
+
+double
+Interconnect::busyCycles() const
+{
+    double busy = 0.0;
+    for (const Server &l : links_)
+        busy += l.busyCycles();
+    return busy;
+}
+
+double
+Interconnect::maxLinkBusyCycles() const
+{
+    double mx = 0.0;
+    for (const Server &l : links_)
+        mx = std::max(mx, l.busyCycles());
+    return mx;
+}
+
+void
+Interconnect::attachTrace(telemetry::TraceRecorder *rec)
+{
+    if (rec == nullptr)
+        return;
+    for (std::size_t i = 0; i < links_.size(); ++i)
+        links_[i].attachTrace(rec, rec->track(linkNames_[i]), "xfer");
+}
+
+void
+Interconnect::accumulateInto(telemetry::StatsRegistry &reg,
+                             const std::string &prefix) const
+{
+    reg.counter(prefix + ".transfers", "inter-chip transfers") +=
+        transfers_;
+    reg.counter(prefix + ".words", "words moved between chips") +=
+        totalWords_;
+    reg.counter(prefix + ".hopWords",
+                "link-occupancy words (words x hops crossed)") +=
+        totalHopWords_;
+    reg.scalar(prefix + ".link.busyCycles",
+               "busy cycles summed over directed links") += busyCycles();
+    reg.scalar(prefix + ".link.maxBusyCycles",
+               "busy cycles of the most-loaded link") += maxLinkBusyCycles();
+}
+
+}  // namespace crophe::sim

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "common/error.h"
 
 namespace crophe::cli {
 namespace {
@@ -173,6 +174,45 @@ TEST(FlagParser, UsageListsFlagsAndSummary)
     EXPECT_NE(usage.find("[--quick]"), std::string::npos);
     EXPECT_NE(usage.find("--threads N"), std::string::npos);
     EXPECT_NE(usage.find("skip the slow part"), std::string::npos);
+}
+
+TEST(DomainChecks, RequirePositiveDouble)
+{
+    EXPECT_NO_THROW(requirePositive("--rate", 0.5));
+    EXPECT_THROW(requirePositive("--rate", 0.0), RecoverableError);
+    EXPECT_THROW(requirePositive("--rate", -1.0), RecoverableError);
+}
+
+TEST(DomainChecks, RequirePositiveUint)
+{
+    EXPECT_NO_THROW(requirePositive("--tenants", 1u));
+    EXPECT_NO_THROW(requirePositive("--tenants", 1000u));
+    EXPECT_THROW(requirePositive("--tenants", 0u), RecoverableError);
+}
+
+TEST(DomainChecks, RequireNonNegativeDouble)
+{
+    EXPECT_NO_THROW(requireNonNegative("--plan-ms", 0.0));
+    EXPECT_NO_THROW(requireNonNegative("--plan-ms", 3.5));
+    EXPECT_THROW(requireNonNegative("--plan-ms", -0.1), RecoverableError);
+}
+
+TEST(DomainChecks, ErrorNamesTheOffendingFlag)
+{
+    try {
+        requirePositive("--max-batch", 0u);
+        FAIL() << "expected RecoverableError";
+    } catch (const RecoverableError &e) {
+        EXPECT_NE(std::string(e.what()).find("--max-batch"),
+                  std::string::npos);
+    }
+    try {
+        requirePositive("--arrival-rate", -2.0);
+        FAIL() << "expected RecoverableError";
+    } catch (const RecoverableError &e) {
+        EXPECT_NE(std::string(e.what()).find("--arrival-rate"),
+                  std::string::npos);
+    }
 }
 
 }  // namespace

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "hw/config.h"
+#include "sim/interconnect.h"
+
+namespace crophe::sim {
+namespace {
+
+InterconnectConfig
+ring(u32 chips, double gbs = 100.0, double latency = 0.0)
+{
+    InterconnectConfig ic;
+    ic.chips = chips;
+    ic.linkGBs = gbs;
+    ic.linkLatencyCycles = latency;
+    return ic;
+}
+
+/** Cycles one directed link needs to serialize @p words. */
+double
+serializeCycles(const hw::HwConfig &chip, double gbs, u64 words)
+{
+    const double words_per_cycle = gbs / (chip.wordBytes() * chip.freqGhz);
+    return static_cast<double>(words) / words_per_cycle;
+}
+
+TEST(Interconnect, RingHopsTakeShorterDirection)
+{
+    EXPECT_EQ(Interconnect::ringHops(0, 0, 1), 0u);
+    EXPECT_EQ(Interconnect::ringHops(0, 1, 2), 1u);
+    EXPECT_EQ(Interconnect::ringHops(0, 1, 4), 1u);
+    EXPECT_EQ(Interconnect::ringHops(0, 2, 4), 2u);
+    EXPECT_EQ(Interconnect::ringHops(0, 3, 4), 1u);  // counter-clockwise
+    EXPECT_EQ(Interconnect::ringHops(3, 0, 4), 1u);
+    EXPECT_EQ(Interconnect::ringHops(1, 6, 8), 3u);
+    EXPECT_EQ(Interconnect::ringHops(2, 2, 8), 0u);
+}
+
+TEST(Interconnect, TransferPaysLatencyAndSerializationPerHop)
+{
+    auto chip = hw::configCrophe64();
+    const u64 words = 1u << 20;
+    const double d = serializeCycles(chip, 100.0, words);
+
+    // One hop: fixed latency, then the link streams the payload.
+    Interconnect one(ring(4, 100.0, 500.0), chip);
+    EXPECT_DOUBLE_EQ(one.transfer(0.0, 0, 1, words), 500.0 + d);
+
+    // Two hops store-and-forward: latency + serialization on each link.
+    Interconnect two(ring(4, 100.0, 500.0), chip);
+    EXPECT_DOUBLE_EQ(two.transfer(0.0, 0, 2, words),
+                     2.0 * 500.0 + 2.0 * d);
+
+    // Same-chip transfers are free and keep the ready time.
+    EXPECT_DOUBLE_EQ(two.transfer(7.0, 2, 2, words), 7.0);
+    EXPECT_EQ(two.transfers(), 1u);  // the free one is not a transfer
+    EXPECT_EQ(two.totalWords(), words);
+    EXPECT_EQ(two.totalHopWords(), 2 * words);
+}
+
+TEST(Interconnect, SharedLinkContentionSerializesDisjointLinksDoNot)
+{
+    auto chip = hw::configCrophe64();
+    const u64 words = 1u << 18;
+    const double d = serializeCycles(chip, 100.0, words);
+
+    Interconnect net(ring(4), chip);
+    const double a = net.transfer(0.0, 0, 1, words);
+    const double b = net.transfer(0.0, 0, 1, words);  // same link: queues
+    const double c = net.transfer(0.0, 2, 3, words);  // disjoint link
+    EXPECT_DOUBLE_EQ(a, d);
+    EXPECT_DOUBLE_EQ(b, 2.0 * d);
+    EXPECT_DOUBLE_EQ(c, d);
+    EXPECT_EQ(net.transfers(), 3u);
+    EXPECT_DOUBLE_EQ(net.maxLinkBusyCycles(), 2.0 * d);
+    EXPECT_DOUBLE_EQ(net.busyCycles(), 3.0 * d);
+}
+
+TEST(Interconnect, EqualDistanceTiesRouteClockwise)
+{
+    auto chip = hw::configCrophe64();
+    const u64 words = 1u << 18;
+    const double d = serializeCycles(chip, 100.0, words);
+
+    // chips = 4, 0 -> 2: cw == ccw == 2 hops; the tie must route
+    // clockwise through links c0->c1 and c1->c2.
+    Interconnect net(ring(4), chip);
+    net.transfer(0.0, 0, 2, words);
+    // A 0 -> 1 transfer contends with the tied route's first link...
+    EXPECT_DOUBLE_EQ(net.transfer(0.0, 0, 1, words), 2.0 * d);
+    // ...while the counter-clockwise 0 -> 3 link is untouched.
+    EXPECT_DOUBLE_EQ(net.transfer(0.0, 0, 3, words), d);
+}
+
+}  // namespace
+}  // namespace crophe::sim

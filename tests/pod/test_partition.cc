@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/parallel.h"
+#include "graph/graph.h"
+#include "graph/params.h"
+#include "graph/workloads.h"
+#include "hw/config.h"
+#include "pod/partition.h"
+
+namespace crophe::pod {
+namespace {
+
+using graph::Graph;
+using graph::OpId;
+
+/** input -> muls ... -> output chain of @p muls elementwise ops. */
+Graph
+chainGraph(u32 muls, u64 n = 1u << 14, u32 limbs = 8)
+{
+    Graph g;
+    OpId prev = g.add(graph::makeInput(n, limbs));
+    for (u32 i = 0; i < muls; ++i) {
+        OpId c = g.add(graph::makeEwMulConst(n, limbs));
+        g.connect(prev, c);
+        prev = c;
+    }
+    OpId out = g.add(graph::makeOutput(n, limbs));
+    g.connect(prev, out);
+    return g;
+}
+
+/** The invariants every partition must satisfy (see partition.h). */
+void
+checkInvariants(const Graph &g, const PartitionResult &r, u32 parts)
+{
+    ASSERT_EQ(r.partOf.size(), g.size());
+    ASSERT_EQ(r.parts.size(), parts);
+    std::vector<u32> seen(g.size(), 0);
+    for (u32 p = 0; p < parts; ++p) {
+        EXPECT_FALSE(r.parts[p].empty()) << "stage " << p << " empty";
+        for (OpId id : r.parts[p]) {
+            EXPECT_EQ(r.partOf[id], p);
+            ++seen[id];
+        }
+    }
+    for (OpId id = 0; id < g.size(); ++id) {
+        EXPECT_EQ(seen[id], 1u) << "op " << id << " covered once";
+        for (OpId c : g.consumers(id))
+            EXPECT_LE(r.partOf[id], r.partOf[c])
+                << "edge " << id << "->" << c << " must point forward";
+    }
+}
+
+TEST(Partition, SinglePartIsTrivialWithZeroCut)
+{
+    Graph g = chainGraph(6);
+    auto r = partitionGraph(g, 1, hw::configCrophe64());
+    checkInvariants(g, r, 1);
+    EXPECT_EQ(r.cutWords, 0u);
+    EXPECT_EQ(r.cutHopWords, 0u);
+    EXPECT_FALSE(r.sramOverflow);
+}
+
+TEST(Partition, ChainSplitsIntoContiguousBalancedStages)
+{
+    Graph g = chainGraph(16);
+    auto r = partitionGraph(g, 2, hw::configCrophe64());
+    checkInvariants(g, r, 2);
+    // A chain cut once crosses exactly one edge; both directions of a
+    // 2-ring are one hop, so the hop-weighted cut equals the plain cut.
+    EXPECT_GT(r.cutWords, 0u);
+    EXPECT_EQ(r.cutHopWords, r.cutWords);
+    // Stages are contiguous runs of the chain.
+    for (OpId id = 0; id + 1 < g.size(); ++id)
+        EXPECT_LE(r.partOf[id], r.partOf[id + 1]);
+    // Balanced within the tolerance: neither stage hogs the chain.
+    EXPECT_GE(r.parts[0].size(), 4u);
+    EXPECT_GE(r.parts[1].size(), 4u);
+}
+
+TEST(Partition, OneOpPerStageAtMaximumParts)
+{
+    Graph g = chainGraph(2);  // input + 2 muls + output = 4 ops
+    auto r = partitionGraph(g, 4, hw::configCrophe64());
+    checkInvariants(g, r, 4);
+    for (const auto &stage : r.parts)
+        EXPECT_EQ(stage.size(), 1u);
+}
+
+TEST(Partition, RealGraphSatisfiesInvariantsAtEveryWidth)
+{
+    auto p = graph::paramsArk();
+    Graph g = graph::buildHMult(p, 10);
+    for (u32 parts : {2u, 3u, 4u}) {
+        auto r = partitionGraph(g, parts, hw::configCrophe64());
+        checkInvariants(g, r, parts);
+        EXPECT_GT(r.cutWords, 0u) << parts << " stages";
+        EXPECT_GE(r.cutHopWords, r.cutWords);
+    }
+}
+
+TEST(Partition, RefinementNeverWorsensTheSeedObjective)
+{
+    auto p = graph::paramsArk();
+    Graph g = graph::buildPtMatVecMult(p, 10, 4, 2, graph::RotMode::Hybrid,
+                                       4);
+    PartitionOptions seedOnly;
+    seedOnly.refinePasses = 0;
+    auto seed = partitionGraph(g, 4, hw::configCrophe64(), seedOnly);
+    auto refined = partitionGraph(g, 4, hw::configCrophe64());
+    EXPECT_LE(refined.cutHopWords, seed.cutHopWords);
+}
+
+TEST(Partition, ByteIdenticalAcrossThreadCounts)
+{
+    auto p = graph::paramsArk();
+    Graph g = graph::buildPtMatVecMult(p, 10, 4, 2, graph::RotMode::Hybrid,
+                                       4);
+    auto run = [&](u32 threads) {
+        ThreadPool::setGlobalThreads(threads);
+        return partitionGraph(g, 4, hw::configCrophe64());
+    };
+    auto r1 = run(1);
+    auto r2 = run(2);
+    auto r8 = run(8);
+    ThreadPool::setGlobalThreads(0);  // back to the hardware default
+    EXPECT_EQ(r1.partOf, r2.partOf);
+    EXPECT_EQ(r1.partOf, r8.partOf);
+    EXPECT_EQ(r1.cutHopWords, r8.cutHopWords);
+    EXPECT_EQ(r1.moves, r8.moves);
+}
+
+}  // namespace
+}  // namespace crophe::pod

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "graph/params.h"
+#include "graph/workloads.h"
+#include "hw/config.h"
+#include "plan/plan_cache.h"
+#include "pod/pod.h"
+#include "sched/scheduler.h"
+
+namespace crophe::pod {
+namespace {
+
+graph::Workload
+microWorkload(u64 reps = 4)
+{
+    auto p = graph::paramsArk();
+    graph::Workload w;
+    w.name = "micro";
+    w.params = p;
+    graph::WorkloadSegment seg;
+    seg.name = "hmult";
+    seg.graph = graph::buildHMult(p, 10);
+    seg.repetitions = reps;
+    w.segments.push_back(std::move(seg));
+    return w;
+}
+
+PodConfig
+podOf(u32 chips, u32 dead = 0)
+{
+    PodConfig pc;
+    pc.chips = chips;
+    pc.deadChips = dead;
+    return pc;
+}
+
+TEST(PodConfig, ValidateRejectsNonsensicalShapes)
+{
+    EXPECT_THROW(validatePod(podOf(0)), RecoverableError);
+    EXPECT_THROW(validatePod(podOf(2, 2)), RecoverableError);
+    EXPECT_THROW(validatePod(podOf(1, 3)), RecoverableError);
+    PodConfig zeroBw = podOf(2);
+    zeroBw.linkGBs = 0.0;
+    EXPECT_THROW(validatePod(zeroBw), RecoverableError);
+    PodConfig negLat = podOf(2);
+    negLat.linkLatencyCycles = -1.0;
+    EXPECT_THROW(validatePod(negLat), RecoverableError);
+    EXPECT_NO_THROW(validatePod(podOf(1)));
+    EXPECT_NO_THROW(validatePod(podOf(8, 3)));
+}
+
+TEST(PodConfig, DigestCoversEveryParameter)
+{
+    const PodConfig base = podOf(2);
+    EXPECT_EQ(podDigest(base), podDigest(podOf(2)));
+    EXPECT_NE(podDigest(base), podDigest(podOf(4)));
+    PodConfig bw = base;
+    bw.linkGBs = 300.0;
+    EXPECT_NE(podDigest(base), podDigest(bw));
+    PodConfig lat = base;
+    lat.linkLatencyCycles = 100.0;
+    EXPECT_NE(podDigest(base), podDigest(lat));
+    EXPECT_NE(podDigest(podOf(4)), podDigest(podOf(4, 1)));
+}
+
+TEST(PodConfig, OneChipPodSharesTheSingleChipPlanNamespace)
+{
+    auto cfg = hw::configCrophe64();
+    // A trivial pod is contractually the same machine: same digest.
+    EXPECT_EQ(hw::configDigest(chipConfigForPod(podOf(1), cfg)),
+              hw::configDigest(cfg));
+    // Real pods are salted — including a degraded pod with one survivor,
+    // which schedules around dead neighbors and must not share plans
+    // with the genuinely single-chip machine.
+    EXPECT_NE(hw::configDigest(chipConfigForPod(podOf(2), cfg)),
+              hw::configDigest(cfg));
+    EXPECT_NE(hw::configDigest(chipConfigForPod(podOf(2, 1), cfg)),
+              hw::configDigest(cfg));
+    EXPECT_NE(hw::configDigest(chipConfigForPod(podOf(2), cfg)),
+              hw::configDigest(chipConfigForPod(podOf(4), cfg)));
+}
+
+TEST(Pod, PlanCacheNeverCrossServesPodAndSingleChipPlans)
+{
+    auto cfg = hw::configCrophe64();
+    auto g = graph::buildHMult(graph::paramsArk(), 10);
+    plan::PlanCache cache;
+    sched::SchedOptions so;
+    so.planCache = &cache;
+
+    sched::scheduleGraph(g, cfg, so);
+    EXPECT_EQ(cache.stats().misses, 1u);
+
+    // Same graph, 2-chip pod config: a different key, so a miss — the
+    // single-chip plan is never served to the pod.
+    auto podCfg = chipConfigForPod(podOf(2), cfg);
+    sched::scheduleGraph(g, podCfg, so);
+    EXPECT_EQ(cache.stats().misses, 2u);
+
+    // Both namespaces replay as hits.
+    const u64 hitsBefore = cache.stats().hits;
+    sched::scheduleGraph(g, cfg, so);
+    sched::scheduleGraph(g, podCfg, so);
+    EXPECT_EQ(cache.stats().hits, hitsBefore + 2);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(Pod, ShardsSegmentsAndChargesInterchipTraffic)
+{
+    auto w = microWorkload();
+    sched::SchedOptions so;
+    auto pr = schedulePodWorkload(w, hw::configCrophe64(), podOf(2), so);
+    ASSERT_EQ(pr.perSegment.size(), 1u);
+    const auto &seg = pr.perSegment[0];
+    EXPECT_EQ(seg.stages, 2u);
+    ASSERT_EQ(seg.stageChip.size(), 2u);
+    EXPECT_NE(seg.stageChip[0], seg.stageChip[1]);
+    EXPECT_LT(seg.stageChip[0], 2u);
+    EXPECT_LT(seg.stageChip[1], 2u);
+    EXPECT_GT(pr.seconds, 0.0);
+    EXPECT_GT(pr.interchipWords, 0u);
+    EXPECT_GT(pr.transfers, 0u);
+    // The steady-state bound can never exceed the cold makespan.
+    EXPECT_LE(pr.warmSeconds, pr.seconds * (1.0 + 1e-12));
+}
+
+TEST(Pod, SingleChipPodHasNoInterchipTraffic)
+{
+    auto w = microWorkload();
+    sched::SchedOptions so;
+    auto pr = schedulePodWorkload(w, hw::configCrophe64(), podOf(1), so);
+    EXPECT_EQ(pr.interchipWords, 0u);
+    EXPECT_EQ(pr.transfers, 0u);
+    ASSERT_EQ(pr.perSegment.size(), 1u);
+    EXPECT_EQ(pr.perSegment[0].stages, 1u);
+    EXPECT_GT(pr.seconds, 0.0);
+}
+
+TEST(Pod, DeadChipsRepartitionOntoSurvivors)
+{
+    auto w = microWorkload();
+    sched::SchedOptions so;
+    // 4-chip pod with 2 dead: the graph repartitions across the two
+    // surviving physical chips (the lowest-numbered ids, by convention).
+    auto pr = schedulePodWorkload(w, hw::configCrophe64(), podOf(4, 2),
+                                  so);
+    ASSERT_EQ(pr.perSegment.size(), 1u);
+    EXPECT_EQ(pr.perSegment[0].stages, 2u);
+    for (u32 chip : pr.perSegment[0].stageChip)
+        EXPECT_LT(chip, 2u);
+    EXPECT_GT(pr.seconds, 0.0);
+    // The degraded pod digests differently from both the healthy 4-chip
+    // pod and a native 2-chip pod, so none of the three share plans.
+    EXPECT_NE(podDigest(podOf(4, 2)), podDigest(podOf(4)));
+    EXPECT_NE(podDigest(podOf(4, 2)), podDigest(podOf(2)));
+}
+
+TEST(Pod, ResultsAreByteIdenticalAcrossThreadCounts)
+{
+    auto w = microWorkload();
+    auto run = [&](u32 threads) {
+        ThreadPool::setGlobalThreads(threads);
+        sched::SchedOptions so;
+        return schedulePodWorkload(w, hw::configCrophe64(), podOf(2), so);
+    };
+    auto r1 = run(1);
+    auto r8 = run(8);
+    ThreadPool::setGlobalThreads(0);  // back to the hardware default
+    EXPECT_EQ(r1.seconds, r8.seconds);
+    EXPECT_EQ(r1.warmSeconds, r8.warmSeconds);
+    EXPECT_EQ(r1.interchipWords, r8.interchipWords);
+    EXPECT_EQ(r1.transfers, r8.transfers);
+    ASSERT_EQ(r1.perSegment.size(), r8.perSegment.size());
+    EXPECT_EQ(r1.perSegment[0].stageChip, r8.perSegment[0].stageChip);
+    EXPECT_EQ(r1.perSegment[0].cycles, r8.perSegment[0].cycles);
+}
+
+}  // namespace
+}  // namespace crophe::pod

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "serve/report.h"
+
+namespace crophe::serve {
+namespace {
+
+/** One completed outcome with latency @p ms for tenant @p tenant. */
+RequestOutcome
+completed(u64 id, u32 tenant, double ms, bool slaMet = true)
+{
+    RequestOutcome o;
+    o.id = id;
+    o.tenant = tenant;
+    o.disposition = Disposition::Completed;
+    o.arrival = 0.0;
+    o.finish = ms * 1e-3;
+    o.slaMet = slaMet;
+    return o;
+}
+
+TenantSpec
+tenant(const std::string &name)
+{
+    TenantSpec t;
+    t.name = name;
+    return t;
+}
+
+TEST(Percentile, SingleSampleAnswersEveryQuantile)
+{
+    const std::vector<double> one = {42.0};
+    EXPECT_DOUBLE_EQ(percentile(one, 0.001), 42.0);  // rank clamps to 1
+    EXPECT_DOUBLE_EQ(percentile(one, 0.50), 42.0);
+    EXPECT_DOUBLE_EQ(percentile(one, 0.95), 42.0);
+    EXPECT_DOUBLE_EQ(percentile(one, 0.99), 42.0);
+    EXPECT_DOUBLE_EQ(percentile(one, 1.0), 42.0);
+}
+
+TEST(Percentile, TwoSamplesSplitAtTheMedianBoundary)
+{
+    const std::vector<double> two = {1.0, 2.0};
+    // Nearest rank: ceil(0.5 * 2) = 1 -> the lower sample exactly at
+    // the median boundary, the upper one for anything beyond it.
+    EXPECT_DOUBLE_EQ(percentile(two, 0.50), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(two, 0.51), 2.0);
+    EXPECT_DOUBLE_EQ(percentile(two, 0.95), 2.0);
+    EXPECT_DOUBLE_EQ(percentile(two, 0.99), 2.0);
+}
+
+TEST(Percentile, QuantileBoundariesHitExactRanks)
+{
+    std::vector<double> xs;
+    for (int i = 1; i <= 20; ++i)
+        xs.push_back(i);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.50), 10.0);  // ceil(10.0) = 10
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.95), 19.0);  // ceil(19.0) = 19
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.99), 20.0);  // ceil(19.8) = 20
+}
+
+TEST(Percentile, AllEqualValuesAndUnsortedInput)
+{
+    const std::vector<double> flat = {7.0, 7.0, 7.0, 7.0};
+    EXPECT_DOUBLE_EQ(percentile(flat, 0.50), 7.0);
+    EXPECT_DOUBLE_EQ(percentile(flat, 0.99), 7.0);
+    // percentile() sorts its copy: order of the input is irrelevant.
+    EXPECT_DOUBLE_EQ(percentile({9.0, 1.0, 5.0}, 0.50), 5.0);
+    EXPECT_DOUBLE_EQ(percentile({9.0, 1.0, 5.0}, 0.99), 9.0);
+}
+
+TEST(Report, PercentilesMatchTheReferenceFunctionExactly)
+{
+    // Pin the one-sort report path to percentile()'s nearest-rank
+    // semantics, byte for byte, on an unsorted latency stream.
+    ServeResult res;
+    res.durationSeconds = 1.0;
+    std::vector<double> latMs;  // as the report sees them (ms -> s -> ms)
+    for (double ms : {5.0, 1.0, 9.0, 3.0, 2.0, 8.0, 7.0, 4.0, 6.0}) {
+        res.outcomes.push_back(
+            completed(res.outcomes.size(), 0, ms));
+        latMs.push_back(ms * 1e-3 * 1e3);
+    }
+    auto rep = buildReport(res, {tenant("t0")});
+    ASSERT_EQ(rep.tenants.size(), 1u);
+    EXPECT_EQ(rep.tenants[0].p50Ms, percentile(latMs, 0.50));
+    EXPECT_EQ(rep.tenants[0].p95Ms, percentile(latMs, 0.95));
+    EXPECT_EQ(rep.tenants[0].p99Ms, percentile(latMs, 0.99));
+    EXPECT_EQ(rep.total.p50Ms, percentile(latMs, 0.50));
+    EXPECT_EQ(rep.total.p99Ms, percentile(latMs, 0.99));
+    EXPECT_DOUBLE_EQ(rep.tenants[0].maxMs, 9.0);
+    EXPECT_DOUBLE_EQ(rep.tenants[0].meanMs, 5.0);
+}
+
+TEST(Report, PerTenantPercentilesAreIndependent)
+{
+    ServeResult res;
+    res.durationSeconds = 1.0;
+    res.outcomes.push_back(completed(0, 0, 10.0));
+    res.outcomes.push_back(completed(1, 1, 20.0));
+    res.outcomes.push_back(completed(2, 1, 40.0));
+    auto rep = buildReport(res, {tenant("a"), tenant("b")});
+    EXPECT_DOUBLE_EQ(rep.tenants[0].p50Ms, 10.0);
+    EXPECT_DOUBLE_EQ(rep.tenants[0].p99Ms, 10.0);
+    EXPECT_DOUBLE_EQ(rep.tenants[1].p50Ms, 20.0);
+    EXPECT_DOUBLE_EQ(rep.tenants[1].p99Ms, 40.0);
+    // Total pools all three: ceil(0.5 * 3) = 2 -> 20 ms.
+    EXPECT_DOUBLE_EQ(rep.total.p50Ms, 20.0);
+    EXPECT_DOUBLE_EQ(rep.total.p99Ms, 40.0);
+}
+
+TEST(Report, NoCompletionsLeaveZeroPercentiles)
+{
+    ServeResult res;
+    res.durationSeconds = 1.0;
+    RequestOutcome rej;
+    rej.tenant = 0;
+    rej.disposition = Disposition::RejectedOverload;
+    res.outcomes.push_back(rej);
+    auto rep = buildReport(res, {tenant("t0")});
+    EXPECT_DOUBLE_EQ(rep.tenants[0].p50Ms, 0.0);
+    EXPECT_DOUBLE_EQ(rep.tenants[0].p95Ms, 0.0);
+    EXPECT_DOUBLE_EQ(rep.tenants[0].p99Ms, 0.0);
+    EXPECT_DOUBLE_EQ(rep.tenants[0].meanMs, 0.0);
+    EXPECT_EQ(rep.tenants[0].rejectedOverload, 1u);
+}
+
+}  // namespace
+}  // namespace crophe::serve

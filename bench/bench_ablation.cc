@@ -9,6 +9,8 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "common/cli.h"
+#include "common/common_flags.h"
 #include "common/logging.h"
 #include "graph/workloads.h"
 #include "sched/hybrid_rotation.h"
@@ -17,8 +19,13 @@
 using namespace crophe;
 
 int
-main()
+main(int argc, char **argv)
 {
+    cli::FlagParser flags("Scheduler design-choice ablations.");
+    cli::CommonFlags common;
+    common.registerInto(flags, cli::CommonFlags::kThreads);
+    if (!flags.parse(argc, argv))
+        return 1;
     setVerbose(false);
     auto params = graph::paramsSharp();
     auto cfg = hw::withSramMB(hw::configCrophe36(), 90.0);

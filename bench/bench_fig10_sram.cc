@@ -17,6 +17,7 @@
 #include "baselines/baseline.h"
 #include "bench/bench_util.h"
 #include "common/cli.h"
+#include "common/common_flags.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/shutdown.h"
@@ -75,13 +76,13 @@ sweep(const char *baseline, const char *crophe, const char *crophe_p,
 int
 main(int argc, char **argv)
 {
-    std::string plan_dir = plan::PlanCache::dirFromEnv();
     cli::FlagParser flags("Figure 10: speedup under shrinking SRAM.");
-    flags.addString("--plan-cache", &plan_dir,
-                    "schedule-cache directory (default $CROPHE_PLAN_CACHE)");
-    flags.addThreadsFlag();
+    cli::CommonFlags common;
+    common.registerInto(flags, cli::CommonFlags::kThreads |
+                                   cli::CommonFlags::kPlanCache);
     if (!flags.parse(argc, argv))
         return 1;
+    const std::string &plan_dir = common.planCacheDir;
     setVerbose(false);
     installShutdownHandler();
 

@@ -24,6 +24,7 @@
 #include "baselines/baseline.h"
 #include "bench/bench_util.h"
 #include "common/cli.h"
+#include "common/common_flags.h"
 #include "common/logging.h"
 #include "common/shutdown.h"
 #include "graph/workloads.h"
@@ -132,19 +133,18 @@ breakdown(const char *baseline_name, const char *crophe_name,
 int
 main(int argc, char **argv)
 {
-    std::string trace_out, stats_out;
-    std::string plan_dir = plan::PlanCache::dirFromEnv();
     cli::FlagParser flags(
         "Figure 11: technique breakdown on bootstrapping.");
-    flags.addString("--trace-out", &trace_out,
-                    "write the winning config's Chrome trace JSON to FILE");
-    flags.addString("--stats-out", &stats_out,
-                    "dump the telemetry registry as JSON to FILE");
-    flags.addString("--plan-cache", &plan_dir,
-                    "schedule-cache directory (default $CROPHE_PLAN_CACHE)");
-    flags.addThreadsFlag();
+    cli::CommonFlags common;
+    common.registerInto(flags, cli::CommonFlags::kThreads |
+                                   cli::CommonFlags::kStatsOut |
+                                   cli::CommonFlags::kTraceOut |
+                                   cli::CommonFlags::kPlanCache);
     if (!flags.parse(argc, argv))
         return 1;
+    const std::string &trace_out = common.traceOut;
+    const std::string &stats_out = common.statsOut;
+    const std::string &plan_dir = common.planCacheDir;
     installShutdownHandler();
 
     std::unique_ptr<plan::PlanCache> cache;

@@ -23,6 +23,7 @@
 #include "baselines/baseline.h"
 #include "bench/bench_util.h"
 #include "common/cli.h"
+#include "common/common_flags.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/shutdown.h"
@@ -35,18 +36,17 @@ int
 main(int argc, char **argv)
 {
     bool simulate = false;
-    std::string plan_dir = plan::PlanCache::dirFromEnv();
-    std::string stats_out;
     cli::FlagParser flags("Figure 9: overall performance comparison.");
+    cli::CommonFlags common;
+    common.registerInto(flags, cli::CommonFlags::kThreads |
+                                   cli::CommonFlags::kStatsOut |
+                                   cli::CommonFlags::kPlanCache);
     flags.addBool("--simulate", &simulate,
                   "cycle-level simulation instead of the cost model");
-    flags.addString("--plan-cache", &plan_dir,
-                    "schedule-cache directory (default $CROPHE_PLAN_CACHE)");
-    flags.addString("--stats-out", &stats_out,
-                    "dump the telemetry registry as JSON to FILE");
-    flags.addThreadsFlag();
     if (!flags.parse(argc, argv))
         return 1;
+    const std::string &plan_dir = common.planCacheDir;
+    const std::string &stats_out = common.statsOut;
     setVerbose(false);
     installShutdownHandler();
 

@@ -7,6 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/common_flags.h"
+#include "common/error.h"
 #include "common/rng.h"
 #include "fhe/modarith.h"
 #include "fhe/ntt.h"
@@ -108,4 +113,26 @@ BENCHMARK(BM_ShoupMul);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // google-benchmark consumes its own --benchmark_* flags first; the
+    // remainder goes through the shared CommonFlags surface so
+    // --threads / --kernel work like in every other harness.
+    benchmark::Initialize(&argc, argv);
+    cli::FlagParser flags("NTT microkernels (google-benchmark).");
+    cli::CommonFlags common;
+    common.registerInto(flags, cli::CommonFlags::kThreads |
+                                   cli::CommonFlags::kKernel);
+    if (!flags.parse(argc, argv))
+        return 1;
+    try {
+        common.apply();
+    } catch (const RecoverableError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -28,6 +28,7 @@
 #include "baselines/baseline.h"
 #include "bench/bench_util.h"
 #include "common/cli.h"
+#include "common/common_flags.h"
 #include "common/error.h"
 #include "graph/workloads.h"
 #include "plan/plan_cache.h"
@@ -130,10 +131,11 @@ run(int argc, char **argv)
     cli::FlagParser flags(
         "Pod strong scaling: ResNet-110 and batched bootstrapping on "
         "1/2/4/8 chips.");
+    cli::CommonFlags common;
+    common.registerInto(flags, cli::CommonFlags::kThreads);
     flags.addBool("--smoke", &smoke, "ResNet-20 + small batch for CI");
     flags.addUint("--batch", &batch, "bootstrapping batch size");
     flags.addString("--json", &json, "write BENCH_pod.json-style output");
-    flags.addThreadsFlag();
     if (!flags.parse(argc, argv))
         return 1;
     try {
@@ -171,7 +173,6 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    bench::applyThreadsFlag(argc, argv);
     try {
         return run(argc, argv);
     } catch (const RecoverableError &e) {

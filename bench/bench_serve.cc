@@ -27,6 +27,7 @@
 #include "baselines/baseline.h"
 #include "bench/bench_util.h"
 #include "common/cli.h"
+#include "common/common_flags.h"
 #include "common/error.h"
 #include "plan/plan_cache.h"
 #include "serve/dispatcher.h"
@@ -171,18 +172,18 @@ writeJson(const std::string &path, const std::vector<Point> &points,
 int
 main(int argc, char **argv)
 {
-    bench::applyThreadsFlag(argc, argv);
     bool smoke = false;
-    u32 seed = 42;
     std::string json;
     cli::FlagParser flags(
         "Serving bench: goodput and tail latency vs offered load.");
+    cli::CommonFlags common;
+    common.registerInto(flags, cli::CommonFlags::kThreads |
+                                   cli::CommonFlags::kSeed);
     flags.addBool("--smoke", &smoke, "short traces for CI");
-    flags.addUint("--seed", &seed, "traffic seed");
     flags.addString("--json", &json, "write BENCH_serve.json-style output");
-    flags.addThreadsFlag();
     if (!flags.parse(argc, argv))
         return 1;
+    const u32 seed = common.seed;
 
     try {
         const double duration = smoke ? 2.0 : 10.0;

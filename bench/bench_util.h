@@ -4,36 +4,11 @@
 /** Shared table-printing helpers for the reproduction harnesses. */
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
-#include <vector>
 
-#include "common/parallel.h"
 #include "sched/cost_model.h"
 
 namespace crophe::bench {
-
-/**
- * Consume an optional "--threads N" flag anywhere in argv: size the
- * process-wide pool and splice the two tokens out so the bench's own
- * flag parsing never sees them. Results are bit-identical for any N
- * (DESIGN.md §7); the flag only changes wall-clock.
- */
-inline void
-applyThreadsFlag(int &argc, char **argv)
-{
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], "--threads") != 0)
-            continue;
-        ThreadPool::setGlobalThreads(static_cast<u32>(
-            std::strtoul(argv[i + 1], nullptr, 10)));
-        for (int k = i + 2; k < argc; ++k)
-            argv[k - 2] = argv[k];
-        argc -= 2;
-        return;
-    }
-}
 
 inline void
 printHeader(const std::string &title)

@@ -31,6 +31,7 @@
 
 #include "baselines/baseline.h"
 #include "common/cli.h"
+#include "common/common_flags.h"
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/shutdown.h"
@@ -50,8 +51,6 @@ namespace {
 int
 run(int argc, char **argv)
 {
-    std::string trace_out, stats_out;
-    std::string plan_dir = plan::PlanCache::dirFromEnv();
     std::string fault_spec = fault::FaultPlan::specFromEnv();
     double deadline = 0.0;
     u32 chips = 1;
@@ -59,12 +58,11 @@ run(int argc, char **argv)
     double link_latency = 500.0;
     cli::FlagParser flags(
         "Cycle-level simulation of ResNet-20 on CROPHE-36.");
-    flags.addString("--trace-out", &trace_out,
-                    "write per-segment Chrome trace JSON to FILE");
-    flags.addString("--stats-out", &stats_out,
-                    "dump the telemetry registry as JSON to FILE");
-    flags.addString("--plan-cache", &plan_dir,
-                    "schedule-cache directory (default $CROPHE_PLAN_CACHE)");
+    cli::CommonFlags common;
+    common.registerInto(flags, cli::CommonFlags::kThreads |
+                                   cli::CommonFlags::kStatsOut |
+                                   cli::CommonFlags::kTraceOut |
+                                   cli::CommonFlags::kPlanCache);
     flags.addString("--fault-plan", &fault_spec,
                     "fault-injection spec, e.g. seed=7,dram-err=1e-3 "
                     "(default $CROPHE_FAULT_PLAN)");
@@ -78,9 +76,11 @@ run(int argc, char **argv)
                     "pod ring-link bandwidth per direction (GB/s)");
     flags.addDouble("--link-latency", &link_latency,
                     "pod ring-link latency per hop (chip cycles)");
-    flags.addThreadsFlag();
     if (!flags.parse(argc, argv))
         return 1;
+    const std::string &trace_out = common.traceOut;
+    const std::string &stats_out = common.statsOut;
+    const std::string &plan_dir = common.planCacheDir;
     try {
         cli::requirePositive("--chips", chips);
         cli::requirePositive("--link-gbs", link_gbs);

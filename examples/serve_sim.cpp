@@ -27,6 +27,7 @@
 
 #include "baselines/baseline.h"
 #include "common/cli.h"
+#include "common/common_flags.h"
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/shutdown.h"
@@ -49,7 +50,6 @@ run(int argc, char **argv)
     u32 tenants = 2;
     std::string mix_name = "blend";
     double sla_ms = 100.0;
-    u32 seed = 42;
     std::string design_name = "CROPHE-36";
     std::string policy_name = "edf";
     u32 max_batch = 8;
@@ -61,11 +61,15 @@ run(int argc, char **argv)
     u32 chips = 1;
     double link_gbs = 600.0;
     double link_latency = 500.0;
-    std::string plan_dir = plan::PlanCache::dirFromEnv();
-    std::string stats_out, trace_out;
 
     cli::FlagParser flags(
         "Multi-tenant FHE serving simulation on one accelerator.");
+    cli::CommonFlags common;
+    common.registerInto(flags, cli::CommonFlags::kThreads |
+                                   cli::CommonFlags::kStatsOut |
+                                   cli::CommonFlags::kTraceOut |
+                                   cli::CommonFlags::kPlanCache |
+                                   cli::CommonFlags::kSeed);
     flags.addDouble("--duration", &duration,
                     "traffic window in virtual seconds");
     flags.addDouble("--arrival-rate", &arrival_rate,
@@ -75,7 +79,6 @@ run(int argc, char **argv)
     flags.addString("--mix", &mix_name,
                     "workload mix: bootstrap, matvec, blend, or micro");
     flags.addDouble("--sla-ms", &sla_ms, "per-request SLA in milliseconds");
-    flags.addUint("--seed", &seed, "traffic seed");
     flags.addString("--design", &design_name,
                     "accelerator design (Table I name)");
     flags.addString("--policy", &policy_name,
@@ -103,15 +106,12 @@ run(int argc, char **argv)
                     "pod ring-link bandwidth per direction (GB/s)");
     flags.addDouble("--link-latency", &link_latency,
                     "pod ring-link latency per hop (chip cycles)");
-    flags.addString("--plan-cache", &plan_dir,
-                    "schedule-cache directory (default $CROPHE_PLAN_CACHE)");
-    flags.addString("--stats-out", &stats_out,
-                    "dump the telemetry registry as JSON to FILE");
-    flags.addString("--trace-out", &trace_out,
-                    "write per-request Chrome trace JSON to FILE");
-    flags.addThreadsFlag();
     if (!flags.parse(argc, argv))
         return 1;
+    const u32 seed = common.seed;
+    const std::string &plan_dir = common.planCacheDir;
+    const std::string &stats_out = common.statsOut;
+    const std::string &trace_out = common.traceOut;
 
     // Flag-domain validation (DESIGN.md §9): nonsensical values are
     // rejected here with a typed error + usage instead of reaching the

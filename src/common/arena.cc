@@ -18,6 +18,20 @@ roundUpAligned(std::size_t bytes)
     return (bytes + kCacheLineBytes - 1) & ~(kCacheLineBytes - 1);
 }
 
+/** Process-wide telemetry (relaxed: counts need no ordering). */
+std::atomic<std::size_t> g_peak_bytes{0};
+std::atomic<u64> g_rewinds{0};
+
+void
+notePeak(std::size_t used)
+{
+    std::size_t seen = g_peak_bytes.load(std::memory_order_relaxed);
+    while (used > seen &&
+           !g_peak_bytes.compare_exchange_weak(seen, used,
+                                               std::memory_order_relaxed)) {
+    }
+}
+
 }  // namespace
 
 ScratchArena &
@@ -25,6 +39,18 @@ ScratchArena::local()
 {
     thread_local ScratchArena arena;
     return arena;
+}
+
+std::size_t
+ScratchArena::globalPeakBytes()
+{
+    return g_peak_bytes.load(std::memory_order_relaxed);
+}
+
+u64
+ScratchArena::globalRewinds()
+{
+    return g_rewinds.load(std::memory_order_relaxed);
 }
 
 void *
@@ -38,6 +64,7 @@ ScratchArena::allocBytes(std::size_t bytes)
         if (b.buf.size() - b.offset >= bytes) {
             void *p = b.buf.data() + b.offset;
             b.offset += bytes;
+            notePeak(usedBytes());
             return p;
         }
         ++cur_;
@@ -51,6 +78,7 @@ ScratchArena::allocBytes(std::size_t bytes)
     block->offset = bytes;
     blocks_.push_back(std::move(block));
     cur_ = blocks_.size() - 1;
+    notePeak(usedBytes());
     return blocks_.back()->buf.data();
 }
 
@@ -82,6 +110,7 @@ void
 ScratchArena::rewind(std::size_t block, std::size_t offset)
 {
     CROPHE_ASSERT(block <= cur_, "scope rewind past live allocations");
+    g_rewinds.fetch_add(1, std::memory_order_relaxed);
     for (std::size_t i = block; i < blocks_.size(); ++i)
         blocks_[i]->offset = (i == block) ? offset : 0;
     cur_ = block;

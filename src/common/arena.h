@@ -23,6 +23,7 @@
  * count or allocation order.
  */
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <vector>
@@ -42,6 +43,16 @@ class ScratchArena
 
     /** The calling thread's arena (created on first use). */
     static ScratchArena &local();
+
+    /**
+     * High-water mark of usedBytes() across all thread arenas since
+     * process start (relaxed fetch-max; telemetry only — never consulted
+     * by any allocation decision).
+     */
+    static std::size_t globalPeakBytes();
+
+    /** Scope rewinds executed across all threads since process start. */
+    static u64 globalRewinds();
 
     /**
      * RAII marker: records the arena position on construction and

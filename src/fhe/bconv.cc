@@ -77,6 +77,17 @@ BaseConverter::BaseConverter(const FheContext &ctx, std::vector<u32> from,
 RnsPoly
 BaseConverter::convert(const RnsPoly &in) const
 {
+    RnsPoly out(*ctx_, to_, Rep::Coeff);
+    std::vector<u64 *> rows(to_.size());
+    for (u32 j = 0; j < to_.size(); ++j)
+        rows[j] = out.limb(j).data();
+    convertInto(in, rows.data());
+    return out;
+}
+
+void
+BaseConverter::convertInto(const RnsPoly &in, u64 *const *dst_rows) const
+{
     CROPHE_ASSERT(in.rep() == Rep::Coeff, "BConv requires Coeff rep");
     CROPHE_ASSERT(in.basis() == from_, "input basis mismatch");
     const u32 m = static_cast<u32>(from_.size());
@@ -84,8 +95,6 @@ BaseConverter::convert(const RnsPoly &in) const
     const u64 n = in.n();
     const u64 in_stride = in.limbStride();
 
-    RnsPoly out(*ctx_, to_, Rep::Coeff);
-    const u64 out_stride = out.limbStride();
     const auto &kt = kernels::table();
 
     // Coefficients are independent, so chunk the coefficient axis; each
@@ -94,7 +103,6 @@ BaseConverter::convert(const RnsPoly &in) const
     // quotient accumulated in fixed ascending-limb order), so the result
     // is bit-identical for any chunking or tile size.
     const u64 *in_base = in.limb(0).data();
-    u64 *out_base = out.limb(0).data();
     parallelForRange(0, n, [&](u64 c0, u64 c1) {
         ScratchArena::Scope scope;
         ScratchArena &arena = ScratchArena::local();
@@ -108,14 +116,13 @@ BaseConverter::convert(const RnsPoly &in) const
                          m, cnt, mhatInv_.data(), mhatInvShoup_.data(),
                          fromQ_.data(), invM_.data());
             for (u32 j = 0; j < t; ++j) {
-                kt.bconvOut(out_base + j * out_stride + tile, xhat,
+                kt.bconvOut(dst_rows[j] + tile, xhat,
                             kTileCoeffs, m, cnt,
                             mhatModT_.data() + static_cast<std::size_t>(j) * m,
                             vest, mModT_[j], toView_[j]);
             }
         }
     });
-    return out;
 }
 
 RnsPoly
@@ -159,6 +166,56 @@ modUpDigit(const FheContext &ctx, const RnsPoly &d_coeff, u32 digit,
 }
 
 RnsPoly
+fusedModUpEval(const FheContext &ctx, const RnsPoly &d_eval,
+               const RnsPoly &d_coeff, u32 digit, u32 level)
+{
+    CROPHE_ASSERT(d_eval.rep() == Rep::Eval, "fused ModUp: d must be Eval");
+    CROPHE_ASSERT(d_coeff.rep() == Rep::Coeff,
+                  "fused ModUp: d_coeff must be Coeff");
+    auto digit_limbs = ctx.digitLimbs(digit, level);
+    auto target = ctx.qpBasis(level);
+
+    RnsPoly digit_poly = d_coeff.restrictedTo(digit_limbs);
+    RnsPoly out(ctx, target, Rep::Eval);
+
+    // The digit's own limbs come straight from the Eval-domain input:
+    // the unfused path would iNTT and then NTT them back unchanged.
+    // Everything else is BConv'd from the Coeff-domain digit into the
+    // output slab and forward-transformed in place.
+    std::vector<u32> missing;       // global modulus indices to convert
+    std::vector<u64 *> missing_rows;  // their rows in the output slab
+    const auto &d_basis = d_eval.basis();
+    for (u32 k = 0; k < target.size(); ++k) {
+        bool own = false;
+        for (u32 i = 0; i < digit_limbs.size(); ++i) {
+            if (digit_limbs[i] == target[k]) {
+                auto it = std::find(d_basis.begin(), d_basis.end(),
+                                    target[k]);
+                CROPHE_ASSERT(it != d_basis.end(),
+                              "digit limb missing from d_eval");
+                out.copyLimbFrom(
+                    k, d_eval, static_cast<u32>(it - d_basis.begin()));
+                own = true;
+                break;
+            }
+        }
+        if (!own) {
+            missing.push_back(target[k]);
+            missing_rows.push_back(out.limb(k).data());
+        }
+    }
+
+    const BaseConverter &conv = ctx.converter(digit_limbs, missing);
+    conv.convertInto(digit_poly, missing_rows.data());
+    // Converted limbs all have distinct moduli, so they transform
+    // independently (no shared-twiddle batch to form here).
+    parallelFor(0, missing.size(), [&](u64 i) {
+        ctx.ntt(missing[i]).forward(missing_rows[i]);
+    });
+    return out;
+}
+
+RnsPoly
 modDown(const FheContext &ctx, const RnsPoly &in, u32 level)
 {
     CROPHE_ASSERT(in.rep() == Rep::Coeff, "ModDown requires Coeff rep");
@@ -183,6 +240,66 @@ modDown(const FheContext &ctx, const RnsPoly &in, u32 level)
                           shoupQuotient(p_inv, qi.value()));
     });
     return out;
+}
+
+std::pair<RnsPoly, RnsPoly>
+modDownEvalPair(const FheContext &ctx, const RnsPoly &b, const RnsPoly &a,
+                u32 level)
+{
+    CROPHE_ASSERT(b.rep() == Rep::Eval && a.rep() == Rep::Eval,
+                  "Eval-domain ModDown requires Eval rep");
+    CROPHE_ASSERT(b.basis() == ctx.qpBasis(level) && a.basis() == b.basis(),
+                  "unexpected basis");
+
+    auto q_basis = ctx.qBasis(level);
+    auto p_basis = ctx.pBasis();
+    const u32 nq = static_cast<u32>(q_basis.size());
+    const u32 np = static_cast<u32>(p_basis.size());
+    const u64 n = b.n();
+
+    // Stage 1: inverse-transform only the special-modulus limbs; b and a
+    // share each modulus, so the pair goes through one batched call.
+    RnsPoly pb(ctx, p_basis, Rep::Coeff);
+    RnsPoly pa(ctx, p_basis, Rep::Coeff);
+    parallelFor(0, np, [&](u64 i) {
+        const u32 src = nq + static_cast<u32>(i);
+        pb.copyLimbFrom(static_cast<u32>(i), b, src);
+        pa.copyLimbFrom(static_cast<u32>(i), a, src);
+        u64 *rows[2] = {pb.limb(static_cast<u32>(i)).data(),
+                        pa.limb(static_cast<u32>(i)).data()};
+        ctx.ntt(p_basis[i]).inverseBatched(rows, 2);
+    });
+
+    // Stage 2: BConv the P parts down to the q basis (Coeff domain).
+    const BaseConverter &conv = ctx.converter(p_basis, q_basis);
+    RnsPoly cb = conv.convert(pb);
+    RnsPoly ca = conv.convert(pa);
+
+    // Stage 3: forward-transform the converted rows (pair-batched per
+    // modulus) and finish in the Eval domain. Subtraction and the P⁻¹
+    // scaling are pointwise linear maps, so doing them after the NTT is
+    // bit-identical to the Coeff-domain reference.
+    const auto &kt = kernels::table();
+    RnsPoly out_b(ctx, q_basis, Rep::Eval);
+    RnsPoly out_a(ctx, q_basis, Rep::Eval);
+    parallelFor(0, nq, [&](u64 i) {
+        const u32 k = static_cast<u32>(i);
+        u64 *rows[2] = {cb.limb(k).data(), ca.limb(k).data()};
+        ctx.ntt(q_basis[i]).forwardBatched(rows, 2);
+
+        const Modulus &qi = ctx.mod(q_basis[i]);
+        const u64 p_inv = qi.inv(ctx.bigP().modSmall(qi.value()));
+        const u64 p_inv_shoup = shoupQuotient(p_inv, qi.value());
+        out_b.copyLimbFrom(k, b, k);
+        out_a.copyLimbFrom(k, a, k);
+        kt.subMod(out_b.limb(k).data(), rows[0], n, qi.value());
+        kt.mulScalarShoup(out_b.limb(k).data(), n, qi.value(), p_inv,
+                          p_inv_shoup);
+        kt.subMod(out_a.limb(k).data(), rows[1], n, qi.value());
+        kt.mulScalarShoup(out_a.limb(k).data(), n, qi.value(), p_inv,
+                          p_inv_shoup);
+    });
+    return {std::move(out_b), std::move(out_a)};
 }
 
 RnsPoly

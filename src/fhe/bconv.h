@@ -24,6 +24,7 @@
  * context rather than once per call.
  */
 
+#include <utility>
 #include <vector>
 
 #include "common/aligned.h"
@@ -56,6 +57,15 @@ class BaseConverter
      */
     RnsPoly convert(const RnsPoly &in) const;
 
+    /**
+     * convert() into caller-owned rows: @p dst_rows[j] receives target
+     * limb j (n elements each). This is the fused-pipeline entry point —
+     * writing straight into the consumer's limb slab skips the
+     * whole-polynomial temporary between BConv and the NTT that follows
+     * it. Byte-identical to convert().
+     */
+    void convertInto(const RnsPoly &in, u64 *const *dst_rows) const;
+
   private:
     const FheContext *ctx_;
     std::vector<u32> from_;
@@ -84,10 +94,48 @@ RnsPoly modUpDigit(const FheContext &ctx, const RnsPoly &d_coeff, u32 digit,
                    u32 level);
 
 /**
+ * Fused iNTT→BConv→NTT ModUp (DESIGN.md §13): produce digit @p j of
+ * key-switching directly in Eval representation over the q+p basis.
+ *
+ * The unfused flow (modUpDigit + toEval) inverse-transforms every limb of
+ * d and then forward-transforms all of the extended basis — including the
+ * digit's own limbs, which NTT∘iNTT maps back to exactly where they
+ * started. Here the digit's own limbs are instead copied straight from
+ * the Eval-domain input @p d_eval, BConv writes the missing limbs
+ * directly into the output slab (convertInto), and only those converted
+ * limbs are forward-transformed. Both transforms are exact mutually
+ * inverse bijections with canonical outputs, so the result is
+ * bit-identical to the unfused flow while skipping the round trips.
+ *
+ * @param d_eval  the key-switch operand over qBasis(level), Eval rep;
+ * @param d_coeff the same polynomial in Coeff rep (shared across digits).
+ */
+RnsPoly fusedModUpEval(const FheContext &ctx, const RnsPoly &d_eval,
+                       const RnsPoly &d_coeff, u32 digit, u32 level);
+
+/**
  * ModDown: divide a (q…q_level, p…) polynomial by P and return the result
  * over the q basis only. Input and output in Coeff representation.
  */
 RnsPoly modDown(const FheContext &ctx, const RnsPoly &in, u32 level);
+
+/**
+ * Fused Eval-domain ModDown of a key-switch accumulator pair (b, a), both
+ * over qpBasis(level) in Eval rep; returns the pair over qBasis(level),
+ * still in Eval rep.
+ *
+ * Instead of inverse-transforming all q+p limbs of both polynomials and
+ * forward-transforming the q limbs again afterwards (the unfused
+ * toCoeff → modDown → toEval flow), only the α special-modulus limbs are
+ * inverse-transformed — pair-batched per modulus, since b and a share
+ * every modulus — BConv carries them to the q basis, and the converted
+ * rows are forward-transformed (again pair-batched). The subtraction and
+ * the P⁻¹ scaling are linear and pointwise, so applying them in the Eval
+ * domain commutes with the NTT bit-exactly.
+ */
+std::pair<RnsPoly, RnsPoly> modDownEvalPair(const FheContext &ctx,
+                                            const RnsPoly &b,
+                                            const RnsPoly &a, u32 level);
 
 /**
  * Rescale: divide by the last ciphertext modulus q_level and drop it.

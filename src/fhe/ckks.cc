@@ -174,6 +174,48 @@ std::pair<RnsPoly, RnsPoly>
 Evaluator::keySwitch(const RnsPoly &d, u32 level, const KswKey &key) const
 {
     CROPHE_ASSERT(d.rep() == Rep::Eval, "keySwitch expects Eval input");
+    // The Coeff-domain copy feeds every digit's BConv; the Eval-domain
+    // original supplies each digit's own limbs directly (fused ModUp).
+    RnsPoly d_coeff = d;
+    d_coeff.toCoeff();
+
+    const u32 beta = ctx_->digitCount(level);
+    CROPHE_ASSERT(beta <= key.digitCount(), "key has too few digits");
+    // Digits are independent up to the final accumulation: compute the
+    // per-digit partial products in parallel, then merge them on this
+    // thread in digit order. Modular adds are exact, so the index-order
+    // merge is bit-identical to the sequential loop. The key's rows are
+    // multiplied in place via mulEwRestricted — no restrictedTo copy of
+    // the key — and the b-product reuses the digit's ModUp slab.
+    std::vector<std::unique_ptr<std::pair<RnsPoly, RnsPoly>>> parts(beta);
+    parallelFor(0, beta, [&](u64 j) {
+        RnsPoly up = fusedModUpEval(*ctx_, d, d_coeff, static_cast<u32>(j),
+                                    level);  // Eval, qp
+        RnsPoly part_b = up;
+        part_b.mulEwRestricted(key.b[j]);
+        up.mulEwRestricted(key.a[j]);
+        parts[j] = std::make_unique<std::pair<RnsPoly, RnsPoly>>(
+            std::move(part_b), std::move(up));
+    });
+    // Digit 0 seeds the accumulators directly (adding into a fresh
+    // zero poly is the identity), later digits accumulate in order.
+    RnsPoly acc_b = std::move(parts[0]->first);
+    RnsPoly acc_a = std::move(parts[0]->second);
+    for (u32 j = 1; j < beta; ++j) {
+        acc_b.addInplace(parts[j]->first);
+        acc_a.addInplace(parts[j]->second);
+    }
+
+    // The accumulators never leave the Eval domain: ModDown inverse-
+    // transforms only the P limbs and returns the pair already in Eval.
+    return modDownEvalPair(*ctx_, acc_b, acc_a, level);
+}
+
+std::pair<RnsPoly, RnsPoly>
+Evaluator::keySwitchUnfused(const RnsPoly &d, u32 level,
+                            const KswKey &key) const
+{
+    CROPHE_ASSERT(d.rep() == Rep::Eval, "keySwitch expects Eval input");
     RnsPoly d_coeff = d;
     d_coeff.toCoeff();
 
@@ -183,10 +225,6 @@ Evaluator::keySwitch(const RnsPoly &d, u32 level, const KswKey &key) const
 
     const u32 beta = ctx_->digitCount(level);
     CROPHE_ASSERT(beta <= key.digitCount(), "key has too few digits");
-    // Digits are independent up to the final accumulation: compute the
-    // per-digit partial products in parallel, then merge them on this
-    // thread in digit order. Modular adds are exact, so the index-order
-    // merge is bit-identical to the sequential loop.
     std::vector<std::unique_ptr<std::pair<RnsPoly, RnsPoly>>> parts(beta);
     parallelFor(0, beta, [&](u64 j) {
         RnsPoly up = modUpDigit(*ctx_, d_coeff, static_cast<u32>(j),

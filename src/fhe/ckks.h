@@ -80,10 +80,23 @@ class Evaluator
 
     /**
      * Raw key switching: given a polynomial d over qBasis(level) in Eval
-     * rep, return (b, a) = P^{-1}(d ⊙ evk) per Equation (1).
+     * rep, return (b, a) = P^{-1}(d ⊙ evk) per Equation (1). Runs the
+     * fused iNTT→BConv→NTT pipeline (DESIGN.md §13): ModUp copies the
+     * digit's own limbs from the Eval-domain input and ModDown stays in
+     * the Eval domain, skipping the transform round trips of the unfused
+     * flow. Bit-identical to keySwitchUnfused().
      */
     std::pair<RnsPoly, RnsPoly> keySwitch(const RnsPoly &d, u32 level,
                                           const KswKey &key) const;
+
+    /**
+     * The unfused Decomp → ModUp → KSKInP → ModDown reference flow, each
+     * stage a whole-polynomial pass with explicit toCoeff/toEval domain
+     * crossings. Kept as the differential-test oracle and the benchmark
+     * reference for the fused pipeline.
+     */
+    std::pair<RnsPoly, RnsPoly> keySwitchUnfused(const RnsPoly &d, u32 level,
+                                                 const KswKey &key) const;
 
     const Encoder &encoder() const { return encoder_; }
 

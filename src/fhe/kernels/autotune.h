@@ -1,0 +1,101 @@
+#ifndef CROPHE_FHE_KERNELS_AUTOTUNE_H_
+#define CROPHE_FHE_KERNELS_AUTOTUNE_H_
+
+/**
+ * @file
+ * Tiny deterministic NTT autotuner (DESIGN.md §13).
+ *
+ * The batched NTT kernels accept a *tile width*: how many same-modulus
+ * polynomials one stage-outer pass interleaves. The sweet spot depends
+ * on n, the batch size and the backend (the tile's working set must fit
+ * the private caches while still amortizing twiddle loads), so the
+ * autotuner measures the candidate tiles once per (n, limb-count,
+ * backend) and memoizes the winner. Every candidate computes the exact
+ * same bits — tuning only ever changes *speed*, never results — which
+ * is what makes a timing-based tuner safe in a bit-identical library.
+ *
+ * The table persists alongside the plan cache (one small text file in
+ * $CROPHE_AUTOTUNE_DIR, falling back to $CROPHE_PLAN_CACHE), keyed by a
+ * host/kernel digest (CPU features + kKernelVersion) and guarded by a
+ * checksum: any mismatch — corrupt file, different host, older kernel
+ * layer — rejects the file and re-tunes, so a stale table can never
+ * pick an invalid variant (and even a *wrong* table would only cost
+ * speed). Overrides: CROPHE_AUTOTUNE=off disables measurement (fixed
+ * default tile), CROPHE_NTT_TILE=K forces a tile width, and
+ * CROPHE_AUTOTUNE_VERBOSE=1 narrates tuning decisions on stderr.
+ */
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "common/types.h"
+#include "fhe/kernels/kernels.h"
+
+namespace crophe::fhe::kernels {
+
+/**
+ * Version stamp of the kernel layer's tunable code paths; bump it when
+ * batched-kernel codegen changes so persisted tables re-tune.
+ */
+inline constexpr u32 kKernelVersion = 2;
+
+struct AutotuneStats
+{
+    u64 tuned = 0;        ///< keys measured this process
+    u64 memoHits = 0;     ///< keys answered from the in-memory table
+    u64 diskLoaded = 0;   ///< entries adopted from the persisted table
+    u64 diskRejects = 0;  ///< persisted tables rejected by validation
+    u64 diskWrites = 0;   ///< table files written
+};
+
+class Autotuner
+{
+  public:
+    /**
+     * @p dir empty means in-memory only; otherwise the table file
+     * `<dir>/autotune_ntt.tbl` is loaded eagerly (invalid files are
+     * rejected, never trusted) and rewritten after each new tuning.
+     */
+    explicit Autotuner(std::string dir);
+
+    /**
+     * Tile width for transforming @p limbs same-modulus polynomials of
+     * degree @p n on backend @p b (clamped to a power-of-two bucket
+     * <= 8). Measures on first miss; later queries are memoized.
+     */
+    u32 batchTile(u64 n, u64 limbs, Backend b);
+
+    /**
+     * Pre-tune the hot key-switch shape (pair-batched transforms) for
+     * a context of degree @p n, so the first keySwitch doesn't pay the
+     * measurement. Called from the FheContext constructor.
+     */
+    void prepare(u64 n);
+
+    const AutotuneStats &stats() const { return stats_; }
+    const std::string &dir() const { return dir_; }
+
+  private:
+    u32 tuneLocked(u64 n, u64 limbs, Backend b);
+    bool loadLocked();
+    void persistLocked();
+
+    std::mutex mu_;
+    std::string dir_;
+    bool enabled_ = true;  ///< false under CROPHE_AUTOTUNE=off
+    u32 forcedTile_ = 0;   ///< nonzero under CROPHE_NTT_TILE=K
+    std::map<std::tuple<u64, u64, u8>, u32> table_;
+    AutotuneStats stats_;
+};
+
+/**
+ * The process-wide autotuner; directory resolved once from
+ * $CROPHE_AUTOTUNE_DIR, else $CROPHE_PLAN_CACHE, else in-memory.
+ */
+Autotuner &autotuner();
+
+}  // namespace crophe::fhe::kernels
+
+#endif  // CROPHE_FHE_KERNELS_AUTOTUNE_H_

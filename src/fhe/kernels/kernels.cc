@@ -1,9 +1,11 @@
 #include "fhe/kernels/kernels.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 
 #include "common/cpu_features.h"
+#include "common/error.h"
 #include "common/logging.h"
 
 namespace crophe::fhe::kernels {
@@ -141,22 +143,72 @@ setBackend(Backend b)
     active().table.store(tableFor(b), std::memory_order_release);
 }
 
-bool
-setBackendByName(const std::string &name)
+Backend
+parseBackend(const std::string &name)
 {
     Backend b;
     if (!parseName(name, &b))
-        return false;
+        throw RecoverableError("unknown kernel backend '" + name +
+                               "' (expected scalar|avx2|avx512|auto)");
+    return b;
+}
+
+void
+requestBackend(Backend b)
+{
     if (!available(b)) {
         Backend fallback = widestAvailable();
-        CROPHE_WARN_ONCE("kernel backend '", name,
+        CROPHE_WARN_ONCE("kernel backend '", backendName(b),
                          "' unavailable on this host/binary; "
                          "falling back to ",
                          backendName(fallback));
         b = fallback;
     }
     setBackend(b);
+}
+
+bool
+setBackendByName(const std::string &name)
+{
+    Backend b;
+    if (!parseName(name, &b))
+        return false;
+    requestBackend(b);
     return true;
+}
+
+void
+fwdNttBatched(const KernelTable &kt, u64 *const *polys, u64 count,
+              const NttView &t, u64 tile)
+{
+    if (kt.fwdNttBatch == nullptr) {
+        for (u64 i = 0; i < count; ++i)
+            kt.fwdNtt(polys[i], t);
+        return;
+    }
+    if (tile == 0 || tile >= count) {
+        kt.fwdNttBatch(polys, count, t);
+        return;
+    }
+    for (u64 at = 0; at < count; at += tile)
+        kt.fwdNttBatch(polys + at, std::min(tile, count - at), t);
+}
+
+void
+invNttBatched(const KernelTable &kt, u64 *const *polys, u64 count,
+              const NttView &t, u64 tile)
+{
+    if (kt.invNttBatch == nullptr) {
+        for (u64 i = 0; i < count; ++i)
+            kt.invNtt(polys[i], t);
+        return;
+    }
+    if (tile == 0 || tile >= count) {
+        kt.invNttBatch(polys, count, t);
+        return;
+    }
+    for (u64 at = 0; at < count; at += tile)
+        kt.invNttBatch(polys + at, std::min(tile, count - at), t);
 }
 
 const char *

@@ -118,7 +118,37 @@ struct KernelTable
     void (*bconvOut)(u64 *out, const u64 *xhat, u64 xhatStride, u64 m,
                      u64 cnt, const u64 *w, const double *vest, u64 mModT,
                      const BarrettView &q);
+
+    // -- Batched entries (capability/fallback contract) -----------------
+    //
+    // Batched kernels transform `count` polynomials that all share ONE
+    // (n, q) NttView, walking the butterfly stages outermost and the
+    // polynomials innermost so each stage's twiddle block is loaded once
+    // per batch instead of once per polynomial (the Hermes-style hybrid
+    // dataflow, DESIGN.md §13). They are *nullable*: a backend without a
+    // native batched path leaves the slot null, and callers must go
+    // through fwdNttBatched()/invNttBatched() below, which fall back to
+    // looping the single-polynomial entry. Batched entries live at the
+    // end of the struct so older aggregate initializers value-initialize
+    // them to null. Results are bit-identical to the per-polynomial
+    // kernels by construction (same butterfly sequence per polynomial).
+
+    /** In-place forward NTT of polys[0..count) (may be null). */
+    void (*fwdNttBatch)(u64 *const *polys, u64 count, const NttView &t);
+    /** In-place inverse NTT of polys[0..count) (may be null). */
+    void (*invNttBatch)(u64 *const *polys, u64 count, const NttView &t);
 };
+
+/**
+ * Transform a batch through @p kt's batched entry when present, else
+ * loop the single-polynomial kernel. @p tile bounds how many
+ * polynomials one stage-outer pass interleaves (the autotuner's batch
+ * width); 0 means "whole batch". All tile choices are bit-identical.
+ */
+void fwdNttBatched(const KernelTable &kt, u64 *const *polys, u64 count,
+                   const NttView &t, u64 tile = 0);
+void invNttBatched(const KernelTable &kt, u64 *const *polys, u64 count,
+                   const NttView &t, u64 tile = 0);
 
 /** The selected backend's table (resolves on first use). */
 const KernelTable &table();
@@ -133,10 +163,24 @@ bool available(Backend b);
 void setBackend(Backend b);
 
 /**
- * Select by name ("scalar" | "avx2" | "avx512" | "auto"); unknown names
- * return false. Unavailable explicit requests fall back to the best
- * available backend with a one-time warning (so CROPHE_KERNEL=avx512
- * degrades gracefully on older hosts).
+ * Parse a backend name ("scalar" | "avx2" | "avx512" | "auto", where
+ * "auto" resolves to the widest ISA this host supports). Throws a
+ * typed RecoverableError on anything else — the one place unknown
+ * `--kernel` / CROPHE_KERNEL spellings are rejected, so downstream
+ * code only ever sees the enum.
+ */
+Backend parseBackend(const std::string &name);
+
+/**
+ * Install @p b as the active backend, falling back to the widest
+ * available one with a one-time warning when @p b cannot run here (so
+ * an explicit avx512 request degrades gracefully on older hosts).
+ */
+void requestBackend(Backend b);
+
+/**
+ * Select by name; unknown names return false (legacy shim over
+ * parseBackend() + requestBackend(), kept for string-typed callers).
  */
 bool setBackendByName(const std::string &name);
 

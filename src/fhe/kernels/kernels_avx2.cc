@@ -190,16 +190,10 @@ fwdNttAvx2(u64 *a, const NttView &t)
     simd256::fwdStageGap1Normalize(a, t, m, c);
 }
 
-void
-invNttAvx2(u64 *a, const NttView &t)
+/** Final inverse pass: scale by n^{-1}, reduce to canonical [0,q). */
+inline void
+invNormalizeAvx2(u64 *a, const NttView &t, const simd256::NttConsts &c)
 {
-    const simd256::NttConsts c = simd256::nttConsts(t.q);
-    simd256::invStageGap1(a, t, t.n >> 1, c);
-    simd256::invStageGap2(a, t, t.n >> 2, c);
-    u64 gap = 4;
-    for (u64 h = t.n >> 3; h >= 1; h >>= 1, gap <<= 1)
-        simd256::invStageWide(a, t, h, gap, c);
-
     const __m256i vqm1 =
         _mm256_set1_epi64x(static_cast<long long>(t.q - 1));
     const __m256i nv =
@@ -213,6 +207,56 @@ invNttAvx2(u64 *a, const NttView &t)
         v = simd256::condSub(v, c.vq, vqm1);
         _mm256_storeu_si256(reinterpret_cast<__m256i *>(a + j), v);
     }
+}
+
+void
+invNttAvx2(u64 *a, const NttView &t)
+{
+    const simd256::NttConsts c = simd256::nttConsts(t.q);
+    simd256::invStageGap1(a, t, t.n >> 1, c);
+    simd256::invStageGap2(a, t, t.n >> 2, c);
+    u64 gap = 4;
+    for (u64 h = t.n >> 3; h >= 1; h >>= 1, gap <<= 1)
+        simd256::invStageWide(a, t, h, gap, c);
+    invNormalizeAvx2(a, t, c);
+}
+
+/**
+ * Batched transforms: stages outermost, polynomials innermost (the
+ * twiddle block of each stage is streamed once per batch). Per-poly
+ * butterfly sequence identical to fwdNttAvx2/invNttAvx2, so results
+ * are bit-identical.
+ */
+void
+fwdNttAvx2Batch(u64 *const *polys, u64 count, const NttView &t)
+{
+    const simd256::NttConsts c = simd256::nttConsts(t.q);
+    u64 m = 1;
+    u64 gap = t.n >> 1;
+    for (; gap >= 4; m <<= 1, gap >>= 1)
+        for (u64 p = 0; p < count; ++p)
+            simd256::fwdStageWide(polys[p], t, m, gap, c);
+    for (u64 p = 0; p < count; ++p)
+        simd256::fwdStageGap2(polys[p], t, m, c);
+    m <<= 1;
+    for (u64 p = 0; p < count; ++p)
+        simd256::fwdStageGap1Normalize(polys[p], t, m, c);
+}
+
+void
+invNttAvx2Batch(u64 *const *polys, u64 count, const NttView &t)
+{
+    const simd256::NttConsts c = simd256::nttConsts(t.q);
+    for (u64 p = 0; p < count; ++p)
+        simd256::invStageGap1(polys[p], t, t.n >> 1, c);
+    for (u64 p = 0; p < count; ++p)
+        simd256::invStageGap2(polys[p], t, t.n >> 2, c);
+    u64 gap = 4;
+    for (u64 h = t.n >> 3; h >= 1; h >>= 1, gap <<= 1)
+        for (u64 p = 0; p < count; ++p)
+            simd256::invStageWide(polys[p], t, h, gap, c);
+    for (u64 p = 0; p < count; ++p)
+        invNormalizeAvx2(polys[p], t, c);
 }
 
 void
@@ -487,6 +531,7 @@ avx2Table()
         addModAvx2,    subModAvx2,        negModAvx2,
         mulModBarrettAvx2, mulScalarShoupAvx2, gatherAvx2,
         bconvXhatAvx2, bconvOutAvx2,
+        fwdNttAvx2Batch, invNttAvx2Batch,
     };
     return tbl;
 }

@@ -115,6 +115,50 @@ barrettMulV(__m512i a, __m512i c, const BarrettV &b)
     return barrettReduceV(mulHi64v(a, c), _mm512_mullo_epi64(a, c), b);
 }
 
+/** One 512-bit forward stage (m blocks, gap >= 8), values in [0,4q). */
+inline void
+fwdStageWide512(u64 *a, const NttView &t, u64 m, u64 gap, __m512i vq,
+                __m512i v2q)
+{
+    for (u64 i = 0; i < m; ++i) {
+        u64 *x = a + 2 * i * gap;
+        u64 *y = x + gap;
+        const __m512i w =
+            _mm512_set1_epi64(static_cast<long long>(t.w[m + i]));
+        const __m512i ws = _mm512_set1_epi64(
+            static_cast<long long>(t.wShoup[m + i]));
+        u64 j = 0;
+        for (; j + 16 <= gap; j += 16) {
+            __m512i u0 = _mm512_loadu_si512(x + j);
+            __m512i u1 = _mm512_loadu_si512(x + j + 8);
+            __m512i y0 = _mm512_loadu_si512(y + j);
+            __m512i y1 = _mm512_loadu_si512(y + j + 8);
+            u0 = condSub(u0, v2q);
+            u1 = condSub(u1, v2q);
+            __m512i v0 = shoupMulLazyV(y0, w, ws, vq);
+            __m512i v1 = shoupMulLazyV(y1, w, ws, vq);
+            _mm512_storeu_si512(x + j, _mm512_add_epi64(u0, v0));
+            _mm512_storeu_si512(x + j + 8, _mm512_add_epi64(u1, v1));
+            _mm512_storeu_si512(
+                y + j,
+                _mm512_add_epi64(_mm512_sub_epi64(u0, v0), v2q));
+            _mm512_storeu_si512(
+                y + j + 8,
+                _mm512_add_epi64(_mm512_sub_epi64(u1, v1), v2q));
+        }
+        for (; j < gap; j += 8) {
+            __m512i u = _mm512_loadu_si512(x + j);
+            __m512i yv = _mm512_loadu_si512(y + j);
+            u = condSub(u, v2q);
+            __m512i v = shoupMulLazyV(yv, w, ws, vq);
+            _mm512_storeu_si512(x + j, _mm512_add_epi64(u, v));
+            _mm512_storeu_si512(
+                y + j,
+                _mm512_add_epi64(_mm512_sub_epi64(u, v), v2q));
+        }
+    }
+}
+
 void
 fwdNttAvx512(u64 *a, const NttView &t)
 {
@@ -123,45 +167,8 @@ fwdNttAvx512(u64 *a, const NttView &t)
     const simd256::NttConsts c = simd256::nttConsts(t.q);
     u64 m = 1;
     u64 gap = t.n >> 1;
-    for (; gap >= 8; m <<= 1, gap >>= 1) {
-        for (u64 i = 0; i < m; ++i) {
-            u64 *x = a + 2 * i * gap;
-            u64 *y = x + gap;
-            const __m512i w =
-                _mm512_set1_epi64(static_cast<long long>(t.w[m + i]));
-            const __m512i ws = _mm512_set1_epi64(
-                static_cast<long long>(t.wShoup[m + i]));
-            u64 j = 0;
-            for (; j + 16 <= gap; j += 16) {
-                __m512i u0 = _mm512_loadu_si512(x + j);
-                __m512i u1 = _mm512_loadu_si512(x + j + 8);
-                __m512i y0 = _mm512_loadu_si512(y + j);
-                __m512i y1 = _mm512_loadu_si512(y + j + 8);
-                u0 = condSub(u0, v2q);
-                u1 = condSub(u1, v2q);
-                __m512i v0 = shoupMulLazyV(y0, w, ws, vq);
-                __m512i v1 = shoupMulLazyV(y1, w, ws, vq);
-                _mm512_storeu_si512(x + j, _mm512_add_epi64(u0, v0));
-                _mm512_storeu_si512(x + j + 8, _mm512_add_epi64(u1, v1));
-                _mm512_storeu_si512(
-                    y + j,
-                    _mm512_add_epi64(_mm512_sub_epi64(u0, v0), v2q));
-                _mm512_storeu_si512(
-                    y + j + 8,
-                    _mm512_add_epi64(_mm512_sub_epi64(u1, v1), v2q));
-            }
-            for (; j < gap; j += 8) {
-                __m512i u = _mm512_loadu_si512(x + j);
-                __m512i yv = _mm512_loadu_si512(y + j);
-                u = condSub(u, v2q);
-                __m512i v = shoupMulLazyV(yv, w, ws, vq);
-                _mm512_storeu_si512(x + j, _mm512_add_epi64(u, v));
-                _mm512_storeu_si512(
-                    y + j,
-                    _mm512_add_epi64(_mm512_sub_epi64(u, v), v2q));
-            }
-        }
-    }
+    for (; gap >= 8; m <<= 1, gap >>= 1)
+        fwdStageWide512(a, t, m, gap, vq, v2q);
     // gap == 4, 2, 1: shared 256-bit shuffle stages (AVX-512F implies
     // AVX2); the gap-1 stage fuses the final normalization.
     simd256::fwdStageWide(a, t, m, 4, c);
@@ -169,6 +176,62 @@ fwdNttAvx512(u64 *a, const NttView &t)
     simd256::fwdStageGap2(a, t, m, c);
     m <<= 1;
     simd256::fwdStageGap1Normalize(a, t, m, c);
+}
+
+/** One 512-bit inverse stage (h blocks, gap >= 8), values in [0,2q). */
+inline void
+invStageWide512(u64 *a, const NttView &t, u64 h, u64 gap, __m512i vq,
+                __m512i v2q)
+{
+    u64 j1 = 0;
+    for (u64 i = 0; i < h; ++i) {
+        u64 *x = a + j1;
+        u64 *y = x + gap;
+        const __m512i w =
+            _mm512_set1_epi64(static_cast<long long>(t.w[h + i]));
+        const __m512i ws = _mm512_set1_epi64(
+            static_cast<long long>(t.wShoup[h + i]));
+        u64 j = 0;
+        for (; j + 16 <= gap; j += 16) {
+            __m512i u0 = _mm512_loadu_si512(x + j);
+            __m512i u1 = _mm512_loadu_si512(x + j + 8);
+            __m512i v0 = _mm512_loadu_si512(y + j);
+            __m512i v1 = _mm512_loadu_si512(y + j + 8);
+            _mm512_storeu_si512(
+                x + j, condSub(_mm512_add_epi64(u0, v0), v2q));
+            _mm512_storeu_si512(
+                x + j + 8, condSub(_mm512_add_epi64(u1, v1), v2q));
+            __m512i d0 = _mm512_add_epi64(_mm512_sub_epi64(u0, v0), v2q);
+            __m512i d1 = _mm512_add_epi64(_mm512_sub_epi64(u1, v1), v2q);
+            _mm512_storeu_si512(y + j, shoupMulLazyV(d0, w, ws, vq));
+            _mm512_storeu_si512(y + j + 8,
+                                shoupMulLazyV(d1, w, ws, vq));
+        }
+        for (; j < gap; j += 8) {
+            __m512i u = _mm512_loadu_si512(x + j);
+            __m512i v = _mm512_loadu_si512(y + j);
+            __m512i s = condSub(_mm512_add_epi64(u, v), v2q);
+            _mm512_storeu_si512(x + j, s);
+            __m512i d = _mm512_add_epi64(_mm512_sub_epi64(u, v), v2q);
+            _mm512_storeu_si512(y + j, shoupMulLazyV(d, w, ws, vq));
+        }
+        j1 += 2 * gap;
+    }
+}
+
+/** Final inverse pass: scale by n^{-1}, reduce to canonical [0,q). */
+inline void
+invNormalizeAvx512(u64 *a, const NttView &t, __m512i vq)
+{
+    const __m512i nv = _mm512_set1_epi64(static_cast<long long>(t.nInv));
+    const __m512i nvs =
+        _mm512_set1_epi64(static_cast<long long>(t.nInvShoup));
+    for (u64 j = 0; j < t.n; j += 8) {
+        __m512i v = _mm512_loadu_si512(a + j);
+        v = shoupMulLazyV(v, nv, nvs, vq);
+        v = condSub(v, vq);
+        _mm512_storeu_si512(a + j, v);
+    }
 }
 
 void
@@ -182,51 +245,56 @@ invNttAvx512(u64 *a, const NttView &t)
     simd256::invStageGap2(a, t, t.n >> 2, c);
     simd256::invStageWide(a, t, t.n >> 3, 4, c);
     u64 gap = 8;
-    for (u64 h = t.n >> 4; h >= 1; h >>= 1, gap <<= 1) {
-        u64 j1 = 0;
-        for (u64 i = 0; i < h; ++i) {
-            u64 *x = a + j1;
-            u64 *y = x + gap;
-            const __m512i w =
-                _mm512_set1_epi64(static_cast<long long>(t.w[h + i]));
-            const __m512i ws = _mm512_set1_epi64(
-                static_cast<long long>(t.wShoup[h + i]));
-            u64 j = 0;
-            for (; j + 16 <= gap; j += 16) {
-                __m512i u0 = _mm512_loadu_si512(x + j);
-                __m512i u1 = _mm512_loadu_si512(x + j + 8);
-                __m512i v0 = _mm512_loadu_si512(y + j);
-                __m512i v1 = _mm512_loadu_si512(y + j + 8);
-                _mm512_storeu_si512(
-                    x + j, condSub(_mm512_add_epi64(u0, v0), v2q));
-                _mm512_storeu_si512(
-                    x + j + 8, condSub(_mm512_add_epi64(u1, v1), v2q));
-                __m512i d0 = _mm512_add_epi64(_mm512_sub_epi64(u0, v0), v2q);
-                __m512i d1 = _mm512_add_epi64(_mm512_sub_epi64(u1, v1), v2q);
-                _mm512_storeu_si512(y + j, shoupMulLazyV(d0, w, ws, vq));
-                _mm512_storeu_si512(y + j + 8,
-                                    shoupMulLazyV(d1, w, ws, vq));
-            }
-            for (; j < gap; j += 8) {
-                __m512i u = _mm512_loadu_si512(x + j);
-                __m512i v = _mm512_loadu_si512(y + j);
-                __m512i s = condSub(_mm512_add_epi64(u, v), v2q);
-                _mm512_storeu_si512(x + j, s);
-                __m512i d = _mm512_add_epi64(_mm512_sub_epi64(u, v), v2q);
-                _mm512_storeu_si512(y + j, shoupMulLazyV(d, w, ws, vq));
-            }
-            j1 += 2 * gap;
-        }
-    }
-    const __m512i nv = _mm512_set1_epi64(static_cast<long long>(t.nInv));
-    const __m512i nvs =
-        _mm512_set1_epi64(static_cast<long long>(t.nInvShoup));
-    for (u64 j = 0; j < t.n; j += 8) {
-        __m512i v = _mm512_loadu_si512(a + j);
-        v = shoupMulLazyV(v, nv, nvs, vq);
-        v = condSub(v, vq);
-        _mm512_storeu_si512(a + j, v);
-    }
+    for (u64 h = t.n >> 4; h >= 1; h >>= 1, gap <<= 1)
+        invStageWide512(a, t, h, gap, vq, v2q);
+    invNormalizeAvx512(a, t, vq);
+}
+
+/**
+ * Batched transforms: stages outermost, polynomials innermost (each
+ * stage's twiddle block is streamed once per batch). Per-polynomial
+ * butterfly sequence identical to fwdNttAvx512/invNttAvx512, so the
+ * results are bit-identical.
+ */
+void
+fwdNttAvx512Batch(u64 *const *polys, u64 count, const NttView &t)
+{
+    const __m512i vq = _mm512_set1_epi64(static_cast<long long>(t.q));
+    const __m512i v2q = _mm512_set1_epi64(static_cast<long long>(2 * t.q));
+    const simd256::NttConsts c = simd256::nttConsts(t.q);
+    u64 m = 1;
+    u64 gap = t.n >> 1;
+    for (; gap >= 8; m <<= 1, gap >>= 1)
+        for (u64 p = 0; p < count; ++p)
+            fwdStageWide512(polys[p], t, m, gap, vq, v2q);
+    for (u64 p = 0; p < count; ++p)
+        simd256::fwdStageWide(polys[p], t, m, 4, c);
+    m <<= 1;
+    for (u64 p = 0; p < count; ++p)
+        simd256::fwdStageGap2(polys[p], t, m, c);
+    m <<= 1;
+    for (u64 p = 0; p < count; ++p)
+        simd256::fwdStageGap1Normalize(polys[p], t, m, c);
+}
+
+void
+invNttAvx512Batch(u64 *const *polys, u64 count, const NttView &t)
+{
+    const __m512i vq = _mm512_set1_epi64(static_cast<long long>(t.q));
+    const __m512i v2q = _mm512_set1_epi64(static_cast<long long>(2 * t.q));
+    const simd256::NttConsts c = simd256::nttConsts(t.q);
+    for (u64 p = 0; p < count; ++p)
+        simd256::invStageGap1(polys[p], t, t.n >> 1, c);
+    for (u64 p = 0; p < count; ++p)
+        simd256::invStageGap2(polys[p], t, t.n >> 2, c);
+    for (u64 p = 0; p < count; ++p)
+        simd256::invStageWide(polys[p], t, t.n >> 3, 4, c);
+    u64 gap = 8;
+    for (u64 h = t.n >> 4; h >= 1; h >>= 1, gap <<= 1)
+        for (u64 p = 0; p < count; ++p)
+            invStageWide512(polys[p], t, h, gap, vq, v2q);
+    for (u64 p = 0; p < count; ++p)
+        invNormalizeAvx512(polys[p], t, vq);
 }
 
 void
@@ -440,6 +508,7 @@ avx512Table()
         addModAvx512,    subModAvx512,        negModAvx512,
         mulModBarrettAvx512, mulScalarShoupAvx512, gatherAvx512,
         bconvXhatAvx512, bconvOutAvx512,
+        fwdNttAvx512Batch, invNttAvx512Batch,
     };
     return tbl;
 }

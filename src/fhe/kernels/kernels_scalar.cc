@@ -66,30 +66,35 @@ barrettMul(u64 a, u64 c, const BarrettView &b)
     return barrettReduce(static_cast<u64>(x >> 64), static_cast<u64>(x), b);
 }
 
-void
-fwdNttScalar(u64 *a, const NttView &t)
+/** One forward stage (m blocks of width gap), values lazy in [0,4q). */
+inline void
+fwdStageScalar(u64 *a, const NttView &t, u64 m, u64 gap)
 {
     const u64 q = t.q;
     const u64 twoq = 2 * q;
-    u64 gap = t.n;
-    for (u64 m = 1; m < t.n; m <<= 1) {
-        gap >>= 1;
-        for (u64 i = 0; i < m; ++i) {
-            const u64 j1 = 2 * i * gap;
-            const u64 w = t.w[m + i];
-            const u64 ws = t.wShoup[m + i];
-            u64 *x = a + j1;
-            u64 *y = x + gap;
-            for (u64 j = 0; j < gap; ++j) {
-                u64 u = x[j];
-                if (u >= twoq)
-                    u -= twoq;
-                u64 v = shoupMulLazy(y[j], w, ws, q);
-                x[j] = u + v;
-                y[j] = u - v + twoq;
-            }
+    for (u64 i = 0; i < m; ++i) {
+        const u64 j1 = 2 * i * gap;
+        const u64 w = t.w[m + i];
+        const u64 ws = t.wShoup[m + i];
+        u64 *x = a + j1;
+        u64 *y = x + gap;
+        for (u64 j = 0; j < gap; ++j) {
+            u64 u = x[j];
+            if (u >= twoq)
+                u -= twoq;
+            u64 v = shoupMulLazy(y[j], w, ws, q);
+            x[j] = u + v;
+            y[j] = u - v + twoq;
         }
     }
+}
+
+/** Final forward pass: fold lazy [0,4q) values back to canonical. */
+inline void
+fwdNormalizeScalar(u64 *a, const NttView &t)
+{
+    const u64 q = t.q;
+    const u64 twoq = 2 * q;
     for (u64 j = 0; j < t.n; ++j) {
         u64 v = a[j];
         if (v >= twoq)
@@ -101,38 +106,95 @@ fwdNttScalar(u64 *a, const NttView &t)
 }
 
 void
-invNttScalar(u64 *a, const NttView &t)
+fwdNttScalar(u64 *a, const NttView &t)
+{
+    u64 gap = t.n;
+    for (u64 m = 1; m < t.n; m <<= 1) {
+        gap >>= 1;
+        fwdStageScalar(a, t, m, gap);
+    }
+    fwdNormalizeScalar(a, t);
+}
+
+/** One inverse stage (h blocks of width gap), values lazy in [0,2q). */
+inline void
+invStageScalar(u64 *a, const NttView &t, u64 h, u64 gap)
 {
     const u64 q = t.q;
     const u64 twoq = 2 * q;
-    u64 gap = 1;
-    for (u64 m = t.n; m > 1; m >>= 1) {
-        const u64 h = m >> 1;
-        u64 j1 = 0;
-        for (u64 i = 0; i < h; ++i) {
-            const u64 w = t.w[h + i];
-            const u64 ws = t.wShoup[h + i];
-            u64 *x = a + j1;
-            u64 *y = x + gap;
-            for (u64 j = 0; j < gap; ++j) {
-                u64 u = x[j];
-                u64 v = y[j];
-                u64 s = u + v;
-                if (s >= twoq)
-                    s -= twoq;
-                x[j] = s;
-                y[j] = shoupMulLazy(u - v + twoq, w, ws, q);
-            }
-            j1 += 2 * gap;
+    u64 j1 = 0;
+    for (u64 i = 0; i < h; ++i) {
+        const u64 w = t.w[h + i];
+        const u64 ws = t.wShoup[h + i];
+        u64 *x = a + j1;
+        u64 *y = x + gap;
+        for (u64 j = 0; j < gap; ++j) {
+            u64 u = x[j];
+            u64 v = y[j];
+            u64 s = u + v;
+            if (s >= twoq)
+                s -= twoq;
+            x[j] = s;
+            y[j] = shoupMulLazy(u - v + twoq, w, ws, q);
         }
-        gap <<= 1;
+        j1 += 2 * gap;
     }
+}
+
+/** Final inverse pass: scale by n^{-1} and reduce to canonical. */
+inline void
+invNormalizeScalar(u64 *a, const NttView &t)
+{
+    const u64 q = t.q;
     for (u64 j = 0; j < t.n; ++j) {
         u64 v = shoupMulLazy(a[j], t.nInv, t.nInvShoup, q);
         if (v >= q)
             v -= q;
         a[j] = v;
     }
+}
+
+void
+invNttScalar(u64 *a, const NttView &t)
+{
+    u64 gap = 1;
+    for (u64 m = t.n; m > 1; m >>= 1) {
+        invStageScalar(a, t, m >> 1, gap);
+        gap <<= 1;
+    }
+    invNormalizeScalar(a, t);
+}
+
+/**
+ * Batched transforms: stages outermost, polynomials innermost, so each
+ * stage's twiddle block stays cache-hot across the whole batch. Each
+ * polynomial sees the identical butterfly sequence as the single-poly
+ * kernel, so results are bit-identical by construction.
+ */
+void
+fwdNttScalarBatch(u64 *const *polys, u64 count, const NttView &t)
+{
+    u64 gap = t.n;
+    for (u64 m = 1; m < t.n; m <<= 1) {
+        gap >>= 1;
+        for (u64 p = 0; p < count; ++p)
+            fwdStageScalar(polys[p], t, m, gap);
+    }
+    for (u64 p = 0; p < count; ++p)
+        fwdNormalizeScalar(polys[p], t);
+}
+
+void
+invNttScalarBatch(u64 *const *polys, u64 count, const NttView &t)
+{
+    u64 gap = 1;
+    for (u64 m = t.n; m > 1; m >>= 1) {
+        for (u64 p = 0; p < count; ++p)
+            invStageScalar(polys[p], t, m >> 1, gap);
+        gap <<= 1;
+    }
+    for (u64 p = 0; p < count; ++p)
+        invNormalizeScalar(polys[p], t);
 }
 
 void
@@ -281,6 +343,7 @@ scalarTable()
         addModScalar,    subModScalar,        negModScalar,
         mulModBarrettScalar, mulScalarShoupScalar, gatherScalar,
         bconvXhatScalar, bconvOutScalar,
+        fwdNttScalarBatch, invNttScalarBatch,
     };
     return tbl;
 }

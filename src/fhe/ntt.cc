@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "fhe/kernels/autotune.h"
 #include "fhe/primes.h"
 
 namespace crophe::fhe {
@@ -87,6 +88,26 @@ NttTables::inverse(u64 *a) const
 {
     kernels::NttView v = inverseView();
     tableForSize(n_).invNtt(a, v);
+}
+
+void
+NttTables::forwardBatched(u64 *const *polys, u64 count) const
+{
+    kernels::NttView v = forwardView();
+    const kernels::KernelTable &kt = tableForSize(n_);
+    u64 tile = kernels::autotuner().batchTile(n_, count,
+                                              kernels::activeBackend());
+    kernels::fwdNttBatched(kt, polys, count, v, tile);
+}
+
+void
+NttTables::inverseBatched(u64 *const *polys, u64 count) const
+{
+    kernels::NttView v = inverseView();
+    const kernels::KernelTable &kt = tableForSize(n_);
+    u64 tile = kernels::autotuner().batchTile(n_, count,
+                                              kernels::activeBackend());
+    kernels::invNttBatched(kt, polys, count, v, tile);
 }
 
 std::vector<u64>

@@ -58,6 +58,15 @@ class NttTables
     void forward(std::vector<u64> &a) const { forward(a.data()); }
     void inverse(std::vector<u64> &a) const { inverse(a.data()); }
 
+    /**
+     * In-place transforms of @p count polynomials sharing this table's
+     * (n, q), routed through the backend's batched kernel (stage-outer
+     * loops, autotuned tile width) when present. Bit-identical to
+     * calling forward()/inverse() per polynomial.
+     */
+    void forwardBatched(u64 *const *polys, u64 count) const;
+    void inverseBatched(u64 *const *polys, u64 count) const;
+
     /** Kernel views over the precomputed tables (bench/tests). */
     kernels::NttView forwardView() const;
     kernels::NttView inverseView() const;

@@ -7,6 +7,7 @@
 #include "common/parallel.h"
 #include "fhe/automorphism.h"
 #include "fhe/bconv.h"
+#include "fhe/kernels/autotune.h"
 #include "fhe/kernels/kernels.h"
 #include "fhe/primes.h"
 
@@ -51,6 +52,11 @@ FheContext::FheContext(const FheContextParams &params)
         ntt_.push_back(std::make_unique<NttTables>(n_, moduli_.back()));
     }
     bigP_ = productOf(pj);
+
+    // Pre-tune the batched-NTT tile for the key-switch hot path so the
+    // first keySwitch on this context doesn't pay the measurement. Tile
+    // choice only ever affects speed, never results.
+    kernels::autotuner().prepare(n_);
 }
 
 FheContext::~FheContext() = default;
@@ -194,6 +200,26 @@ RnsPoly::mulEwInplace(const RnsPoly &other)
     parallelFor(0, limbCount(), [&](u64 i) {
         kernels::BarrettView b = barrettView(mod(i));
         kt.mulModBarrett(limb(i).data(), other.limb(i).data(), n(), b);
+    });
+}
+
+void
+RnsPoly::mulEwRestricted(const RnsPoly &other)
+{
+    CROPHE_ASSERT(rep_ == Rep::Eval && other.rep_ == Rep::Eval,
+                  "element-wise multiply requires Eval representation");
+    std::vector<u32> map(limbCount());
+    for (u32 i = 0; i < limbCount(); ++i) {
+        auto it = std::find(other.basis_.begin(), other.basis_.end(),
+                            basis_[i]);
+        CROPHE_ASSERT(it != other.basis_.end(),
+                      "operand basis is not a superset in mul");
+        map[i] = static_cast<u32>(it - other.basis_.begin());
+    }
+    const auto &kt = kernels::table();
+    parallelFor(0, limbCount(), [&](u64 i) {
+        kernels::BarrettView b = barrettView(mod(i));
+        kt.mulModBarrett(limb(i).data(), other.limb(map[i]).data(), n(), b);
     });
 }
 

@@ -1,0 +1,22 @@
+#include "telemetry/arena_stats.h"
+
+#include "common/arena.h"
+
+namespace crophe::telemetry {
+
+void
+registerArenaStats(StatsRegistry *registry)
+{
+    if (registry == nullptr)
+        return;
+    registry->addFormula(
+        "fhe.arena.peakBytes",
+        "high-water mark of scratch-arena bytes in use (all threads)", [] {
+            return static_cast<double>(ScratchArena::globalPeakBytes());
+        });
+    registry->addFormula(
+        "fhe.arena.rewinds", "scratch-arena scope rewinds executed",
+        [] { return static_cast<double>(ScratchArena::globalRewinds()); });
+}
+
+}  // namespace crophe::telemetry

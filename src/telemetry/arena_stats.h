@@ -1,0 +1,28 @@
+#ifndef CROPHE_TELEMETRY_ARENA_STATS_H_
+#define CROPHE_TELEMETRY_ARENA_STATS_H_
+
+/**
+ * @file
+ * Scratch-arena telemetry bridge.
+ *
+ * The thread-local ScratchArena tracks a process-wide high-water mark
+ * and rewind count, but nothing reported them. registerArenaStats()
+ * publishes them under `fhe.arena.*` as dump-time formulas, so a dump at
+ * the end of a run sees the true peak rather than a registration-time
+ * snapshot. Null-gated like the other telemetry hooks: callers that
+ * aren't collecting stats pass nullptr and pay nothing.
+ */
+
+#include "telemetry/stats_registry.h"
+
+namespace crophe::telemetry {
+
+/**
+ * Register `fhe.arena.peakBytes` and `fhe.arena.rewinds` in @p registry.
+ * No-op when @p registry is null.
+ */
+void registerArenaStats(StatsRegistry *registry);
+
+}  // namespace crophe::telemetry
+
+#endif  // CROPHE_TELEMETRY_ARENA_STATS_H_

@@ -29,6 +29,7 @@
 #include "common/cli.h"
 #include "common/common_flags.h"
 #include "common/error.h"
+#include "fault/fault_plan.h"
 #include "plan/plan_cache.h"
 #include "serve/dispatcher.h"
 #include "serve/report.h"
@@ -41,6 +42,7 @@ namespace {
 struct Point
 {
     std::string mix;
+    std::string scenario = "healthy";  ///< "healthy" or "chip-fail"
     double loadFactor = 0.0;
     double offeredRps = 0.0;
     double admittedRps = 0.0;
@@ -136,6 +138,89 @@ sweepMix(const std::string &mixName, const baselines::DesignSpec &design,
     }
 }
 
+/**
+ * Degraded-capacity row (DESIGN.md §14): the matvec mix at 1.0x
+ * capacity on a 2-chip pod, healthy versus losing one chip mid-window.
+ * The chip loss kills the in-flight batches, halves the admission
+ * capacity and forces a survivor repartition, so goodput drops and p99
+ * stretches — deterministically, for a fixed seed.
+ */
+void
+degradedCapacitySweep(const baselines::DesignSpec &design,
+                      plan::PlanCache &cache, double duration, u32 seed,
+                      std::vector<Point> &out)
+{
+    auto mix = serve::mixByName("matvec");
+    auto catalog = serve::buildCatalog(design.params, mix.templates);
+
+    // Warm capacity probe on the healthy 2-chip pod.
+    serve::ServeOptions probeOpt;
+    probeOpt.planCache = &cache;
+    probeOpt.pod.chips = 2;
+    serve::Dispatcher probe(design.cfg, catalog, tenants(mix, 1.0, 1.0),
+                            probeOpt);
+    double weightSum = 0.0, meanWarm = 0.0;
+    for (u32 i = 0; i < catalog.templates.size(); ++i) {
+        meanWarm += mix.weights[i] * probe.service(i).warmSeconds;
+        weightSum += mix.weights[i];
+    }
+    meanWarm /= weightSum;
+    const double capacity = 1.0 / meanWarm;
+    const double sla = 10.0 * meanWarm;
+
+    bench::printHeader("degraded capacity: mix matvec on a 2-chip " +
+                       design.cfg.name + " pod");
+    char failAt[64];
+    std::snprintf(failAt, sizeof failAt, "%g", duration / 2.0);
+    std::printf("  1.00x load (%.1f req/s); chip-fail scenario loses one "
+                "chip at t=%ss\n",
+                capacity, failAt);
+    std::printf("  %-9s %10s %10s %10s %9s %9s %6s\n", "scenario",
+                "offered", "admitted", "goodput", "p50ms", "p99ms",
+                "util");
+
+    for (const char *scenario : {"healthy", "chip-fail"}) {
+        auto specs = tenants(mix, capacity, sla);
+        serve::TrafficSpec ts;
+        ts.durationSeconds = duration;
+        ts.seed = seed;
+        ts.tenants = specs;
+        auto arrivals = serve::generateTraffic(ts, catalog);
+
+        serve::ServeOptions opt;
+        opt.policy = serve::Policy::Edf;
+        opt.maxBatch = 8;
+        opt.admission.shedFactor = 8.0;
+        opt.planCache = &cache;
+        opt.pod.chips = 2;
+        if (std::string(scenario) == "chip-fail")
+            opt.faultPlan = fault::FaultPlan::parse(
+                "chip-fail@" + std::string(failAt) + "=1", opt.pod.chips);
+        serve::Dispatcher d(design.cfg, catalog, specs, opt);
+        auto rep = serve::buildReport(d.run(arrivals, duration), specs);
+
+        Point p;
+        p.mix = "matvec-pod";
+        p.scenario = scenario;
+        p.loadFactor = 1.0;
+        p.offeredRps = static_cast<double>(rep.total.offered) / duration;
+        p.admittedRps = static_cast<double>(rep.total.admitted) / duration;
+        p.goodputRps = rep.total.goodput;
+        p.p50Ms = rep.total.p50Ms;
+        p.p99Ms = rep.total.p99Ms;
+        p.slaMs = sla * 1e3;
+        p.utilization = rep.utilization;
+        p.meanBatch = rep.meanBatchSize;
+        p.rejected = rep.total.rejectedThrottled +
+                     rep.total.rejectedOverload + rep.total.rejectedBreaker;
+        out.push_back(p);
+
+        std::printf("  %-9s %10.1f %10.1f %10.1f %9.3f %9.3f %5.1f%%\n",
+                    scenario, p.offeredRps, p.admittedRps, p.goodputRps,
+                    p.p50Ms, p.p99Ms, 100.0 * p.utilization);
+    }
+}
+
 void
 writeJson(const std::string &path, const std::vector<Point> &points,
           bool smoke, u32 seed)
@@ -151,12 +236,14 @@ writeJson(const std::string &path, const std::vector<Point> &points,
         const Point &p = points[i];
         std::snprintf(
             buf, sizeof buf,
-            "    {\"mix\": \"%s\", \"load_factor\": %.2f, "
+            "    {\"mix\": \"%s\", \"scenario\": \"%s\", "
+            "\"load_factor\": %.2f, "
             "\"offered_rps\": %.1f, \"admitted_rps\": %.1f, "
             "\"goodput_rps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
             "\"sla_ms\": %.3f, \"utilization\": %.3f, "
             "\"mean_batch\": %.2f, \"rejected\": %llu}%s\n",
-            p.mix.c_str(), p.loadFactor, p.offeredRps, p.admittedRps,
+            p.mix.c_str(), p.scenario.c_str(), p.loadFactor, p.offeredRps,
+            p.admittedRps,
             p.goodputRps, p.p50Ms, p.p99Ms, p.slaMs, p.utilization,
             p.meanBatch, static_cast<unsigned long long>(p.rejected),
             i + 1 < points.size() ? "," : "");
@@ -192,6 +279,7 @@ main(int argc, char **argv)
         std::vector<Point> points;
         sweepMix("bootstrap", design, cache, duration, seed, points);
         sweepMix("matvec", design, cache, duration, seed, points);
+        degradedCapacitySweep(design, cache, duration, seed, points);
         if (!json.empty())
             writeJson(json, points, smoke, seed);
     } catch (const RecoverableError &e) {

@@ -98,12 +98,9 @@ run(int argc, char **argv)
     if (!plan_dir.empty())
         cache = std::make_unique<plan::PlanCache>(plan_dir);
 
-    fault::FaultPlan fplan = fault::FaultPlan::parse(fault_spec);
-    if (fplan.deadChips >= chips)
-        throw RecoverableError(
-            "fault plan kills " + std::to_string(fplan.deadChips) +
-            " chips but the pod has only " + std::to_string(chips) +
-            " (--chips)");
+    // Parsing against the pod size rejects plans that would kill every
+    // chip, naming the offending token (DESIGN.md §14).
+    fault::FaultPlan fplan = fault::FaultPlan::parse(fault_spec, chips);
     fault::FaultInjector injector(fplan);
     const bool faulty = !fplan.empty();
     const fault::FaultInjector *faults = faulty ? &injector : nullptr;

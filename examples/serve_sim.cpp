@@ -14,6 +14,14 @@
  * --plan-ms > 0 — as lower tail latency (the virtual planning charge is
  * waived on cache hits).
  *
+ * Failure recovery (DESIGN.md §14): --fault-plan accepts the timed
+ * chip-fail@T=K / link-degrade@T=F / batch-fail events, the recovery
+ * knobs (--retries, --breaker-threshold, --hedge, ...) shape how the
+ * dispatcher reacts, and --chaos-soak N replaces the single run with N
+ * seeded random fault scenarios, each checked for request conservation
+ * (offered == completed + rejected + expired). An empty or absent fault
+ * plan leaves every byte of output identical to pre-recovery builds.
+ *
  * SIGINT/SIGTERM stop the event loop and flush partial telemetry
  * (marked truncated), exiting 130.
  */
@@ -30,7 +38,9 @@
 #include "common/common_flags.h"
 #include "common/error.h"
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/shutdown.h"
+#include "fault/fault_plan.h"
 #include "plan/plan_cache.h"
 #include "serve/dispatcher.h"
 #include "serve/report.h"
@@ -41,6 +51,92 @@
 using namespace crophe;
 
 namespace {
+
+/**
+ * Derive the @p iter-th chaos scenario from @p seed: always a transient
+ * batch-fail rate, plus (on a multi-chip pod) one mid-window chip-fail
+ * that leaves at least one survivor and, half the time, a link
+ * degradation. Pure function of (seed, iter) — the soak is byte-identical
+ * across runs and thread counts.
+ */
+fault::FaultPlan
+chaosScenario(u32 seed, u32 iter, u32 chips, double duration)
+{
+    Rng rng(static_cast<u64>(seed) * 0x9e3779b97f4a7c15ULL + iter + 1);
+    fault::FaultPlan plan;
+    plan.seed = rng.next();
+    plan.batchFailRate = 0.02 + 0.08 * rng.nextDouble();
+    if (chips > 1) {
+        fault::ChipFailEvent ev;
+        ev.seconds = duration * (0.1 + 0.8 * rng.nextDouble());
+        ev.chips = 1 + static_cast<u32>(rng.nextBounded(chips - 1));
+        plan.chipFails.push_back(ev);
+        if (rng.nextBounded(2) == 0) {
+            fault::LinkDegradeEvent ld;
+            ld.seconds = duration * (0.1 + 0.8 * rng.nextDouble());
+            ld.fraction = 0.3 + 0.6 * rng.nextDouble();
+            plan.linkDegrades.push_back(ld);
+        }
+    }
+    return plan;
+}
+
+/**
+ * Run @p iterations seeded chaos scenarios over the same arrival trace
+ * and assert the conservation invariant on each: every offered request
+ * reaches exactly one terminal state. Returns 0 when every scenario
+ * holds, 1 on a violation, kShutdownExitCode on SIGINT.
+ */
+int
+runChaosSoak(const baselines::DesignSpec &design,
+             const serve::Catalog &catalog,
+             const std::vector<serve::TenantSpec> &specs,
+             const std::vector<serve::Request> &arrivals, double duration,
+             const serve::ServeOptions &base, u32 seed, u32 iterations)
+{
+    std::printf("chaos soak: %u scenarios over %zu arrivals (seed %u)\n\n",
+                iterations, arrivals.size(), seed);
+    for (u32 i = 0; i < iterations; ++i) {
+        serve::ServeOptions opt = base;
+        opt.trace = nullptr;  // soak telemetry is the stdout summary
+        opt.faultPlan = chaosScenario(seed, i, opt.pod.chips, duration);
+        serve::Dispatcher dispatcher(design.cfg, catalog, specs, opt);
+        auto result = dispatcher.run(arrivals, duration);
+        if (result.truncated) {
+            std::fprintf(stderr, "\ninterrupted: soak aborted\n");
+            return kShutdownExitCode;
+        }
+        auto report = serve::buildReport(result, specs);
+        const auto &t = report.total;
+        const u64 rejected = t.rejectedThrottled + t.rejectedOverload +
+                             t.rejectedBreaker;
+        const u64 accounted = t.completed + rejected + t.expired;
+        std::printf("soak %2u: plan \"%s\"\n", i,
+                    opt.faultPlan.toString().c_str());
+        std::printf("         offered=%llu completed=%llu rejected=%llu "
+                    "expired=%llu replays=%llu lost=%llu\n",
+                    (unsigned long long)t.offered,
+                    (unsigned long long)t.completed,
+                    (unsigned long long)rejected,
+                    (unsigned long long)t.expired,
+                    (unsigned long long)report.recovery.replays,
+                    (unsigned long long)report.recovery.lostRequests);
+        if (accounted != t.offered) {
+            std::fprintf(stderr,
+                         "soak %u: CONSERVATION VIOLATED: offered %llu != "
+                         "completed %llu + rejected %llu + expired %llu\n",
+                         i, (unsigned long long)t.offered,
+                         (unsigned long long)t.completed,
+                         (unsigned long long)rejected,
+                         (unsigned long long)t.expired);
+            return 1;
+        }
+    }
+    std::printf("\nchaos soak passed: conservation held on all %u "
+                "scenarios\n",
+                iterations);
+    return 0;
+}
 
 int
 run(int argc, char **argv)
@@ -61,6 +157,14 @@ run(int argc, char **argv)
     u32 chips = 1;
     double link_gbs = 600.0;
     double link_latency = 500.0;
+    std::string fault_spec = fault::FaultPlan::specFromEnv();
+    u32 retries = 2;
+    double retry_backoff_ms = 10.0;
+    u32 breaker_threshold = 0;
+    double breaker_reset_ms = 1000.0;
+    double repartition_ms = 50.0;
+    bool hedge = false;
+    u32 chaos_soak = 0;
 
     cli::FlagParser flags(
         "Multi-tenant FHE serving simulation on one accelerator.");
@@ -106,6 +210,28 @@ run(int argc, char **argv)
                     "pod ring-link bandwidth per direction (GB/s)");
     flags.addDouble("--link-latency", &link_latency,
                     "pod ring-link latency per hop (chip cycles)");
+    flags.addString("--fault-plan", &fault_spec,
+                    "fault spec (default $CROPHE_FAULT_PLAN); timed "
+                    "chip-fail@T=K, link-degrade@T=F and batch-fail "
+                    "events drive online recovery (DESIGN.md 14)");
+    flags.addUint("--retries", &retries,
+                  "failed attempts a request may retry before expiring");
+    flags.addDouble("--retry-backoff-ms", &retry_backoff_ms,
+                    "backoff before the first retry (doubles per retry)");
+    flags.addUint("--breaker-threshold", &breaker_threshold,
+                  "consecutive failures that trip a tenant's circuit "
+                  "breaker (0 = disabled)");
+    flags.addDouble("--breaker-reset-ms", &breaker_reset_ms,
+                    "open-breaker dwell before a half-open trial");
+    flags.addDouble("--repartition-ms", &repartition_ms,
+                    "virtual downtime per online survivor repartition");
+    flags.addBool("--hedge", &hedge,
+                  "duplicate retried batches onto an idle second chip "
+                  "group (needs >= 2 alive chips)");
+    flags.addUint("--chaos-soak", &chaos_soak,
+                  "run N seeded random fault scenarios and assert request "
+                  "conservation (ignores --fault-plan and telemetry "
+                  "outputs)");
     if (!flags.parse(argc, argv))
         return 1;
     const u32 seed = common.seed;
@@ -115,7 +241,9 @@ run(int argc, char **argv)
 
     // Flag-domain validation (DESIGN.md §9): nonsensical values are
     // rejected here with a typed error + usage instead of reaching the
-    // dispatcher.
+    // dispatcher. The fault plan parses against the pod size, so a plan
+    // that would kill the whole pod is a flag error, not a crash.
+    fault::FaultPlan fplan;
     try {
         cli::requirePositive("--duration", duration);
         cli::requirePositive("--arrival-rate", arrival_rate);
@@ -130,6 +258,11 @@ run(int argc, char **argv)
         cli::requirePositive("--chips", chips);
         cli::requirePositive("--link-gbs", link_gbs);
         cli::requireNonNegative("--link-latency", link_latency);
+        cli::requireNonNegative("--retry-backoff-ms", retry_backoff_ms);
+        cli::requireNonNegative("--breaker-reset-ms", breaker_reset_ms);
+        cli::requireNonNegative("--repartition-ms", repartition_ms);
+        if (chaos_soak == 0 && !fault_spec.empty())
+            fplan = fault::FaultPlan::parse(fault_spec, chips);
     } catch (const RecoverableError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         flags.printUsage(argv[0], std::cerr);
@@ -177,6 +310,8 @@ run(int argc, char **argv)
         std::printf("pod: %u chips, ring links %.0f GB/s, hop latency "
                     "%.0f cycles\n",
                     chips, link_gbs, link_latency);
+    if (!fplan.empty())
+        std::printf("fault plan: %s\n", fplan.toString().c_str());
 
     telemetry::TraceRecorder recorder;
     telemetry::StatsRegistry registry;
@@ -191,9 +326,21 @@ run(int argc, char **argv)
     opt.pod.chips = chips;
     opt.pod.linkGBs = link_gbs;
     opt.pod.linkLatencyCycles = link_latency;
+    opt.pod.deadChips = fplan.deadChips;
+    opt.faultPlan = fplan;
+    opt.recovery.maxRetries = retries;
+    opt.recovery.retryBackoffSeconds = retry_backoff_ms * 1e-3;
+    opt.recovery.breakerThreshold = breaker_threshold;
+    opt.recovery.breakerResetSeconds = breaker_reset_ms * 1e-3;
+    opt.recovery.hedge = hedge;
+    opt.recovery.repartitionSeconds = repartition_ms * 1e-3;
     if (!trace_out.empty())
         opt.trace = &recorder;
     opt.cancelled = []() { return shutdownRequested(); };
+
+    if (chaos_soak > 0)
+        return runChaosSoak(design, catalog, specs, arrivals, duration, opt,
+                            seed, chaos_soak);
 
     serve::Dispatcher dispatcher(design.cfg, catalog, specs, opt);
     auto result = dispatcher.run(arrivals, duration);

@@ -27,6 +27,8 @@ enum class FaultSite : u64
     DramRetry = 3,
     NocLink = 4,
     ChannelPick = 5,
+    BatchFail = 6,
+    ChaosPlan = 7,
 };
 
 /** Deterministic per-site decision oracle over one FaultPlan. */
@@ -69,6 +71,18 @@ class FaultInjector
     {
         return plan_.nocLinkFailRate > 0.0 &&
                uniform(FaultSite::NocLink, n) < plan_.nocLinkFailRate;
+    }
+
+    /**
+     * Does the n-th dispatched batch suffer a transient execution
+     * failure? Indexed by the dispatcher's global dispatch sequence,
+     * which advances in virtual-time order — so the chaos decision
+     * stream is identical at any host thread count (DESIGN.md §14).
+     */
+    bool batchFailed(u64 n) const
+    {
+        return plan_.batchFailRate > 0.0 &&
+               uniform(FaultSite::BatchFail, n) < plan_.batchFailRate;
     }
 
     /** Is pseudo-channel @p ch stalled under this plan? The stalled set

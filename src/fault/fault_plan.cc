@@ -1,6 +1,9 @@
 #include "fault/fault_plan.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
+#include <iomanip>
 #include <sstream>
 
 #include "common/error.h"
@@ -10,53 +13,90 @@ namespace crophe::fault {
 
 namespace {
 
-[[noreturn]] void
-badSpec(const std::string &spec, const std::string &why)
+/** One `key=value` item plus where it starts in the spec string, so
+ *  every rejection can point at the exact offending bytes. */
+struct Token
 {
-    throw RecoverableError("invalid fault plan \"" + spec + "\": " + why);
+    std::string text;
+    std::size_t offset = 0;
+};
+
+[[noreturn]] void
+badToken(const std::string &spec, const Token &tok, const std::string &why)
+{
+    throw RecoverableError("invalid fault plan \"" + spec + "\": token \"" +
+                           tok.text + "\" at byte " +
+                           std::to_string(tok.offset) + ": " + why);
 }
 
 u64
-parseU64(const std::string &spec, const std::string &key,
+parseU64(const std::string &spec, const Token &tok, const std::string &key,
          const std::string &value)
 {
     char *end = nullptr;
     unsigned long long v = std::strtoull(value.c_str(), &end, 10);
     if (end == value.c_str() || *end != '\0')
-        badSpec(spec, key + " expects an unsigned integer, got \"" + value +
-                          "\"");
+        badToken(spec, tok, key + " expects an unsigned integer, got \"" +
+                               value + "\"");
     return v;
 }
 
 double
-parseDouble(const std::string &spec, const std::string &key,
-            const std::string &value)
+parseDouble(const std::string &spec, const Token &tok,
+            const std::string &key, const std::string &value)
 {
     char *end = nullptr;
     double v = std::strtod(value.c_str(), &end);
     if (end == value.c_str() || *end != '\0')
-        badSpec(spec, key + " expects a number, got \"" + value + "\"");
+        badToken(spec, tok, key + " expects a number, got \"" + value +
+                                "\"");
     return v;
 }
 
 double
-parseRate(const std::string &spec, const std::string &key,
+parseRate(const std::string &spec, const Token &tok, const std::string &key,
           const std::string &value)
 {
-    double v = parseDouble(spec, key, value);
+    double v = parseDouble(spec, tok, key, value);
     if (!(v >= 0.0 && v <= 1.0))
-        badSpec(spec, key + " must be a probability in [0, 1], got " + value);
+        badToken(spec, tok,
+                 key + " must be a probability in [0, 1], got " + value);
     return v;
 }
 
 double
-parseCycles(const std::string &spec, const std::string &key,
-            const std::string &value)
+parseCycles(const std::string &spec, const Token &tok,
+            const std::string &key, const std::string &value)
 {
-    double v = parseDouble(spec, key, value);
+    double v = parseDouble(spec, tok, key, value);
     if (!(v >= 0.0))
-        badSpec(spec, key + " must be non-negative, got " + value);
+        badToken(spec, tok, key + " must be non-negative, got " + value);
     return v;
+}
+
+double
+parseEventSeconds(const std::string &spec, const Token &tok,
+                  const std::string &key, const std::string &at)
+{
+    double v = parseDouble(spec, tok, key, at);
+    if (!(v >= 0.0) || !std::isfinite(v))
+        badToken(spec, tok, key + " needs a finite non-negative virtual "
+                                  "time after '@', got " +
+                                at);
+    return v;
+}
+
+/** Shortest text that strtod round-trips to the same double. */
+std::string
+formatDouble(double v)
+{
+    std::ostringstream os;
+    os << v;
+    if (std::strtod(os.str().c_str(), nullptr) == v)
+        return os.str();
+    os.str("");
+    os << std::setprecision(17) << v;
+    return os.str();
 }
 
 }  // namespace
@@ -66,60 +106,171 @@ FaultPlan::empty() const
 {
     return dramErrorRate == 0.0 && stalledDramChannels == 0 &&
            nocLinkFailRate == 0.0 && deadPeGroups == 0 &&
-           failedSramBanks == 0 && deadChips == 0;
+           failedSramBanks == 0 && deadChips == 0 && chipFails.empty() &&
+           linkDegrades.empty() && batchFailRate == 0.0;
+}
+
+u32
+FaultPlan::timedDeadChips() const
+{
+    u32 total = 0;
+    for (const ChipFailEvent &ev : chipFails)
+        total += ev.chips;
+    return total;
 }
 
 FaultPlan
-FaultPlan::parse(const std::string &spec)
+FaultPlan::parse(const std::string &spec, u32 podChips)
 {
     FaultPlan plan;
-    std::stringstream ss(spec);
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-        if (item.empty())
+
+    // Scan comma-separated tokens by hand so each one keeps its byte
+    // offset; every rejection below points at the exact offending bytes.
+    std::size_t pos = 0;
+    Token retryTok, bankTok, deadChipsTok;
+    std::vector<Token> chipFailToks;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        Token tok{spec.substr(pos, comma - pos), pos};
+        pos = comma + 1;
+        if (tok.text.empty()) {
+            if (comma == spec.size())
+                break;
             continue;
-        auto eq = item.find('=');
+        }
+        auto eq = tok.text.find('=');
         if (eq == std::string::npos)
-            badSpec(spec, "expected key=value, got \"" + item + "\"");
-        std::string key = item.substr(0, eq);
-        std::string value = item.substr(eq + 1);
-        if (key == "seed")
-            plan.seed = parseU64(spec, key, value);
+            badToken(spec, tok, "expected key=value");
+        std::string key = tok.text.substr(0, eq);
+        std::string value = tok.text.substr(eq + 1);
+
+        // Timed events carry their fire time after '@': key@SECONDS=VALUE.
+        std::string at;
+        auto atSign = key.find('@');
+        if (atSign != std::string::npos) {
+            at = key.substr(atSign + 1);
+            key = key.substr(0, atSign);
+        }
+        if (atSign != std::string::npos && key != "chip-fail" &&
+            key != "link-degrade")
+            badToken(spec, tok,
+                     "'@' scheduling is only valid on chip-fail and "
+                     "link-degrade, not \"" +
+                         key + "\"");
+        if (key == "chip-fail") {
+            if (atSign == std::string::npos)
+                badToken(spec, tok,
+                         "chip-fail needs a fire time: chip-fail@SECONDS=K");
+            ChipFailEvent ev;
+            ev.seconds = parseEventSeconds(spec, tok, key, at);
+            ev.chips =
+                static_cast<u32>(parseU64(spec, tok, "chip-fail", value));
+            if (ev.chips == 0)
+                badToken(spec, tok, "chip-fail must kill at least 1 chip");
+            plan.chipFails.push_back(ev);
+            chipFailToks.push_back(tok);
+        } else if (key == "link-degrade") {
+            if (atSign == std::string::npos)
+                badToken(spec, tok, "link-degrade needs a fire time: "
+                                    "link-degrade@SECONDS=FRACTION");
+            LinkDegradeEvent ev;
+            ev.seconds = parseEventSeconds(spec, tok, key, at);
+            ev.fraction = parseDouble(spec, tok, "link-degrade", value);
+            if (!(ev.fraction > 0.0 && ev.fraction <= 1.0))
+                badToken(spec, tok,
+                         "link-degrade fraction must be in (0, 1], got " +
+                             value);
+            plan.linkDegrades.push_back(ev);
+        } else if (key == "batch-fail")
+            plan.batchFailRate = parseRate(spec, tok, key, value);
+        else if (key == "seed")
+            plan.seed = parseU64(spec, tok, key, value);
         else if (key == "dram-err")
-            plan.dramErrorRate = parseRate(spec, key, value);
+            plan.dramErrorRate = parseRate(spec, tok, key, value);
         else if (key == "dram-ecc")
-            plan.dramEccFraction = parseRate(spec, key, value);
-        else if (key == "dram-retries")
+            plan.dramEccFraction = parseRate(spec, tok, key, value);
+        else if (key == "dram-retries") {
             plan.dramRetryLimit =
-                static_cast<u32>(parseU64(spec, key, value));
-        else if (key == "dram-backoff")
-            plan.dramRetryBackoffCycles = parseCycles(spec, key, value);
+                static_cast<u32>(parseU64(spec, tok, key, value));
+            retryTok = tok;
+        } else if (key == "dram-backoff")
+            plan.dramRetryBackoffCycles = parseCycles(spec, tok, key, value);
         else if (key == "stalled-channels")
             plan.stalledDramChannels =
-                static_cast<u32>(parseU64(spec, key, value));
+                static_cast<u32>(parseU64(spec, tok, key, value));
         else if (key == "channel-stall")
-            plan.channelStallCycles = parseCycles(spec, key, value);
+            plan.channelStallCycles = parseCycles(spec, tok, key, value);
         else if (key == "noc-fail")
-            plan.nocLinkFailRate = parseRate(spec, key, value);
+            plan.nocLinkFailRate = parseRate(spec, tok, key, value);
         else if (key == "noc-extra-hops")
             plan.nocRerouteExtraHops =
-                static_cast<u32>(parseU64(spec, key, value));
+                static_cast<u32>(parseU64(spec, tok, key, value));
         else if (key == "dead-pe-groups")
-            plan.deadPeGroups = static_cast<u32>(parseU64(spec, key, value));
-        else if (key == "failed-sram-banks")
+            plan.deadPeGroups =
+                static_cast<u32>(parseU64(spec, tok, key, value));
+        else if (key == "failed-sram-banks") {
             plan.failedSramBanks =
-                static_cast<u32>(parseU64(spec, key, value));
-        else if (key == "dead-chips")
-            plan.deadChips = static_cast<u32>(parseU64(spec, key, value));
-        else
-            badSpec(spec, "unknown key \"" + key + "\"");
+                static_cast<u32>(parseU64(spec, tok, key, value));
+            bankTok = tok;
+        } else if (key == "dead-chips") {
+            plan.deadChips =
+                static_cast<u32>(parseU64(spec, tok, key, value));
+            deadChipsTok = tok;
+        } else
+            badToken(spec, tok, "unknown key \"" + key + "\"");
     }
     if (plan.dramRetryLimit > 16)
-        badSpec(spec, "dram-retries must be <= 16 (backoff doubles per "
-                      "retry and would overflow any latency budget)");
+        badToken(spec, retryTok,
+                 "dram-retries must be <= 16 (backoff doubles per retry "
+                 "and would overflow any latency budget)");
     if (plan.failedSramBanks >= kSramBanks && plan.failedSramBanks != 0)
-        badSpec(spec, "failed-sram-banks must leave at least one of " +
-                          std::to_string(kSramBanks) + " banks working");
+        badToken(spec, bankTok,
+                 "failed-sram-banks must leave at least one of " +
+                     std::to_string(kSramBanks) + " banks working");
+
+    // Events fire in time order; stable sorts keep spec order for ties.
+    // chipFails sorts together with its source tokens so the pod-size
+    // guard below can blame the exact event that crosses the line.
+    std::vector<std::size_t> order(plan.chipFails.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return plan.chipFails[a].seconds <
+                                plan.chipFails[b].seconds;
+                     });
+    std::vector<ChipFailEvent> sortedFails;
+    std::vector<Token> sortedToks;
+    sortedFails.reserve(order.size());
+    sortedToks.reserve(order.size());
+    for (std::size_t i : order) {
+        sortedFails.push_back(plan.chipFails[i]);
+        sortedToks.push_back(chipFailToks[i]);
+    }
+    plan.chipFails = std::move(sortedFails);
+    chipFailToks = std::move(sortedToks);
+    std::stable_sort(plan.linkDegrades.begin(), plan.linkDegrades.end(),
+                     [](const LinkDegradeEvent &a, const LinkDegradeEvent &b) {
+                         return a.seconds < b.seconds;
+                     });
+
+    if (podChips > 0) {
+        if (plan.deadChips >= podChips)
+            badToken(spec, deadChipsTok,
+                     "dead-chips must leave at least one of " +
+                         std::to_string(podChips) + " pod chips alive");
+        u32 dead = plan.deadChips;
+        for (std::size_t i = 0; i < plan.chipFails.size(); ++i) {
+            dead += plan.chipFails[i].chips;
+            if (dead >= podChips)
+                badToken(spec, chipFailToks[i],
+                         "scheduled chip failures plus dead-chips must "
+                         "leave at least one of " +
+                             std::to_string(podChips) + " pod chips alive");
+        }
+    }
     return plan;
 }
 
@@ -154,6 +305,17 @@ FaultPlan::toString() const
     emit("dead-pe-groups", deadPeGroups, def.deadPeGroups);
     emit("failed-sram-banks", failedSramBanks, def.failedSramBanks);
     emit("dead-chips", deadChips, def.deadChips);
+    emit("batch-fail", batchFailRate, def.batchFailRate);
+    for (const ChipFailEvent &ev : chipFails) {
+        os << sep << "chip-fail@" << formatDouble(ev.seconds) << "="
+           << ev.chips;
+        sep = ",";
+    }
+    for (const LinkDegradeEvent &ev : linkDegrades) {
+        os << sep << "link-degrade@" << formatDouble(ev.seconds) << "="
+           << formatDouble(ev.fraction);
+        sep = ",";
+    }
     return os.str();
 }
 

@@ -23,10 +23,35 @@
  */
 
 #include <string>
+#include <vector>
 
 #include "hw/config.h"
 
 namespace crophe::fault {
+
+/**
+ * One scheduled whole-chip failure (DESIGN.md §14): at virtual second
+ * @p seconds, @p chips more pod chips die (highest-numbered first, the
+ * same deterministic convention as FaultPlan::deadChips). Spec syntax:
+ * `chip-fail@SECONDS=K`.
+ */
+struct ChipFailEvent
+{
+    double seconds = 0.0;
+    u32 chips = 1;
+};
+
+/**
+ * One scheduled interconnect degradation: from virtual second
+ * @p seconds on, every pod ring link runs at @p fraction of its healthy
+ * bandwidth (an absolute fraction, not cumulative). Spec syntax:
+ * `link-degrade@SECONDS=FRACTION`.
+ */
+struct LinkDegradeEvent
+{
+    double seconds = 0.0;
+    double fraction = 1.0;
+};
 
 /** One fault-injection scenario. See file doc for the spec format. */
 struct FaultPlan
@@ -69,6 +94,25 @@ struct FaultPlan
      */
     u32 deadChips = 0;
 
+    // --- Timed faults (consumed by the online serving layer, §14) --------
+    /**
+     * Virtual-time-scheduled chip losses, sorted by seconds (parse sorts;
+     * ties keep spec order). The serving dispatcher loses the batches in
+     * flight at each event, repartitions the survivors and replays the
+     * lost requests (DESIGN.md §14). Ignored by offline drivers.
+     */
+    std::vector<ChipFailEvent> chipFails;
+    /** Virtual-time-scheduled link degradations, sorted like chipFails. */
+    std::vector<LinkDegradeEvent> linkDegrades;
+    /**
+     * Per-batch probability of a transient execution failure (the batch
+     * occupies the accelerator for its full service time but completes
+     * nothing; its requests retry). Drawn through the FaultInjector
+     * oracle indexed by dispatch sequence, so chaos runs stay
+     * byte-identical at any thread count.
+     */
+    double batchFailRate = 0.0;
+
     /** Banked-buffer granularity for failed-bank degradation. */
     static constexpr u32 kSramBanks = 32;
 
@@ -88,15 +132,33 @@ struct FaultPlan
         return deadPeGroups > 0 || failedSramBanks > 0;
     }
 
+    /** True when the plan schedules mid-run events (§14 recovery path). */
+    bool hasTimedFaults() const
+    {
+        return !chipFails.empty() || !linkDegrades.empty() ||
+               batchFailRate > 0.0;
+    }
+
+    /** Chips the scheduled chip-fail events kill in total. */
+    u32 timedDeadChips() const;
+
     /**
      * Parse a `key=value,key=value` spec (e.g. `seed=7,dram-err=1e-3,
      * dead-pe-groups=1,failed-sram-banks=2`). Keys: seed, dram-err,
      * dram-ecc, dram-retries, dram-backoff, stalled-channels,
      * channel-stall, noc-fail, noc-extra-hops, dead-pe-groups,
-     * failed-sram-banks, dead-chips. Throws RecoverableError on an
-     * unknown key, a malformed value, or an out-of-range rate.
+     * failed-sram-banks, dead-chips, batch-fail, and the timed events
+     * chip-fail@SECONDS=COUNT / link-degrade@SECONDS=FRACTION. Throws
+     * RecoverableError on an unknown key, a malformed value, or an
+     * out-of-range rate; every rejection names the offending token and
+     * its byte offset in the spec.
+     *
+     * When @p podChips is nonzero the plan is validated against that pod
+     * size at parse time: dead-chips plus the scheduled chip-fail totals
+     * must leave at least one survivor, so pod::PodConfig::aliveChips()
+     * can never underflow no matter which driver forgot the check.
      */
-    static FaultPlan parse(const std::string &spec);
+    static FaultPlan parse(const std::string &spec, u32 podChips = 0);
 
     /** Spec from $CROPHE_FAULT_PLAN, or "" when unset/empty. */
     static std::string specFromEnv();

@@ -29,6 +29,8 @@ validatePod(const PodConfig &pod)
         reject("link bandwidth must be positive");
     if (!(pod.linkLatencyCycles >= 0.0))
         reject("link latency cannot be negative");
+    if (!(pod.linkFraction > 0.0 && pod.linkFraction <= 1.0))
+        reject("link fraction must be in (0, 1]");
 }
 
 u64
@@ -49,6 +51,10 @@ podDigest(const PodConfig &pod)
     mixd(pod.linkGBs);
     mixd(pod.linkLatencyCycles);
     mix(pod.deadChips);
+    // Mixed only when degraded: healthy pods keep their historical
+    // digests so existing plan-cache entries stay valid.
+    if (pod.linkFraction != 1.0)
+        mixd(pod.linkFraction);
     return h;
 }
 
@@ -136,6 +142,7 @@ schedulePodWorkload(const graph::Workload &w, const hw::HwConfig &chip,
         ic.chips = pod.chips;
         ic.linkGBs = pod.linkGBs;
         ic.linkLatencyCycles = pod.linkLatencyCycles;
+        ic.linkFraction = pod.linkFraction;
         sim::Interconnect net(ic, chip);
         std::vector<u32> chipTracks;
         if (trace != nullptr) {

@@ -59,6 +59,13 @@ struct PodConfig
      * plans repartition identically. Survivors = chips - deadChips.
      */
     u32 deadChips = 0;
+    /**
+     * Healthy-bandwidth fraction every ring link runs at, in (0, 1].
+     * Dropped below 1.0 by timed link-degrade faults (DESIGN.md §14).
+     * Mixed into the pod digest only when != 1.0, so healthy pods keep
+     * their historical digests (and plan-cache entries).
+     */
+    double linkFraction = 1.0;
 
     u32 aliveChips() const { return chips - deadChips; }
 };

@@ -65,6 +65,7 @@ AdmissionController::AdmissionController(
 {
     slaSeconds_.reserve(tenants.size());
     buckets_.reserve(tenants.size());
+    baseRates_.reserve(tenants.size());
     for (const auto &t : tenants) {
         slaSeconds_.push_back(t.slaSeconds);
         TokenBucket b;
@@ -72,6 +73,18 @@ AdmissionController::AdmissionController(
         b.burst = std::max(1.0, t.bucketBurst);
         b.reset(0.0);
         buckets_.push_back(b);
+        baseRates_.push_back(b.rate);
+    }
+}
+
+void
+AdmissionController::setCapacityFraction(double fraction, double now)
+{
+    capacityFraction_ = std::clamp(fraction, 0.0, 1.0);
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        // Accrue up to the change point at the old rate, then switch.
+        buckets_[i].refill(now);
+        buckets_[i].rate = baseRates_[i] * capacityFraction_;
     }
 }
 
@@ -86,7 +99,8 @@ AdmissionController::decide(const Request &req, double now,
     if (opt_.maxQueue > 0 && queueDepth >= opt_.maxQueue)
         return RejectReason::Overload;
     if (opt_.shedFactor > 0.0 &&
-        projectedWaitSeconds > opt_.shedFactor * slaSeconds_[req.tenant])
+        projectedWaitSeconds >
+            opt_.shedFactor * slaSeconds_[req.tenant] * capacityFraction_)
         return RejectReason::Overload;
     bucket.take();
     return std::nullopt;

@@ -84,10 +84,23 @@ class AdmissionController
     void admitOrThrow(const Request &req, double now,
                       double projectedWaitSeconds, std::size_t queueDepth);
 
+    /**
+     * Degraded-mode scaling (DESIGN.md §14): after a capacity loss the
+     * dispatcher sets @p fraction = aliveChips/chips, which scales every
+     * tenant's token-bucket rate and the shed threshold by the same
+     * factor — the system sheds early instead of building a backlog the
+     * surviving chips can never drain. Buckets refill at @p now under
+     * the old rate first, so the change takes effect exactly at the
+     * fault's virtual time. fraction = 1.0 restores healthy behavior.
+     */
+    void setCapacityFraction(double fraction, double now);
+
   private:
     AdmissionOptions opt_;
     std::vector<double> slaSeconds_;
     std::vector<TokenBucket> buckets_;
+    std::vector<double> baseRates_;
+    double capacityFraction_ = 1.0;
 };
 
 }  // namespace crophe::serve

@@ -1,9 +1,13 @@
 #include "serve/dispatcher.h"
 
 #include <algorithm>
+#include <limits>
+#include <queue>
 #include <string>
 
 #include "common/error.h"
+#include "common/logging.h"
+#include "fault/fault_injector.h"
 #include "sched/scheduler.h"
 #include "sim/simulator.h"
 
@@ -20,15 +24,54 @@ Dispatcher::Dispatcher(const hw::HwConfig &cfg, const Catalog &catalog,
     pod::validatePod(opt_.pod);
     if (opt_.maxBatch == 0)
         opt_.maxBatch = 1;
-    services_.resize(catalog_.templates.size());
-    planCharge_.assign(catalog_.templates.size(), 0.0);
+    if (opt_.faultPlan.timedDeadChips() + opt_.pod.deadChips >=
+        opt_.pod.chips)
+        throw RecoverableError(
+            "fault plan kills every chip of the pod: " +
+            std::to_string(opt_.faultPlan.timedDeadChips()) +
+            " scheduled chip failures plus " +
+            std::to_string(opt_.pod.deadChips) + " dead chips leave none of " +
+            std::to_string(opt_.pod.chips) + " alive");
+    if (!(opt_.recovery.retryBackoffSeconds >= 0.0) ||
+        !(opt_.recovery.retryBackoffCapSeconds >= 0.0) ||
+        !(opt_.recovery.breakerResetSeconds >= 0.0) ||
+        !(opt_.recovery.repartitionSeconds >= 0.0))
+        throw RecoverableError(
+            "recovery options need non-negative virtual times");
+    livePod_ = opt_.pod;
+}
+
+pod::PodConfig
+Dispatcher::podForGroup(const Group &g) const
+{
+    if (g.chips == livePod_.aliveChips())
+        return livePod_;  // the whole surviving pod, dead set included
+    // A hedge half is priced as its own ring of g.chips healthy chips;
+    // its podDigest differs from the full pod's, so the two shapes
+    // never share plan-cache entries.
+    pod::PodConfig p = livePod_;
+    p.chips = g.chips;
+    p.deadChips = 0;
+    return p;
+}
+
+Dispatcher::ShapeCache &
+Dispatcher::cacheFor(u32 groupChips)
+{
+    ShapeCache &cache = shapeCaches_[groupChips];
+    if (cache.services.size() != catalog_.templates.size()) {
+        cache.services.resize(catalog_.templates.size());
+        cache.planCharge.assign(catalog_.templates.size(), 0.0);
+    }
+    return cache;
 }
 
 const ServiceTimes &
-Dispatcher::service(u32 templateIdx)
+Dispatcher::serviceFor(const pod::PodConfig &groupPod, ShapeCache &cache,
+                       u32 templateIdx)
 {
-    if (services_[templateIdx].has_value())
-        return *services_[templateIdx];
+    if (cache.services[templateIdx].has_value())
+        return *cache.services[templateIdx];
     const RequestTemplate &t = catalog_.templates[templateIdx];
     ServiceTimes st;
     if (opt_.serviceModel) {
@@ -39,7 +82,7 @@ Dispatcher::service(u32 templateIdx)
         so.deadlineSeconds = opt_.searchDeadlineSeconds;
         const double hz = cfg_.freqGhz * 1e9;
         bool missed = opt_.planCache == nullptr;
-        if (opt_.pod.aliveChips() > 1) {
+        if (groupPod.aliveChips() > 1) {
             // Pod dispatch: the template's segments shard across the
             // chips and repetitions pipeline through them. cold = one
             // request through the pipeline (fill included); warm = the
@@ -47,66 +90,77 @@ Dispatcher::service(u32 templateIdx)
             const u64 missesBefore =
                 opt_.planCache ? opt_.planCache->stats().misses : 0;
             auto pr = pod::schedulePodWorkload(t.workload, cfg_,
-                                               opt_.pod, so);
+                                               groupPod, so);
             if (opt_.planCache &&
                 opt_.planCache->stats().misses > missesBefore)
                 missed = true;
             st.coldSeconds = pr.seconds;
             st.warmSeconds = pr.warmSeconds;
-            st.planCacheHit = !missed;
-            st.planSeconds =
-                missed
-                    ? opt_.planSecondsPerOp * static_cast<double>(t.ops)
-                    : 0.0;
-            services_[templateIdx] = st;
-            planCharge_[templateIdx] = st.planSeconds;
-            ++planCompiles_;
-            if (st.planCacheHit)
-                ++planCacheHits_;
-            return *services_[templateIdx];
-        }
-        for (const auto &seg : t.workload.segments) {
-            const u64 missesBefore =
-                opt_.planCache ? opt_.planCache->stats().misses : 0;
-            auto sched = sched::scheduleGraph(seg.graph, cfg_, so);
-            if (opt_.planCache &&
-                opt_.planCache->stats().misses > missesBefore)
-                missed = true;
-            auto sim = sim::simulateSchedule(sched, cfg_);
-            const double cold = sim.cycles / hz;
-            // Steady-state repetitions keep resident aux on chip; scale
-            // the simulated time by the scheduler's warm/cold ratio.
-            const double ratio =
-                sched.stats.cycles > 0.0
-                    ? std::min(1.0,
-                               sched.warmStats.cycles / sched.stats.cycles)
-                    : 1.0;
-            const double warm = cold * ratio;
-            st.coldSeconds +=
-                cold + static_cast<double>(seg.repetitions - 1) * warm;
-            st.warmSeconds += static_cast<double>(seg.repetitions) * warm;
+        } else {
+            for (const auto &seg : t.workload.segments) {
+                const u64 missesBefore =
+                    opt_.planCache ? opt_.planCache->stats().misses : 0;
+                auto sched = sched::scheduleGraph(seg.graph, cfg_, so);
+                if (opt_.planCache &&
+                    opt_.planCache->stats().misses > missesBefore)
+                    missed = true;
+                auto sim = sim::simulateSchedule(sched, cfg_);
+                const double cold = sim.cycles / hz;
+                // Steady-state repetitions keep resident aux on chip;
+                // scale the simulated time by the scheduler's warm/cold
+                // cycle ratio.
+                const double ratio =
+                    sched.stats.cycles > 0.0
+                        ? std::min(1.0, sched.warmStats.cycles /
+                                            sched.stats.cycles)
+                        : 1.0;
+                const double warm = cold * ratio;
+                st.coldSeconds +=
+                    cold + static_cast<double>(seg.repetitions - 1) * warm;
+                st.warmSeconds +=
+                    static_cast<double>(seg.repetitions) * warm;
+            }
         }
         st.planCacheHit = !missed;
         st.planSeconds =
             missed ? opt_.planSecondsPerOp * static_cast<double>(t.ops)
                    : 0.0;
     }
-    services_[templateIdx] = st;
-    planCharge_[templateIdx] = st.planSeconds;
+    cache.services[templateIdx] = st;
+    cache.planCharge[templateIdx] = st.planSeconds;
     ++planCompiles_;
     if (st.planCacheHit)
         ++planCacheHits_;
-    return *services_[templateIdx];
+    return *cache.services[templateIdx];
+}
+
+const ServiceTimes &
+Dispatcher::service(u32 templateIdx)
+{
+    return serviceFor(livePod_, cacheFor(livePod_.aliveChips()),
+                      templateIdx);
 }
 
 ServeResult
 Dispatcher::run(const std::vector<Request> &arrivals,
                 double durationSeconds)
 {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
     ServeResult res;
     res.durationSeconds = durationSeconds;
     const u64 compiles0 = planCompiles_;
     const u64 hits0 = planCacheHits_;
+
+    // Timed faults mutate the pod shape mid-run; start each such run
+    // from the configured shape with no stale prices. Healthy runs keep
+    // the service-model persistence contract across run() calls.
+    livePod_ = opt_.pod;
+    if (opt_.faultPlan.hasTimedFaults())
+        shapeCaches_.clear();
+    const fault::FaultInjector injector(opt_.faultPlan);
+    const auto &chipFailEvents = opt_.faultPlan.chipFails;
+    const auto &linkDegradeEvents = opt_.faultPlan.linkDegrades;
+    std::size_t fi = 0, li = 0;
 
     std::vector<double> weights;
     weights.reserve(tenants_.size());
@@ -114,16 +168,23 @@ Dispatcher::run(const std::vector<Request> &arrivals,
         weights.push_back(t.weight);
     RequestQueue queue(opt_.policy, weights);
     AdmissionController admission(opt_.admission, tenants_);
+    CircuitBreaker breaker(opt_.recovery, tenants_.size());
 
     telemetry::TraceRecorder *tr = opt_.trace;
-    u32 accelTrack = 0;
+    std::vector<u32> groupTracks;
     std::vector<u32> tenantTracks;
     if (tr != nullptr) {
         tr->beginProcess("serve");
-        accelTrack = tr->track("accelerator");
+        groupTracks.push_back(tr->track("accelerator"));
         for (const auto &t : tenants_)
             tenantTracks.push_back(tr->track("tenant:" + t.name));
     }
+    auto groupTrack = [&](std::size_t i) -> u32 {
+        while (groupTracks.size() <= i)
+            groupTracks.push_back(tr->track(
+                "accelerator #" + std::to_string(groupTracks.size() + 1)));
+        return groupTracks[i];
+    };
 
     // Request lifetime spans (arrival -> finish) overlap whenever
     // requests queue, and Perfetto rejects partially overlapping slices
@@ -140,21 +201,110 @@ Dispatcher::run(const std::vector<Request> &arrivals,
     };
     std::vector<RequestSpan> spans;
 
-    double now = 0.0;       // virtual clock (monotone)
-    double accelFree = 0.0; // when the accelerator next goes idle
-    u64 lastBatchKey = 0;
-    bool haveLastKey = false;
+    double now = 0.0;  // virtual clock (monotone)
     std::size_t next = 0;
+    u64 dispatchSeq = 0;  // indexes the batch-fail oracle
+
+    // One group of every alive chip, or two halves when hedging. The
+    // larger half leads, so groups[0] is always the pricing reference.
+    auto buildGroups = [&](double freeAt) {
+        std::vector<Group> gs;
+        const u32 alive = livePod_.aliveChips();
+        if (opt_.recovery.hedge && alive >= 2) {
+            const u32 lead = (alive + 1) / 2;
+            gs.push_back({lead, freeAt});
+            gs.push_back({alive - lead, freeAt});
+        } else {
+            gs.push_back({alive, freeAt});
+        }
+        return gs;
+    };
+    std::vector<Group> groups = buildGroups(0.0);
+
+    // Failed requests wait out their backoff here, then re-enter the
+    // queue; ordered by (ready, id) so replay order is total.
+    struct PendingReplay
+    {
+        double ready;
+        Request req;
+    };
+    auto replayAfter = [](const PendingReplay &a, const PendingReplay &b) {
+        if (a.ready != b.ready)
+            return a.ready > b.ready;
+        return a.req.id > b.req.id;
+    };
+    std::priority_queue<PendingReplay, std::vector<PendingReplay>,
+                        decltype(replayAfter)>
+        replays(replayAfter);
+
+    // Breaker transitions must happen at the *failure/completion* time,
+    // not at the dispatch that decided the batch's fate — buffer them
+    // and drain in (time, seq) order before every admission decision.
+    struct BreakerEvent
+    {
+        double time;
+        u64 seq;
+        u32 tenant;
+        bool failure;
+    };
+    auto breakerAfter = [](const BreakerEvent &a, const BreakerEvent &b) {
+        if (a.time != b.time)
+            return a.time > b.time;
+        return a.seq > b.seq;
+    };
+    std::priority_queue<BreakerEvent, std::vector<BreakerEvent>,
+                        decltype(breakerAfter)>
+        breakerEvents(breakerAfter);
+    u64 breakerSeq = 0;
+    auto pushBreakerEvent = [&](double time, u32 tenant, bool failure) {
+        if (breaker.disabled())
+            return;
+        breakerEvents.push({time, breakerSeq++, tenant, failure});
+    };
+    auto drainBreaker = [&](double t) {
+        while (!breakerEvents.empty() && breakerEvents.top().time <= t) {
+            const BreakerEvent ev = breakerEvents.top();
+            breakerEvents.pop();
+            const u64 trips0 = breaker.trips();
+            if (ev.failure)
+                breaker.onFailure(ev.tenant, ev.time);
+            else
+                breaker.onSuccess(ev.tenant);
+            if (tr != nullptr && breaker.trips() > trips0)
+                tr->instant("breaker-open:" + tenants_[ev.tenant].name,
+                            ev.time * 1e6);
+        }
+    };
+
+    auto minFreeAt = [&]() {
+        double m = kInf;
+        for (const Group &g : groups)
+            m = std::min(m, g.freeAt);
+        return m;
+    };
 
     auto admit = [&](const Request &r) {
         now = std::max(now, r.arrival);
-        const double residual = std::max(0.0, accelFree - now);
-        const double wait = residual + queue.backlogSeconds();
         RequestOutcome out;
         out.id = r.id;
         out.tenant = r.tenant;
         out.templateIdx = r.templateIdx;
         out.arrival = r.arrival;
+        if (!breaker.disabled()) {
+            drainBreaker(now);
+            if (!breaker.tryAdmit(r.tenant, now)) {
+                out.disposition = Disposition::RejectedBreaker;
+                res.outcomes.push_back(out);
+                ++res.recovery.breakerRejected;
+                if (tr != nullptr)
+                    tr->instant("reject:" + tenants_[r.tenant].name +
+                                    ":breaker",
+                                r.arrival * 1e6);
+                return;
+            }
+        }
+        const double residual = std::max(0.0, minFreeAt() - now);
+        const double wait = residual + queue.backlogSeconds();
         try {
             admission.admitOrThrow(r, now, wait, queue.depth());
         } catch (const AdmissionRejected &e) {
@@ -169,8 +319,11 @@ Dispatcher::run(const std::vector<Request> &arrivals,
             return;
         }
         // The estimate prices queueing (WFQ tags, backlog shedding) at
-        // the steady-state rate; compilation happens here on first use.
-        const ServiceTimes &st = service(r.templateIdx);
+        // the steady-state rate of the lead group; compilation happens
+        // here on first use.
+        const ServiceTimes &st =
+            serviceFor(podForGroup(groups[0]), cacheFor(groups[0].chips),
+                       r.templateIdx);
         queue.push(r, catalog_.templates[r.templateIdx].graphHash,
                    st.warmSeconds, now);
         if (tr != nullptr)
@@ -178,74 +331,315 @@ Dispatcher::run(const std::vector<Request> &arrivals,
                         static_cast<double>(queue.depth()));
     };
 
-    while (next < arrivals.size() || !queue.empty()) {
+    auto recordExpired = [&](const Request &r, double t) {
+        RequestOutcome out;
+        out.id = r.id;
+        out.tenant = r.tenant;
+        out.templateIdx = r.templateIdx;
+        out.disposition = Disposition::Expired;
+        out.arrival = r.arrival;
+        out.finish = t;
+        out.attempts = r.attempts;
+        res.outcomes.push_back(out);
+        ++res.recovery.expired;
+        if (tr != nullptr)
+            tr->instant("expire:" + tenants_[r.tenant].name, t * 1e6);
+    };
+
+    auto scheduleRetry = [&](const Request &r, double failTime) {
+        Request rr = r;
+        rr.attempts += 1;
+        if (rr.attempts > opt_.recovery.maxRetries) {
+            recordExpired(rr, failTime);
+            return;
+        }
+        replays.push(
+            {failTime + retryBackoff(opt_.recovery, rr.attempts), rr});
+    };
+
+    auto processReplay = [&]() {
+        const PendingReplay p = replays.top();
+        replays.pop();
+        now = std::max(now, p.ready);
+        const ServiceTimes &st =
+            serviceFor(podForGroup(groups[0]), cacheFor(groups[0].chips),
+                       p.req.templateIdx);
+        // Deadline propagation: a retry whose best case (a warm pass
+        // starting immediately) already misses the SLA expires here
+        // instead of loading the queue with unservable work.
+        if (now + st.warmSeconds > p.req.deadline) {
+            recordExpired(p.req, now);
+            return;
+        }
+        queue.push(p.req, catalog_.templates[p.req.templateIdx].graphHash,
+                   st.warmSeconds, now);
+        ++res.recovery.replays;
+        if (tr != nullptr) {
+            tr->instant("replay:" + tenants_[p.req.tenant].name,
+                        now * 1e6);
+            tr->counter("queue.depth", now * 1e6,
+                        static_cast<double>(queue.depth()));
+        }
+    };
+
+    auto nextFaultTime = [&]() {
+        double t = kInf;
+        if (fi < chipFailEvents.size())
+            t = chipFailEvents[fi].seconds;
+        if (li < linkDegradeEvents.size())
+            t = std::min(t, linkDegradeEvents[li].seconds);
+        return t;
+    };
+
+    auto applyNextFault = [&]() {
+        const bool chipFirst =
+            fi < chipFailEvents.size() &&
+            (li >= linkDegradeEvents.size() ||
+             chipFailEvents[fi].seconds <= linkDegradeEvents[li].seconds);
+        if (chipFirst) {
+            const fault::ChipFailEvent ev = chipFailEvents[fi++];
+            now = std::max(now, ev.seconds);
+            livePod_.deadChips += ev.chips;
+            CROPHE_ASSERT(livePod_.deadChips < livePod_.chips,
+                          "timed chip failures validated at construction");
+            // Repartition: every group's resident state (and any batch
+            // in flight — accounted at its dispatch) is gone; the
+            // survivors come back after the modeled downtime with cold
+            // aux and re-priced plans under the new pod digest.
+            shapeCaches_.clear();
+            groups =
+                buildGroups(ev.seconds + opt_.recovery.repartitionSeconds);
+            admission.setCapacityFraction(
+                static_cast<double>(livePod_.aliveChips()) /
+                    static_cast<double>(livePod_.chips),
+                ev.seconds);
+            ++res.recovery.repartitions;
+            res.recovery.downtimeSeconds += opt_.recovery.repartitionSeconds;
+            if (tr != nullptr) {
+                tr->instant("chip-fail:" + std::to_string(ev.chips),
+                            ev.seconds * 1e6);
+                tr->instant("repartition:" +
+                                std::to_string(livePod_.aliveChips()) +
+                                "-alive",
+                            ev.seconds * 1e6);
+            }
+        } else {
+            const fault::LinkDegradeEvent ev = linkDegradeEvents[li++];
+            now = std::max(now, ev.seconds);
+            livePod_.linkFraction = ev.fraction;
+            // Transfers reprice under the degraded links; resident aux
+            // survives (nothing on-chip was lost), so groups keep their
+            // batch keys and immediate availability.
+            shapeCaches_.clear();
+            if (tr != nullptr)
+                tr->instant("link-degrade", ev.seconds * 1e6);
+        }
+    };
+
+    // Is the batch ending at @p finish killed by a chip loss first?
+    // Chip-fail times are static, so a batch's fate is known at its
+    // dispatch: any pending event strictly before finish kills it.
+    auto chipFailBefore = [&](double finish) {
+        if (fi < chipFailEvents.size() &&
+            chipFailEvents[fi].seconds < finish)
+            return chipFailEvents[fi].seconds;
+        return kInf;
+    };
+
+    // One dispatched copy of a batch and how it ended.
+    struct CopyFate
+    {
+        bool success = false;
+        double end = 0.0;      ///< finish, or the kill time
+        double finish = 0.0;   ///< scheduled finish
+        bool killed = false;
+        bool cacheHit = false;
+    };
+
+    auto dispatchCopy = [&](std::size_t gi, double start,
+                            const std::vector<Request> &batch,
+                            u32 tidx) -> CopyFate {
+        Group &g = groups[gi];
+        const RequestTemplate &tmpl = catalog_.templates[tidx];
+        ShapeCache &cache = cacheFor(g.chips);
+        const ServiceTimes &st = serviceFor(podForGroup(g), cache, tidx);
+        const double plan = cache.planCharge[tidx];
+        cache.planCharge[tidx] = 0.0;
+        // Back-to-back batches of the same template keep aux resident.
+        const bool auxResident =
+            g.haveLastKey && g.lastBatchKey == tmpl.graphHash;
+        const double first = auxResident ? st.warmSeconds : st.coldSeconds;
+        const double compute =
+            first +
+            static_cast<double>(batch.size() - 1) * st.warmSeconds;
+        const double finish = start + plan + compute;
+        g.freeAt = finish;
+        g.lastBatchKey = tmpl.graphHash;
+        g.haveLastKey = true;
+
+        CopyFate fate;
+        fate.finish = finish;
+        fate.cacheHit = st.planCacheHit;
+        const double killT = chipFailBefore(finish);
+        const bool failed = injector.batchFailed(dispatchSeq++);
+        if (killT < finish) {
+            fate.killed = true;
+            fate.end = killT;
+            ++res.recovery.lostBatches;
+            res.recovery.lostRequests += batch.size();
+            if (tr != nullptr)
+                tr->instant("batch-lost", killT * 1e6);
+        } else if (failed) {
+            fate.end = finish;
+            ++res.recovery.batchFailures;
+        } else {
+            fate.success = true;
+            fate.end = finish;
+        }
+        // Occupancy until the copy ends (plan time is not compute).
+        res.busySeconds +=
+            fate.killed
+                ? std::min(compute, std::max(0.0, fate.end - start - plan))
+                : compute;
+        res.horizonSeconds = std::max(res.horizonSeconds, fate.end);
+
+        if (tr != nullptr) {
+            std::vector<std::pair<std::string, double>> args = {
+                {"batch", static_cast<double>(batch.size())},
+                {"plan_ms", plan * 1e3},
+                {"cache_hit", st.planCacheHit ? 1.0 : 0.0}};
+            if (fate.killed)
+                args.push_back({"killed", 1.0});
+            else if (failed)
+                args.push_back({"failed", 1.0});
+            tr->complete(groupTrack(gi), tmpl.name, start * 1e6,
+                         (fate.end - start) * 1e6, args);
+        }
+        return fate;
+    };
+
+    auto dispatch = [&](std::size_t gi, double t) {
+        auto batch = queue.popBatch(opt_.maxBatch);
+        const u32 tidx = batch.front().templateIdx;
+        const RequestTemplate &tmpl = catalog_.templates[tidx];
+        now = std::max(now, t);
+
+        ++res.batches;
+        res.batchedRequests += batch.size();
+        const CopyFate primary = dispatchCopy(gi, t, batch, tidx);
+
+        // Hedge a tail batch (one carrying a replay) onto the other
+        // group when it is idle: the earliest successful copy wins.
+        std::optional<CopyFate> hedge;
+        if (opt_.recovery.hedge && groups.size() >= 2) {
+            const std::size_t hi = gi == 0 ? 1 : 0;
+            const bool tail =
+                std::any_of(batch.begin(), batch.end(),
+                            [](const Request &r) { return r.attempts > 0; });
+            if (tail && groups[hi].freeAt <= t) {
+                hedge = dispatchCopy(hi, t, batch, tidx);
+                ++res.recovery.hedgedBatches;
+                if (tr != nullptr)
+                    tr->instant("hedge:" + tmpl.name, t * 1e6);
+            }
+        }
+
+        // Resolve: the earliest success completes the requests (ties
+        // favor the primary); with no success anywhere the requests
+        // fail once the last copy has died.
+        const bool hedgeWins =
+            hedge.has_value() && hedge->success &&
+            (!primary.success || hedge->end < primary.end);
+        const CopyFate *winner = nullptr;
+        if (primary.success)
+            winner = &primary;
+        if (hedgeWins)
+            winner = &*hedge;
+        if (winner != nullptr) {
+            if (hedgeWins)
+                ++res.recovery.hedgeWins;
+            const double finish = winner->end;
+            for (const Request &r : batch) {
+                RequestOutcome out;
+                out.id = r.id;
+                out.tenant = r.tenant;
+                out.templateIdx = r.templateIdx;
+                out.disposition = Disposition::Completed;
+                out.arrival = r.arrival;
+                out.start = t;
+                out.finish = finish;
+                out.slaMet = finish <= r.deadline;
+                out.planCacheHit = winner->cacheHit;
+                out.batchSize = static_cast<u32>(batch.size());
+                out.attempts = r.attempts;
+                out.hedged = hedge.has_value();
+                res.outcomes.push_back(out);
+                pushBreakerEvent(finish, r.tenant, /*failure=*/false);
+                if (tr != nullptr)
+                    spans.push_back({r.tenant, r.id, r.arrival * 1e6,
+                                     (finish - r.arrival) * 1e6, tmpl.name,
+                                     out.slaMet ? 1.0 : 0.0});
+            }
+        } else {
+            const double failTime =
+                hedge.has_value() ? std::max(primary.end, hedge->end)
+                                  : primary.end;
+            for (const Request &r : batch) {
+                scheduleRetry(r, failTime);
+                pushBreakerEvent(failTime, r.tenant, /*failure=*/true);
+            }
+        }
+        if (tr != nullptr)
+            tr->counter("queue.depth", primary.finish * 1e6,
+                        static_cast<double>(queue.depth()));
+    };
+
+    while (next < arrivals.size() || !queue.empty() || !replays.empty()) {
         if (opt_.cancelled && opt_.cancelled()) {
             res.truncated = true;
             break;
         }
-        if (queue.empty()) {
-            admit(arrivals[next++]);
+        const double tArr =
+            next < arrivals.size() ? arrivals[next].arrival : kInf;
+        const double tRep = replays.empty() ? kInf : replays.top().ready;
+        const double tFault = nextFaultTime();
+
+        if (!queue.empty()) {
+            // The earliest-free group dispatches; everything happening
+            // by then (faults, replay wake-ups, arrivals) goes first so
+            // it competes for — or invalidates — the batch.
+            std::size_t gi = 0;
+            for (std::size_t i = 1; i < groups.size(); ++i)
+                if (groups[i].freeAt < groups[gi].freeAt)
+                    gi = i;
+            const double tDisp = std::max(now, groups[gi].freeAt);
+            if (tFault <= tDisp) {
+                applyNextFault();
+            } else if (tRep <= tDisp) {
+                processReplay();
+            } else if (tArr <= tDisp) {
+                admit(arrivals[next++]);
+            } else {
+                dispatch(gi, tDisp);
+            }
             continue;
         }
-        // The accelerator dispatches at t; everything arriving by then
-        // competes for the batch.
-        const double t = std::max(accelFree, now);
-        while (next < arrivals.size() && arrivals[next].arrival <= t)
+
+        // Queue empty: advance to the next event (faults outrank replay
+        // wake-ups outrank arrivals at equal times).
+        if (tFault <= tRep && tFault <= tArr) {
+            applyNextFault();
+        } else if (tRep <= tArr) {
+            processReplay();
+        } else if (tArr < kInf) {
             admit(arrivals[next++]);
-        if (queue.empty())
-            continue;  // all candidates were rejected
-
-        auto batch = queue.popBatch(opt_.maxBatch);
-        const u32 tidx = batch.front().templateIdx;
-        const RequestTemplate &tmpl = catalog_.templates[tidx];
-        const ServiceTimes &st = service(tidx);
-        const double plan = planCharge_[tidx];
-        planCharge_[tidx] = 0.0;
-        // Back-to-back batches of the same template keep aux resident.
-        const bool auxResident = haveLastKey && lastBatchKey == tmpl.graphHash;
-        const double first = auxResident ? st.warmSeconds : st.coldSeconds;
-        const double compute =
-            first + static_cast<double>(batch.size() - 1) * st.warmSeconds;
-        const double start = t;
-        const double finish = start + plan + compute;
-        accelFree = finish;
-        now = std::max(now, start);
-        lastBatchKey = tmpl.graphHash;
-        haveLastKey = true;
-
-        ++res.batches;
-        res.batchedRequests += batch.size();
-        res.busySeconds += compute;
-        res.horizonSeconds = std::max(res.horizonSeconds, finish);
-
-        for (const Request &r : batch) {
-            RequestOutcome out;
-            out.id = r.id;
-            out.tenant = r.tenant;
-            out.templateIdx = r.templateIdx;
-            out.disposition = Disposition::Completed;
-            out.arrival = r.arrival;
-            out.start = start;
-            out.finish = finish;
-            out.slaMet = finish <= r.deadline;
-            out.planCacheHit = st.planCacheHit;
-            out.batchSize = static_cast<u32>(batch.size());
-            res.outcomes.push_back(out);
-            if (tr != nullptr)
-                spans.push_back({r.tenant, r.id, r.arrival * 1e6,
-                                 (finish - r.arrival) * 1e6, tmpl.name,
-                                 out.slaMet ? 1.0 : 0.0});
-        }
-        if (tr != nullptr) {
-            tr->complete(accelTrack, tmpl.name, start * 1e6,
-                         (finish - start) * 1e6,
-                         {{"batch", static_cast<double>(batch.size())},
-                          {"plan_ms", plan * 1e3},
-                          {"cache_hit", st.planCacheHit ? 1.0 : 0.0}});
-            tr->counter("queue.depth", finish * 1e6,
-                        static_cast<double>(queue.depth()));
+        } else {
+            break;  // only unfired future faults remain
         }
     }
+    drainBreaker(kInf);
+    res.recovery.breakerTrips = breaker.trips();
+    res.recovery.breakerHalfOpens = breaker.halfOpens();
 
     if (tr != nullptr && !spans.empty()) {
         std::sort(spans.begin(), spans.end(),
@@ -288,6 +682,12 @@ Dispatcher::run(const std::vector<Request> &arrivals,
               });
     res.planCompiles = planCompiles_ - compiles0;
     res.planCacheHits = planCacheHits_ - hits0;
+    // Conservation (DESIGN.md §14): every offered request reached
+    // exactly one terminal state — nothing was silently dropped.
+    CROPHE_ASSERT(res.truncated ||
+                      res.outcomes.size() == arrivals.size(),
+                  "request conservation violated: ", arrivals.size(),
+                  " offered vs ", res.outcomes.size(), " terminal");
     return res;
 }
 

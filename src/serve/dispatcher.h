@@ -38,15 +38,18 @@
  */
 
 #include <functional>
+#include <map>
 #include <optional>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "hw/config.h"
 #include "plan/plan_cache.h"
 #include "pod/pod.h"
 #include "serve/admission.h"
 #include "serve/catalog.h"
 #include "serve/queue.h"
+#include "serve/recovery.h"
 #include "serve/request.h"
 #include "serve/traffic.h"
 #include "telemetry/trace_recorder.h"
@@ -89,6 +92,19 @@ struct ServeOptions
      * never cross-serve.
      */
     pod::PodConfig pod;
+    /**
+     * Fault scenario for the run (DESIGN.md §14). Only the *timed*
+     * faults matter here: chip-fail events kill in-flight batches and
+     * repartition the survivors, link-degrade events reprice pod
+     * transfers, and batchFailRate draws transient batch failures
+     * through the seeded FaultInjector oracle (indexed by dispatch
+     * sequence, so runs stay byte-identical at any thread count). An
+     * empty plan leaves the dispatcher byte-identical to pre-recovery
+     * builds.
+     */
+    fault::FaultPlan faultPlan;
+    /** Retry / breaker / hedging / repartition knobs (DESIGN.md §14). */
+    RecoveryOptions recovery;
     /** Optional Chrome-trace recorder (virtual microseconds). */
     telemetry::TraceRecorder *trace = nullptr;
     /** Polled each event-loop step; true stops the run (SIGINT). */
@@ -108,10 +124,11 @@ struct ServeResult
     double horizonSeconds = 0.0;   ///< last completion (≥ duration)
     double busySeconds = 0.0;      ///< accelerator compute occupancy
     u64 batches = 0;
-    u64 batchedRequests = 0;  ///< Σ batch sizes (= completed requests)
+    u64 batchedRequests = 0;  ///< Σ batch sizes over dispatched batches
     u64 planCompiles = 0;     ///< templates compiled during this run
     u64 planCacheHits = 0;    ///< of those, served from the plan cache
     bool truncated = false;   ///< cancelled() fired mid-run
+    RecoveryStats recovery;   ///< failure-recovery activity (§14)
 };
 
 /** Virtual-time serving loop over one hardware config. See file doc. */
@@ -130,18 +147,45 @@ class Dispatcher
     ServeResult run(const std::vector<Request> &arrivals,
                     double durationSeconds);
 
-    /** Lazily compile + simulate template @p idx (exposed for benches). */
+    /** Lazily compile + simulate template @p idx on the current pod
+     *  shape (exposed for benches). */
     const ServiceTimes &service(u32 templateIdx);
 
   private:
+    /** One chip group batches dispatch to. Healthy runs have a single
+     *  group of every alive chip; hedging splits the pod in two. */
+    struct Group
+    {
+        u32 chips = 1;
+        double freeAt = 0.0;  ///< earliest next dispatch time
+        u64 lastBatchKey = 0;
+        bool haveLastKey = false;
+    };
+
+    /** Per-shape service cache: template prices depend on how many
+     *  chips the dispatching group spans. Cleared on every timed fault
+     *  (the pod shape or link speed changed under the plans). */
+    struct ShapeCache
+    {
+        std::vector<std::optional<ServiceTimes>> services;
+        /** Pending one-time planning charge per template (consumed by
+         *  the first batch after compilation). */
+        std::vector<double> planCharge;
+    };
+
+    const ServiceTimes &serviceFor(const pod::PodConfig &groupPod,
+                                   ShapeCache &cache, u32 templateIdx);
+    pod::PodConfig podForGroup(const Group &g) const;
+    ShapeCache &cacheFor(u32 groupChips);
+
     hw::HwConfig cfg_;
     const Catalog &catalog_;
     std::vector<TenantSpec> tenants_;
     ServeOptions opt_;
-    std::vector<std::optional<ServiceTimes>> services_;
-    /** Pending one-time planning charge per template (consumed by the
-     *  first batch after compilation). */
-    std::vector<double> planCharge_;
+    /** Pod shape as of "now": deadChips/linkFraction evolve with the
+     *  timed faults during run(). */
+    pod::PodConfig livePod_;
+    std::map<u32, ShapeCache> shapeCaches_;  ///< keyed by group chips
     u64 planCompiles_ = 0;
     u64 planCacheHits_ = 0;
 };

@@ -1,0 +1,105 @@
+#include "serve/recovery.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace crophe::serve {
+
+double
+retryBackoff(const RecoveryOptions &opt, u32 attempt)
+{
+    CROPHE_ASSERT(attempt >= 1, "retry attempts are 1-based");
+    double backoff = opt.retryBackoffSeconds;
+    // Doubling with an explicit loop bound: attempt is capped by
+    // maxRetries long before the exponential could overflow.
+    for (u32 i = 1; i < attempt && backoff < opt.retryBackoffCapSeconds;
+         ++i)
+        backoff *= 2.0;
+    return std::min(backoff, opt.retryBackoffCapSeconds);
+}
+
+CircuitBreaker::CircuitBreaker(const RecoveryOptions &opt,
+                               std::size_t tenants)
+    : opt_(opt), tenants_(tenants)
+{
+}
+
+bool
+CircuitBreaker::tryAdmit(u32 tenant, double now)
+{
+    if (disabled())
+        return true;
+    Tenant &t = tenants_[tenant];
+    switch (t.state) {
+    case State::Closed:
+        return true;
+    case State::Open:
+        if (now < t.reopenAt)
+            return false;
+        t.state = State::HalfOpen;
+        t.trialOutstanding = true;
+        ++halfOpens_;
+        return true;  // the one trial request
+    case State::HalfOpen:
+        if (t.trialOutstanding)
+            return false;
+        t.trialOutstanding = true;
+        return true;
+    }
+    return true;
+}
+
+void
+CircuitBreaker::onFailure(u32 tenant, double now)
+{
+    if (disabled())
+        return;
+    Tenant &t = tenants_[tenant];
+    switch (t.state) {
+    case State::Closed:
+        if (++t.consecutiveFailures >= opt_.breakerThreshold) {
+            t.state = State::Open;
+            t.reopenAt = now + opt_.breakerResetSeconds;
+            t.trialOutstanding = false;
+            ++trips_;
+        }
+        break;
+    case State::HalfOpen:
+        // The trial (or a straggler from before the trip) failed:
+        // re-open for another full reset interval.
+        t.state = State::Open;
+        t.reopenAt = now + opt_.breakerResetSeconds;
+        t.trialOutstanding = false;
+        ++trips_;
+        break;
+    case State::Open:
+        // Stragglers failing while open extend nothing; the reset timer
+        // anchors at the trip.
+        break;
+    }
+}
+
+void
+CircuitBreaker::onSuccess(u32 tenant)
+{
+    if (disabled())
+        return;
+    Tenant &t = tenants_[tenant];
+    switch (t.state) {
+    case State::Closed:
+        t.consecutiveFailures = 0;
+        break;
+    case State::HalfOpen:
+        t.state = State::Closed;
+        t.consecutiveFailures = 0;
+        t.trialOutstanding = false;
+        break;
+    case State::Open:
+        // A straggler completing does not close an open breaker; only
+        // the half-open trial can.
+        break;
+    }
+}
+
+}  // namespace crophe::serve

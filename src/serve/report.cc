@@ -94,6 +94,7 @@ buildReport(const ServeResult &result,
     rep.planCompiles = result.planCompiles;
     rep.planCacheHits = result.planCacheHits;
     rep.truncated = result.truncated;
+    rep.recovery = result.recovery;
 
     rep.tenants.resize(tenants.size());
     std::vector<std::vector<double>> latMs(tenants.size());
@@ -114,6 +115,16 @@ buildReport(const ServeResult &result,
         case Disposition::RejectedOverload:
             ++t.rejectedOverload;
             ++rep.total.rejectedOverload;
+            break;
+        case Disposition::RejectedBreaker:
+            ++t.rejectedBreaker;
+            ++rep.total.rejectedBreaker;
+            break;
+        case Disposition::Expired:
+            ++t.admitted;
+            ++rep.total.admitted;
+            ++t.expired;
+            ++rep.total.expired;
             break;
         case Disposition::Completed: {
             ++t.admitted;
@@ -149,7 +160,7 @@ namespace {
 
 void
 registerTenant(const TenantReport &t, telemetry::StatsRegistry &reg,
-               const std::string &prefix)
+               const std::string &prefix, bool recoveryActive)
 {
     reg.counter(prefix + ".offered", "requests generated").set(t.offered);
     reg.counter(prefix + ".admitted", "requests past admission")
@@ -159,6 +170,14 @@ registerTenant(const TenantReport &t, telemetry::StatsRegistry &reg,
         .set(t.rejectedThrottled);
     reg.counter(prefix + ".rejected.overload", "load-shed rejections")
         .set(t.rejectedOverload);
+    if (recoveryActive) {
+        reg.counter(prefix + ".rejected.breaker",
+                    "circuit-breaker rejections")
+            .set(t.rejectedBreaker);
+        reg.counter(prefix + ".expired",
+                    "admitted requests that ran out of retries/SLA")
+            .set(t.expired);
+    }
     reg.counter(prefix + ".completed", "requests served to completion")
         .set(t.completed);
     reg.counter(prefix + ".sla.met", "completions within the SLA")
@@ -182,9 +201,13 @@ void
 registerReport(const ServeReport &report, telemetry::StatsRegistry &reg,
                const std::string &prefix)
 {
-    registerTenant(report.total, reg, prefix + ".requests");
+    // Recovery keys register only when recovery happened, so healthy
+    // runs publish byte-identical stats to pre-recovery builds.
+    const bool recoveryActive = report.recovery.any();
+    registerTenant(report.total, reg, prefix + ".requests", recoveryActive);
     for (const auto &t : report.tenants)
-        registerTenant(t, reg, prefix + ".tenant." + t.name);
+        registerTenant(t, reg, prefix + ".tenant." + t.name,
+                       recoveryActive);
     reg.scalar(prefix + ".durationSeconds", "traffic window")
         .set(report.durationSeconds);
     reg.scalar(prefix + ".horizonSeconds", "last completion time")
@@ -205,6 +228,45 @@ registerReport(const ServeReport &report, telemetry::StatsRegistry &reg,
     reg.counter(prefix + ".plan.cacheHits",
                 "template compiles served by the plan cache")
         .set(report.planCacheHits);
+    if (recoveryActive) {
+        const RecoveryStats &rc = report.recovery;
+        reg.counter(prefix + ".recovery.lostBatches",
+                    "batches killed mid-flight by chip loss")
+            .set(rc.lostBatches);
+        reg.counter(prefix + ".recovery.lostRequests",
+                    "requests those batches carried")
+            .set(rc.lostRequests);
+        reg.counter(prefix + ".recovery.replays",
+                    "requests re-queued after a failure")
+            .set(rc.replays);
+        reg.counter(prefix + ".recovery.expired",
+                    "admitted requests that ran out of retries/SLA")
+            .set(rc.expired);
+        reg.counter(prefix + ".recovery.batchFailures",
+                    "transient batch failures drawn")
+            .set(rc.batchFailures);
+        reg.counter(prefix + ".recovery.hedgedBatches",
+                    "duplicate dispatches issued")
+            .set(rc.hedgedBatches);
+        reg.counter(prefix + ".recovery.hedgeWins",
+                    "hedged duplicates that finished first")
+            .set(rc.hedgeWins);
+        reg.counter(prefix + ".recovery.breaker.trips",
+                    "circuit-breaker Closed/HalfOpen -> Open transitions")
+            .set(rc.breakerTrips);
+        reg.counter(prefix + ".recovery.breaker.halfOpens",
+                    "circuit-breaker Open -> HalfOpen transitions")
+            .set(rc.breakerHalfOpens);
+        reg.counter(prefix + ".recovery.breaker.rejected",
+                    "requests rejected by an open breaker")
+            .set(rc.breakerRejected);
+        reg.counter(prefix + ".recovery.repartitions",
+                    "online survivor repartitions")
+            .set(rc.repartitions);
+        reg.scalar(prefix + ".recovery.downtimeSeconds",
+                   "virtual repartition downtime")
+            .set(rc.downtimeSeconds);
+    }
     if (report.truncated)
         reg.scalar(prefix + ".truncated", "run was cancelled mid-loop")
             .set(1.0);
@@ -242,6 +304,34 @@ printReport(const ServeReport &report, std::ostream &os)
                   static_cast<unsigned long long>(report.batches),
                   report.meanBatchSize);
     os << buf;
+    // Printed only when recovery happened: healthy runs keep their
+    // stdout byte-identical to pre-recovery builds.
+    if (report.recovery.any()) {
+        const RecoveryStats &rc = report.recovery;
+        std::snprintf(
+            buf, sizeof(buf),
+            "recovery: lost %llu batches / %llu requests, replayed "
+            "%llu, expired %llu, batch failures %llu\n",
+            static_cast<unsigned long long>(rc.lostBatches),
+            static_cast<unsigned long long>(rc.lostRequests),
+            static_cast<unsigned long long>(rc.replays),
+            static_cast<unsigned long long>(rc.expired),
+            static_cast<unsigned long long>(rc.batchFailures));
+        os << buf;
+        std::snprintf(
+            buf, sizeof(buf),
+            "          hedged %llu (won %llu), breaker trips %llu / "
+            "half-opens %llu / rejected %llu, repartitions %llu "
+            "(downtime %.3f s)\n",
+            static_cast<unsigned long long>(rc.hedgedBatches),
+            static_cast<unsigned long long>(rc.hedgeWins),
+            static_cast<unsigned long long>(rc.breakerTrips),
+            static_cast<unsigned long long>(rc.breakerHalfOpens),
+            static_cast<unsigned long long>(rc.breakerRejected),
+            static_cast<unsigned long long>(rc.repartitions),
+            rc.downtimeSeconds);
+        os << buf;
+    }
 }
 
 }  // namespace crophe::serve

@@ -36,7 +36,9 @@ struct TenantReport
     u64 admitted = 0;
     u64 rejectedThrottled = 0;
     u64 rejectedOverload = 0;
+    u64 rejectedBreaker = 0;  ///< circuit breaker open (DESIGN.md §14)
     u64 completed = 0;
+    u64 expired = 0;  ///< admitted but failed out of retries/SLA (§14)
     u64 slaMet = 0;
     u64 slaMissed = 0;
     double p50Ms = 0.0;
@@ -61,6 +63,10 @@ struct ServeReport
     u64 planCompiles = 0;
     u64 planCacheHits = 0;
     bool truncated = false;
+    /** Failure-recovery activity (§14). Healthy runs leave this empty,
+     *  and the printer/registrar emit nothing for it — so healthy
+     *  stdout and stats stay byte-identical to pre-recovery builds. */
+    RecoveryStats recovery;
 };
 
 /** Nearest-rank percentile; @p q in (0, 1]; sorts a copy of @p xs. */

@@ -25,6 +25,9 @@ struct Request
     u32 templateIdx = 0; ///< index into the catalog
     double arrival = 0.0;  ///< virtual seconds
     double deadline = 0.0; ///< arrival + the tenant's SLA
+    /** Serving-layer retry counter (DESIGN.md §14): 0 on arrival,
+     *  incremented each time a failed batch replays the request. */
+    u32 attempts = 0;
 };
 
 /** Why admission control turned a request away. */
@@ -36,12 +39,20 @@ enum class RejectReason : u8
 
 const char *rejectReasonName(RejectReason reason);
 
-/** Terminal state of a request. */
+/** Terminal state of a request. Every admitted request reaches exactly
+ *  one of Completed / Expired; rejected requests never enter the queue.
+ *  The dispatcher's conservation invariant (DESIGN.md §14):
+ *  offered == completed + rejected + expired. */
 enum class Disposition : u8
 {
     Completed,
     RejectedThrottled,
     RejectedOverload,
+    /** Tenant's circuit breaker was open (consecutive failures). */
+    RejectedBreaker,
+    /** Admitted, then failed and could not retry within the SLA (retry
+     *  budget exhausted or no feasible start before the deadline). */
+    Expired,
 };
 
 /** Everything the reporter needs about one finished request. */
@@ -53,10 +64,12 @@ struct RequestOutcome
     Disposition disposition = Disposition::Completed;
     double arrival = 0.0;
     double start = 0.0;   ///< batch dispatch time (Completed only)
-    double finish = 0.0;  ///< batch completion time (Completed only)
+    double finish = 0.0;  ///< completion / expiry time
     bool slaMet = false;
     bool planCacheHit = false;  ///< template's schedule came from the cache
     u32 batchSize = 0;          ///< size of the batch that served it
+    u32 attempts = 0;           ///< failed attempts before this outcome
+    bool hedged = false;        ///< served by a hedged duplicate dispatch
 };
 
 }  // namespace crophe::serve

@@ -17,11 +17,14 @@ Interconnect::Interconnect(const InterconnectConfig &ic,
     CROPHE_ASSERT(ic.linkGBs > 0.0, "link bandwidth must be positive");
     CROPHE_ASSERT(ic.linkLatencyCycles >= 0.0,
                   "link latency cannot be negative");
+    CROPHE_ASSERT(ic.linkFraction > 0.0 && ic.linkFraction <= 1.0,
+                  "link fraction must be in (0, 1], got ", ic.linkFraction);
     if (ic.chips < 2)
         return;  // a single chip has no links
-    // Words one directed link moves per chip cycle.
+    // Words one directed link moves per chip cycle, derated by any
+    // timed link degradation in force (DESIGN.md §14).
     const double words_per_cycle =
-        ic.linkGBs / (chip.wordBytes() * chip.freqGhz);
+        ic.linkFraction * ic.linkGBs / (chip.wordBytes() * chip.freqGhz);
     links_.reserve(2 * ic.chips);
     linkNames_.reserve(2 * ic.chips);
     for (u32 c = 0; c < ic.chips; ++c) {

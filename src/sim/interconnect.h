@@ -37,6 +37,12 @@ struct InterconnectConfig
     double linkGBs = 600.0;
     /** Fixed latency per ring hop, in chip cycles. */
     double linkLatencyCycles = 500.0;
+    /**
+     * Healthy-bandwidth fraction every link runs at, in (0, 1]. Set
+     * below 1.0 by timed link-degrade faults (DESIGN.md §14); scales
+     * the effective link rate, not the per-hop latency.
+     */
+    double linkFraction = 1.0;
 };
 
 /** Bidirectional ring of FIFO link servers. See file doc. */

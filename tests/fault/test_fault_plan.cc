@@ -118,5 +118,107 @@ TEST(FaultPlan, DegradationRatio)
     EXPECT_DOUBLE_EQ(degradationRatio(3.0, 3.0), 1.0);
 }
 
+TEST(FaultPlan, ParsesTimedEventsSortedByTime)
+{
+    auto plan = FaultPlan::parse(
+        "batch-fail=0.1,chip-fail@2.5=2,chip-fail@1=1,"
+        "link-degrade@0.5=0.25");
+    EXPECT_TRUE(plan.hasTimedFaults());
+    EXPECT_FALSE(plan.empty());
+    EXPECT_EQ(plan.timedDeadChips(), 3u);
+    EXPECT_DOUBLE_EQ(plan.batchFailRate, 0.1);
+    ASSERT_EQ(plan.chipFails.size(), 2u);
+    EXPECT_DOUBLE_EQ(plan.chipFails[0].seconds, 1.0);  // sorted by time
+    EXPECT_EQ(plan.chipFails[0].chips, 1u);
+    EXPECT_DOUBLE_EQ(plan.chipFails[1].seconds, 2.5);
+    EXPECT_EQ(plan.chipFails[1].chips, 2u);
+    ASSERT_EQ(plan.linkDegrades.size(), 1u);
+    EXPECT_DOUBLE_EQ(plan.linkDegrades[0].seconds, 0.5);
+    EXPECT_DOUBLE_EQ(plan.linkDegrades[0].fraction, 0.25);
+}
+
+TEST(FaultPlan, TimedEventsRoundTripThroughToString)
+{
+    auto plan = FaultPlan::parse(
+        "seed=9,batch-fail=0.05,chip-fail@0.25=1,chip-fail@1.5=2,"
+        "link-degrade@0.75=0.5");
+    auto again = FaultPlan::parse(plan.toString());
+    EXPECT_EQ(plan.toString(), again.toString());
+    ASSERT_EQ(again.chipFails.size(), 2u);
+    EXPECT_DOUBLE_EQ(again.chipFails[1].seconds, 1.5);
+    EXPECT_EQ(again.chipFails[1].chips, 2u);
+    ASSERT_EQ(again.linkDegrades.size(), 1u);
+    EXPECT_DOUBLE_EQ(again.linkDegrades[0].fraction, 0.5);
+    EXPECT_DOUBLE_EQ(again.batchFailRate, 0.05);
+}
+
+TEST(FaultPlan, RejectsMalformedTimedEvents)
+{
+    // A fire time is mandatory on the timed keys...
+    EXPECT_THROW(FaultPlan::parse("chip-fail=1"), RecoverableError);
+    EXPECT_THROW(FaultPlan::parse("link-degrade=0.5"), RecoverableError);
+    // ...and only valid there.
+    EXPECT_THROW(FaultPlan::parse("dram-err@1=0.5"), RecoverableError);
+    EXPECT_THROW(FaultPlan::parse("chip-fail@-1=1"), RecoverableError);
+    EXPECT_THROW(FaultPlan::parse("chip-fail@nan=1"), RecoverableError);
+    EXPECT_THROW(FaultPlan::parse("chip-fail@1=0"), RecoverableError);
+    EXPECT_THROW(FaultPlan::parse("link-degrade@1=0"), RecoverableError);
+    EXPECT_THROW(FaultPlan::parse("link-degrade@1=1.5"), RecoverableError);
+    EXPECT_THROW(FaultPlan::parse("batch-fail=1.5"), RecoverableError);
+}
+
+TEST(FaultPlan, RejectionsNameTheOffendingTokenAndByteOffset)
+{
+    try {
+        FaultPlan::parse("seed=1,bogus=2");
+        FAIL() << "expected RecoverableError";
+    } catch (const RecoverableError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("\"bogus=2\""), std::string::npos) << msg;
+        EXPECT_NE(msg.find("at byte 7"), std::string::npos) << msg;
+    }
+    try {
+        FaultPlan::parse("dram-err=0.1,chip-fail@oops=1");
+        FAIL() << "expected RecoverableError";
+    } catch (const RecoverableError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("\"chip-fail@oops=1\""), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("at byte 13"), std::string::npos) << msg;
+    }
+}
+
+TEST(FaultPlan, PodSizeGuardRequiresASurvivor)
+{
+    // Valid: at least one chip stays alive.
+    EXPECT_NO_THROW(FaultPlan::parse("dead-chips=1", 2));
+    EXPECT_NO_THROW(FaultPlan::parse("dead-chips=1,chip-fail@1=1", 4));
+    // dead-chips alone, a single chip-fail, and the *cumulative* total
+    // must each leave a survivor.
+    EXPECT_THROW(FaultPlan::parse("dead-chips=2", 2), RecoverableError);
+    EXPECT_THROW(FaultPlan::parse("chip-fail@1=2", 2), RecoverableError);
+    EXPECT_THROW(FaultPlan::parse("dead-chips=1,chip-fail@1=1", 2),
+                 RecoverableError);
+    EXPECT_THROW(FaultPlan::parse("chip-fail@1=1,chip-fail@2=1", 2),
+                 RecoverableError);
+    // podChips = 0 (offline drivers without a pod) skips the guard.
+    EXPECT_NO_THROW(FaultPlan::parse("dead-chips=7"));
+}
+
+TEST(FaultPlan, PodSizeGuardBlamesTheCrossingEvent)
+{
+    // Sorted fire order is @1 then @2; the cumulative total crosses the
+    // line at the @2 event, so that token gets the blame even though it
+    // appears first in the spec.
+    try {
+        FaultPlan::parse("chip-fail@2=1,chip-fail@1=1", 2);
+        FAIL() << "expected RecoverableError";
+    } catch (const RecoverableError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("\"chip-fail@2=1\""), std::string::npos) << msg;
+        EXPECT_NE(msg.find("at byte 0"), std::string::npos) << msg;
+    }
+}
+
 }  // namespace
 }  // namespace crophe::fault

@@ -65,6 +65,32 @@ TEST(PodConfig, DigestCoversEveryParameter)
     EXPECT_NE(podDigest(podOf(4)), podDigest(podOf(4, 1)));
 }
 
+TEST(PodConfig, LinkFractionValidatesAndSaltsTheDigest)
+{
+    // Degraded links (DESIGN.md §14) must stay in (0, 1].
+    PodConfig bad = podOf(2);
+    bad.linkFraction = 0.0;
+    EXPECT_THROW(validatePod(bad), RecoverableError);
+    bad.linkFraction = 1.5;
+    EXPECT_THROW(validatePod(bad), RecoverableError);
+    bad.linkFraction = -0.5;
+    EXPECT_THROW(validatePod(bad), RecoverableError);
+
+    // Healthy links (exactly 1.0) leave the digest untouched — the
+    // backward-compatibility contract for every pre-recovery plan cache.
+    PodConfig healthy = podOf(2);
+    healthy.linkFraction = 1.0;
+    EXPECT_EQ(podDigest(healthy), podDigest(podOf(2)));
+    // A degraded fraction digests differently (no plan cross-serving).
+    PodConfig degraded = podOf(2);
+    degraded.linkFraction = 0.5;
+    EXPECT_NO_THROW(validatePod(degraded));
+    EXPECT_NE(podDigest(degraded), podDigest(healthy));
+    PodConfig degradedMore = podOf(2);
+    degradedMore.linkFraction = 0.25;
+    EXPECT_NE(podDigest(degradedMore), podDigest(degraded));
+}
+
 TEST(PodConfig, OneChipPodSharesTheSingleChipPlanNamespace)
 {
     auto cfg = hw::configCrophe64();

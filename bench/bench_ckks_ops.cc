@@ -2,12 +2,16 @@
  * @file
  * google-benchmark kernels for the functional CKKS layer: encode,
  * encrypt, HAdd, PMult, HMult (+relinearization), rescale and HRot on a
- * compact but complete context.
+ * compact but complete context — plus the four key-switch dataflows and
+ * the BSGS PtMatVecMult under each rotation strategy, each row reporting
+ * its measured NTT limb-transform count (DESIGN.md §15).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "common/cli.h"
 #include "common/common_flags.h"
@@ -15,6 +19,7 @@
 #include "common/rng.h"
 #include "fhe/bsgs.h"
 #include "fhe/ckks.h"
+#include "fhe/ntt.h"
 
 using namespace crophe;
 using namespace crophe::fhe;
@@ -142,6 +147,63 @@ BM_HRot(benchmark::State &state)
     }
 }
 BENCHMARK(BM_HRot);
+
+/** HRot under each key-switch dataflow; ntt_limbs = measured transforms
+ *  per iteration, so the CiFlow reorderings' NTT savings are visible in
+ *  the table, not just in the op-count model. */
+void
+BM_HRotDataflow(benchmark::State &state, KeySwitchDataflow df)
+{
+    auto &b = fixture();
+    b.eval.setKeySwitchDataflow(df);
+    u64 limbs0 = nttLimbTransforms();
+    for (auto _ : state) {
+        auto c = b.eval.rotate(b.ct0, 1, b.rk1);
+        benchmark::DoNotOptimize(c.scale);
+    }
+    u64 limbs = nttLimbTransforms() - limbs0;
+    b.eval.setKeySwitchDataflow(KeySwitchDataflow::Fused);
+    state.counters["ntt_limbs"] = benchmark::Counter(
+        static_cast<double>(limbs) /
+        static_cast<double>(std::max<i64>(1, state.iterations())));
+}
+BENCHMARK_CAPTURE(BM_HRotDataflow, fused, KeySwitchDataflow::Fused);
+BENCHMARK_CAPTURE(BM_HRotDataflow, ostat, KeySwitchDataflow::OutputStationary);
+BENCHMARK_CAPTURE(BM_HRotDataflow, reordup, KeySwitchDataflow::ReorderedModUp);
+
+/** BSGS PtMatVecMult (Algorithm 1) at matching (n1, n2) under each
+ *  rotation strategy. TripleHoisted must show fewer ntt_limbs and less
+ *  time than Hybrid: its giant steps defer (n2-1) ModDowns into one. */
+void
+BM_BsgsMatVec(benchmark::State &state, RotStrategy strategy, u32 r_hyb)
+{
+    auto &b = fixture();
+    const u32 n1 = 8, n2 = 8;
+    const u64 s = n1 * n2;
+    Rng rng(17);
+    std::vector<std::vector<double>> m(s, std::vector<double>(s));
+    for (auto &row : m)
+        for (auto &x : row)
+            x = rng.nextDouble() - 0.5;
+    auto diagonals = matrixDiagonals(m, b.ctx.n() / 2);
+    BsgsKeys keys;
+    for (i64 r : requiredRotations(n1, n2, strategy, r_hyb))
+        keys.rot.emplace(r, b.keygen.makeRotationKey(r));
+    u64 limbs0 = nttLimbTransforms();
+    for (auto _ : state) {
+        auto c = ptMatVecMult(b.eval, b.ct0, diagonals, n1, n2, strategy,
+                              r_hyb, keys);
+        benchmark::DoNotOptimize(c.scale);
+    }
+    u64 limbs = nttLimbTransforms() - limbs0;
+    state.counters["ntt_limbs"] = benchmark::Counter(
+        static_cast<double>(limbs) /
+        static_cast<double>(std::max<i64>(1, state.iterations())));
+}
+BENCHMARK_CAPTURE(BM_BsgsMatVec, minks, RotStrategy::MinKs, 1);
+BENCHMARK_CAPTURE(BM_BsgsMatVec, hoisting, RotStrategy::Hoisting, 1);
+BENCHMARK_CAPTURE(BM_BsgsMatVec, hybrid_r4, RotStrategy::Hybrid, 4);
+BENCHMARK_CAPTURE(BM_BsgsMatVec, triple, RotStrategy::TripleHoisted, 1);
 
 }  // namespace
 

@@ -41,6 +41,7 @@
 #include "common/rng.h"
 #include "fhe/automorphism.h"
 #include "fhe/bconv.h"
+#include "fhe/bsgs.h"
 #include "fhe/ckks.h"
 #include "fhe/kernels/autotune.h"
 #include "fhe/kernels/kernels.h"
@@ -378,6 +379,78 @@ benchKeySwitch(const std::vector<kernels::Backend> &backends)
                    (void)out;
                }));
     }
+
+    // CiFlow-reordered dataflows of the same rotate (bit-identical
+    // outputs); the reference stays the unfused seed flow, so the three
+    // key_switch* tables share a comparable speedup base.
+    const struct
+    {
+        KeySwitchDataflow df;
+        const char *bench;
+    } kDataflows[] = {
+        {KeySwitchDataflow::OutputStationary, "key_switch_ostat"},
+        {KeySwitchDataflow::ReorderedModUp, "key_switch_reordup"},
+    };
+    for (const auto &v : kDataflows) {
+        kernels::setBackend(kernels::Backend::Scalar);
+        record(v.bench, "reference", fx.ctx.n(), limbs, timeOp([&] {
+                   Ciphertext out = fx.rotateUnfused();
+                   (void)out;
+               }));
+        fx.eval.setKeySwitchDataflow(v.df);
+        for (kernels::Backend b : backends) {
+            kernels::setBackend(b);
+            record(v.bench, kernels::table().name, fx.ctx.n(), limbs,
+                   timeOp([&] {
+                       Ciphertext out = fx.eval.rotate(fx.ct, 1, fx.rk1);
+                       (void)out;
+                   }));
+        }
+        fx.eval.setKeySwitchDataflow(KeySwitchDataflow::Fused);
+    }
+}
+
+void
+benchBsgsMatVec(const std::vector<kernels::Backend> &backends)
+{
+    std::printf("\n===== BSGS PtMatVecMult (rotation strategies) =====\n");
+    // The sweep axis here is the rotation strategy, not the backend: all
+    // rows run on the widest selected backend, and the reference row is
+    // the Min-KS chain (the ARK-style baseline strategy).
+    const u64 n = u64(1) << 13;
+    KsFixture fx(n);
+    const u32 n1 = 8, n2 = 8;
+    const u64 s = n1 * n2;
+    Rng rng(17);
+    std::vector<std::vector<double>> m(s, std::vector<double>(s));
+    for (auto &row : m)
+        for (auto &x : row)
+            x = rng.nextDouble() - 0.5;
+    auto diagonals = matrixDiagonals(m, fx.ctx.n() / 2);
+
+    const struct
+    {
+        RotStrategy strategy;
+        u32 rHyb;
+        const char *row;
+    } kStrategies[] = {
+        {RotStrategy::MinKs, 1, "reference"},
+        {RotStrategy::Hoisting, 1, "hoisting"},
+        {RotStrategy::Hybrid, 4, "hybrid_r4"},
+        {RotStrategy::TripleHoisted, 1, "triple"},
+    };
+    kernels::setBackend(backends.back());
+    for (const auto &v : kStrategies) {
+        BsgsKeys keys;
+        for (i64 r : requiredRotations(n1, n2, v.strategy, v.rHyb))
+            keys.rot.emplace(r, fx.keygen.makeRotationKey(r));
+        record("bsgs_matvec", v.row, fx.ctx.n(), n1, timeOp([&] {
+                   Ciphertext out =
+                       ptMatVecMult(fx.eval, fx.ct, diagonals, n1, n2,
+                                    v.strategy, v.rHyb, keys);
+                   (void)out;
+               }));
+    }
 }
 
 /** FNV-1a over a span of words (matches the test suite's helper). */
@@ -462,6 +535,43 @@ runDigest(const std::vector<kernels::Backend> &backends)
         std::printf("digest key_switch_unfused %s %016llx%016llx\n", name,
                     static_cast<unsigned long long>(hashPoly(rotu.b)),
                     static_cast<unsigned long long>(hashPoly(rotu.a)));
+
+        // CiFlow dataflows: bit-identical to the fused rows above, so the
+        // printed hashes must repeat them exactly.
+        for (KeySwitchDataflow df : {KeySwitchDataflow::OutputStationary,
+                                     KeySwitchDataflow::ReorderedModUp}) {
+            fx.eval.setKeySwitchDataflow(df);
+            Ciphertext r2 = fx.eval.rotate(fx.ct, 1, fx.rk1);
+            std::printf("digest key_switch_%s %s %016llx%016llx\n",
+                        keySwitchDataflowName(df), name,
+                        static_cast<unsigned long long>(hashPoly(r2.b)),
+                        static_cast<unsigned long long>(hashPoly(r2.a)));
+        }
+        fx.eval.setKeySwitchDataflow(KeySwitchDataflow::Fused);
+
+        // Triple-hoisted BSGS matvec: not bit-identical to the other
+        // strategies (hoisting lift ambiguity), but deterministic, so its
+        // own hash still pins warm-vs-cold and thread-count invariance.
+        {
+            const u32 n1 = 4, n2 = 4;
+            const u64 s = n1 * n2;
+            Rng mrng(17);
+            std::vector<std::vector<double>> m(s, std::vector<double>(s));
+            for (auto &row : m)
+                for (auto &x : row)
+                    x = mrng.nextDouble() - 0.5;
+            auto diagonals = matrixDiagonals(m, fx.ctx.n() / 2);
+            BsgsKeys keys;
+            for (i64 r : requiredRotations(n1, n2,
+                                           RotStrategy::TripleHoisted, 1))
+                keys.rot.emplace(r, fx.keygen.makeRotationKey(r));
+            Ciphertext mv =
+                ptMatVecMult(fx.eval, fx.ct, diagonals, n1, n2,
+                             RotStrategy::TripleHoisted, 1, keys);
+            std::printf("digest bsgs_triple %s %016llx%016llx\n", name,
+                        static_cast<unsigned long long>(hashPoly(mv.b)),
+                        static_cast<unsigned long long>(hashPoly(mv.a)));
+        }
     }
 }
 
@@ -553,6 +663,7 @@ run(int argc, char **argv)
         benchBconv(backends);
         benchModUpDown(backends);
         benchKeySwitch(backends);
+        benchBsgsMatVec(backends);
 
         if (!json_path.empty())
             writeJson(json_path);

@@ -20,11 +20,17 @@ inline void
 printResultRow(const sched::WorkloadResult &r, double baseline_cycles)
 {
     std::printf("  %-16s  %10.3e cycles  %8.3f ms  speedup %5.2fx  "
-                "dram %9.3e words (aux %9.3e)\n",
+                "dram %9.3e words (aux %9.3e)",
                 r.design.c_str(), r.stats.cycles, r.seconds * 1e3,
                 baseline_cycles / r.stats.cycles,
                 static_cast<double>(r.stats.dramWords),
                 static_cast<double>(r.stats.auxDramWords));
+    // Variant column only for designs that ran the rotation-scheme search
+    // (MAD rows have no choice to report).
+    if (!r.rotScheme.empty())
+        std::printf("  [rot=%s ks=%s]", r.rotScheme.c_str(),
+                    r.ksDataflow.c_str());
+    std::printf("\n");
 }
 
 }  // namespace crophe::bench

@@ -90,14 +90,18 @@ runDesignImpl(const DesignSpec &design, const std::string &workload,
     opt.planCache = run.planCache;
     opt.search = run.search;
     opt.deadlineSeconds = run.deadlineSeconds;
+    opt.rotSchemeMask = run.rotSchemeMask;
+    opt.ksDataflowMask = run.ksDataflowMask;
 
-    // Rotation scheme search happens at graph level (Section V-D).
+    // Rotation scheme × ks dataflow search happens at graph level
+    // (Section V-D, DESIGN.md §15).
     auto choice = sched::chooseRotationScheme(
         workload, design.params, design.cfg, opt, design.hybridRot);
 
     graph::WorkloadOptions wopt;
     wopt.rotMode = choice.mode;
     wopt.rHyb = choice.rHyb;
+    wopt.ksDataflow = choice.ksDataflow;
     graph::Workload w = graph::buildWorkload(workload, design.params, wopt);
 
     sched::WorkloadResult res;
@@ -118,6 +122,10 @@ runDesignImpl(const DesignSpec &design, const std::string &workload,
                            : sched::scheduleWorkload(w, design.cfg, opt);
     }
     res.design = design.name;
+    res.rotScheme = graph::rotModeName(choice.mode);
+    if (choice.mode == graph::RotMode::Hybrid)
+        res.rotScheme += " r=" + std::to_string(choice.rHyb);
+    res.ksDataflow = graph::ksDataflowName(choice.ksDataflow);
     return res;
 }
 

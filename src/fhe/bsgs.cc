@@ -4,6 +4,9 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "common/parallel.h"
+#include "fhe/automorphism.h"
+#include "fhe/bconv.h"
 
 namespace crophe::fhe {
 
@@ -16,6 +19,9 @@ requiredRotations(u32 n1, u32 n2, RotStrategy strategy, u32 r_hyb)
         rots.push_back(1);
         break;
       case RotStrategy::Hoisting:
+      case RotStrategy::TripleHoisted:
+        // TripleHoisted reuses Hoisting's key set: one evk per baby-step
+        // distance (the extra hoisting lives in the dataflow, not the keys).
         for (u32 i = 1; i < n1; ++i)
             rots.push_back(i);
         break;
@@ -56,6 +62,16 @@ babySteps(const Evaluator &eval, const Ciphertext &ct, u32 n1,
         // the scheduler models (babyStepCost).
         for (u32 i = 1; i < n1; ++i)
             out[i] = eval.rotate(ct, i, keys.rot.at(i));
+        break;
+      }
+      case RotStrategy::TripleHoisted: {
+        // Genuinely shared Decomp/ModUp: ct.a is decomposed and raised to
+        // the extended basis once, then every baby-step rotation permutes
+        // the precomputed digits (decrypt-equivalent to eval.rotate; the
+        // permuted-lift difference is absorbed by key-switch noise).
+        auto digits = eval.hoistedDecompModUp(ct.a, ct.level);
+        for (u32 i = 1; i < n1; ++i)
+            out[i] = eval.hoistedRotate(ct, digits, i, keys.rot.at(i));
         break;
       }
       case RotStrategy::Hybrid: {
@@ -126,6 +142,15 @@ ptMatVecMult(const Evaluator &eval, const Ciphertext &ct,
 
     auto cts = babySteps(eval, ct, n1, strategy, r_hyb, keys);
 
+    const bool deferred = strategy == RotStrategy::TripleHoisted;
+    const FheContext &ctx = eval.context();
+
+    // TripleHoisted: the giant-step key-switch inner products accumulate
+    // here, in the extended qp basis, so that ModDown runs once at the
+    // end instead of once per giant step (n2-1 ModDowns → 1).
+    bool have_acc = false;
+    RnsPoly acc_b, acc_a;
+
     bool have_out = false;
     Ciphertext out;
     for (u32 j = 0; j < n2; ++j) {
@@ -143,15 +168,44 @@ ptMatVecMult(const Evaluator &eval, const Ciphertext &ct,
                 r = eval.add(r, term);
             }
         }
-        if (j > 0)
-            r = eval.rotate(r, static_cast<i64>(n1) * j,
-                            keys.rot.at(static_cast<i64>(n1) * j));
+        if (j > 0) {
+            const i64 stride = static_cast<i64>(n1) * j;
+            const KswKey &gk = keys.rot.at(stride);
+            if (deferred) {
+                const u64 g = galoisElementForRotation(stride, ctx.n());
+                auto digits = eval.hoistedDecompModUp(r.a, r.level);
+                std::vector<RnsPoly> rotated(digits.size());
+                parallelFor(0, digits.size(), [&](u64 k) {
+                    rotated[k] = applyAutomorphism(digits[k], g);
+                });
+                auto [ip_b, ip_a] = eval.hoistedInnerProd(rotated, gk);
+                if (!have_acc) {
+                    acc_b = std::move(ip_b);
+                    acc_a = std::move(ip_a);
+                    have_acc = true;
+                } else {
+                    acc_b.addInplace(ip_b);
+                    acc_a.addInplace(ip_a);
+                }
+                // Only ψ(r.b) enters the running sum now; the key-switch
+                // (b, a) contribution arrives after the hoisted ModDown.
+                r.b = applyAutomorphism(r.b, g);
+                r.a = RnsPoly(ctx, ctx.qBasis(r.level), Rep::Eval);
+            } else {
+                r = eval.rotate(r, stride, gk);
+            }
+        }
         if (!have_out) {
             out = std::move(r);
             have_out = true;
         } else {
             out = eval.add(out, r);
         }
+    }
+    if (have_acc) {
+        auto [md_b, md_a] = modDownEvalPair(ctx, acc_b, acc_a, out.level);
+        out.b.addInplace(md_b);
+        out.a.addInplace(md_a);
     }
     return eval.rescale(out);
 }
@@ -163,6 +217,7 @@ babyStepCost(u32 n1, RotStrategy strategy, u32 r_hyb)
       case RotStrategy::MinKs:
         return {n1 - 1, 1};
       case RotStrategy::Hoisting:
+      case RotStrategy::TripleHoisted:
         return {1, n1 - 1};
       case RotStrategy::Hybrid: {
         CROPHE_ASSERT(r_hyb >= 1 && r_hyb <= n1, "bad r_hyb ", r_hyb);

@@ -10,11 +10,20 @@
  *  - Hoisting (MAD): parallel rotations sharing Decomp/ModUp, one evk each;
  *  - Hybrid (CROPHE): coarse Min-KS steps of stride r_hyb, each expanded by
  *    Hoisting into fine steps — the fine-step evks are shared across all
- *    coarse steps.
+ *    coarse steps;
+ *  - TripleHoisted (Akherati & Zhang): hoisted baby steps (one shared
+ *    Decomp/ModUp for the whole set), plus the giant-step inner products
+ *    accumulated in the extended qp basis so the per-giant-step ModDown
+ *    collapses to one hoisted ModDown at the end (DESIGN.md §15).
  *
- * All three compute identical results; the scheduler chooses among them by
- * cost. This module is the functional counterpart used for correctness
- * tests and the examples.
+ * MinKs/Hoisting/Hybrid compute bit-identical results; TripleHoisted
+ * reuses hoisted ModUp digits across rotations (a lift ambiguity
+ * absorbed by key-switch noise, as in standard hoisting) and defers
+ * ModDown across the giant-step sum (rounding shift of at most n2-1
+ * per coefficient) — both far below the noise floor, and validated
+ * against a same-math oracle plus a decrypt-level comparison.
+ * The scheduler chooses among all four by cost. This module is the
+ * functional counterpart used for correctness tests and the examples.
  */
 
 #include <map>
@@ -27,9 +36,10 @@ namespace crophe::fhe {
 /** How baby-step rotations are produced. */
 enum class RotStrategy
 {
-    MinKs,     ///< sequential unit rotations, single evk
-    Hoisting,  ///< independent rotations, evk per distance
-    Hybrid,    ///< coarse Min-KS + fine Hoisting (r_hyb parameter)
+    MinKs,          ///< sequential unit rotations, single evk
+    Hoisting,       ///< independent rotations, evk per distance
+    Hybrid,         ///< coarse Min-KS + fine Hoisting (r_hyb parameter)
+    TripleHoisted,  ///< hoisted baby steps + deferred giant-step ModDown
 };
 
 /** Keys required by PtMatVecMult for a given strategy. */

@@ -1,11 +1,31 @@
 #include "fhe/ntt.h"
 
+#include <atomic>
+
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "fhe/kernels/autotune.h"
 #include "fhe/primes.h"
 
 namespace crophe::fhe {
+
+namespace {
+
+std::atomic<u64> g_limb_transforms{0};
+
+}  // namespace
+
+u64
+nttLimbTransforms()
+{
+    return g_limb_transforms.load(std::memory_order_relaxed);
+}
+
+void
+resetNttLimbTransforms()
+{
+    g_limb_transforms.store(0, std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -79,6 +99,7 @@ NttTables::inverseView() const
 void
 NttTables::forward(u64 *a) const
 {
+    g_limb_transforms.fetch_add(1, std::memory_order_relaxed);
     kernels::NttView v = forwardView();
     tableForSize(n_).fwdNtt(a, v);
 }
@@ -86,6 +107,7 @@ NttTables::forward(u64 *a) const
 void
 NttTables::inverse(u64 *a) const
 {
+    g_limb_transforms.fetch_add(1, std::memory_order_relaxed);
     kernels::NttView v = inverseView();
     tableForSize(n_).invNtt(a, v);
 }
@@ -93,6 +115,7 @@ NttTables::inverse(u64 *a) const
 void
 NttTables::forwardBatched(u64 *const *polys, u64 count) const
 {
+    g_limb_transforms.fetch_add(count, std::memory_order_relaxed);
     kernels::NttView v = forwardView();
     const kernels::KernelTable &kt = tableForSize(n_);
     u64 tile = kernels::autotuner().batchTile(n_, count,
@@ -103,6 +126,7 @@ NttTables::forwardBatched(u64 *const *polys, u64 count) const
 void
 NttTables::inverseBatched(u64 *const *polys, u64 count) const
 {
+    g_limb_transforms.fetch_add(count, std::memory_order_relaxed);
     kernels::NttView v = inverseView();
     const kernels::KernelTable &kt = tableForSize(n_);
     u64 tile = kernels::autotuner().batchTile(n_, count,

@@ -30,6 +30,16 @@
 namespace crophe::fhe {
 
 /**
+ * Process-wide count of limb transforms executed through NttTables
+ * (forward/inverse, single or batched; each polynomial in a batch counts
+ * once). Relaxed atomic — a profiling counter for the benches' NTT-count
+ * accounting (DESIGN.md §15), not a synchronization point. @{
+ */
+u64 nttLimbTransforms();
+void resetNttLimbTransforms();
+/** @} */
+
+/**
  * Precomputed twiddle tables for one (N, q) pair and the in-place
  * negacyclic transforms using them.
  *

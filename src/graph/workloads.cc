@@ -17,6 +17,7 @@ rotModeName(RotMode mode)
       case RotMode::MinKs: return "MinKS";
       case RotMode::Hoisting: return "Hoisting";
       case RotMode::Hybrid: return "Hybrid";
+      case RotMode::TripleHoisted: return "TripleHoisted";
     }
     return "?";
 }
@@ -47,14 +48,14 @@ namespace {
  */
 OpId
 appendHRot(Graph &g, const FheParams &p, u32 level, OpId source,
-           const std::string &evk_key)
+           const std::string &evk_key, KsDataflow df)
 {
     const u64 n = p.n();
     const u32 lq = p.limbsAt(level);
     // Automorphism permutes both ciphertext halves.
     OpId aut = g.add(makeAutomorphism(n, 2 * lq));
     g.connect(source, aut);
-    auto ks = buildKeySwitch(g, p, level, aut, evk_key);
+    auto ks = buildKeySwitch(g, p, level, aut, evk_key, df);
     OpId combine = g.add(makeEwBinary(OpKind::EwAdd, n, lq));
     g.connect(aut, combine);
     g.connect(ks.outB, combine);
@@ -138,7 +139,8 @@ appendModDown(Graph &g, const FheParams &p, u32 level, OpId source)
  */
 std::vector<OpId>
 appendBabySteps(Graph &g, const FheParams &p, u32 level, OpId source,
-                u32 n1, RotMode mode, u32 r_hyb, const std::string &tag)
+                u32 n1, RotMode mode, u32 r_hyb, const std::string &tag,
+                KsDataflow df)
 {
     std::vector<OpId> handles(n1, kNoOp);
     handles[0] = source;
@@ -147,9 +149,15 @@ appendBabySteps(Graph &g, const FheParams &p, u32 level, OpId source,
         // Sequential unit rotations; one shared evk.
         for (u32 i = 1; i < n1; ++i)
             handles[i] = appendHRot(g, p, level, handles[i - 1],
-                                    "evk:rot:" + tag + ":unit");
+                                    "evk:rot:" + tag + ":unit", df);
         break;
       }
+      // TripleHoisted baby steps share the Hoisting shape: one ModUp for
+      // the whole set, per-step KSKInP + ModDown (each baby ciphertext is
+      // consumed immediately, so its ModDown cannot defer). The triple
+      // hoisting's deferred ModDown lives in the giant steps
+      // (buildPtMatVecMult).
+      case RotMode::TripleHoisted:
       case RotMode::Hoisting: {
         OpId modup = appendHoistModUp(g, p, level, source);
         for (u32 i = 1; i < n1; ++i) {
@@ -166,7 +174,7 @@ appendBabySteps(Graph &g, const FheParams &p, u32 level, OpId source,
         // Coarse Min-KS chain of stride r_hyb.
         for (u32 c = r_hyb; c < n1; c += r_hyb)
             handles[c] = appendHRot(g, p, level, handles[c - r_hyb],
-                                    "evk:rot:" + tag + ":coarse");
+                                    "evk:rot:" + tag + ":coarse", df);
         if (r_hyb == 1)
             break;
         // One hoisting ModUp per coarse group...
@@ -203,7 +211,7 @@ appendBabySteps(Graph &g, const FheParams &p, u32 level, OpId source,
 }  // namespace
 
 Graph
-buildHMult(const FheParams &p, u32 level)
+buildHMult(const FheParams &p, u32 level, KsDataflow df)
 {
     CROPHE_ASSERT(level >= 1, "HMult needs a level to rescale into");
     Graph g;
@@ -230,7 +238,7 @@ buildHMult(const FheParams &p, u32 level)
     g.connect(in0, d2);
     g.connect(in1, d2);
 
-    auto ks = buildKeySwitch(g, p, level, d2, "evk:mult");
+    auto ks = buildKeySwitch(g, p, level, d2, "evk:mult", df);
 
     OpId add_b = g.add(makeEwBinary(OpKind::EwAdd, n, lq));
     g.connect(d0, add_b);
@@ -251,11 +259,12 @@ buildHMult(const FheParams &p, u32 level)
 }
 
 Graph
-buildHRot(const FheParams &p, u32 level, const std::string &evk_key)
+buildHRot(const FheParams &p, u32 level, const std::string &evk_key,
+          KsDataflow df)
 {
     Graph g;
     OpId in = g.add(makeInput(p.n(), 2 * p.limbsAt(level), "ct"));
-    OpId rot = appendHRot(g, p, level, in, evk_key);
+    OpId rot = appendHRot(g, p, level, in, evk_key, df);
     OpId out = g.add(makeOutput(p.n(), 2 * p.limbsAt(level)));
     g.connect(rot, out);
     return g;
@@ -263,7 +272,8 @@ buildHRot(const FheParams &p, u32 level, const std::string &evk_key)
 
 Graph
 buildPtMatVecMult(const FheParams &p, u32 level, u32 n1, u32 n2,
-                  RotMode mode, u32 r_hyb, const std::string &tag)
+                  RotMode mode, u32 r_hyb, const std::string &tag,
+                  KsDataflow df)
 {
     CROPHE_ASSERT(level >= 1, "PtMatVecMult rescales at the end");
     Graph g;
@@ -271,7 +281,7 @@ buildPtMatVecMult(const FheParams &p, u32 level, u32 n1, u32 n2,
     const u32 lq = p.limbsAt(level);
 
     OpId in = g.add(makeInput(n, 2 * lq, "ct"));
-    auto baby = appendBabySteps(g, p, level, in, n1, mode, r_hyb, tag);
+    auto baby = appendBabySteps(g, p, level, in, n1, mode, r_hyb, tag, df);
 
     // Baby-step-major accumulation: each rotated ciphertext feeds all n2
     // partial sums as soon as it is produced, so its lifetime is one
@@ -295,13 +305,43 @@ buildPtMatVecMult(const FheParams &p, u32 level, u32 n1, u32 n2,
             }
         }
     }
+    // TripleHoisted giant steps: every j > 0 gets its own ModUp + hoisted
+    // KSKInP, but the (b, a) inner-product pairs accumulate in the
+    // extended basis (ext_acc) and share ONE trailing ModDown — the n2-1
+    // per-giant-step ModDowns of the eager path collapse to one
+    // (DESIGN.md §15). Only the permuted b-half joins the q-basis running
+    // sum immediately.
+    const bool deferred = mode == RotMode::TripleHoisted;
+    const u32 ext = p.extLimbsAt(level);
+    OpId ext_acc = kNoOp;
     OpId acc_out = kNoOp;
     for (u32 j = 0; j < n2; ++j) {
         OpId acc = psum[j];
-        if (j > 0)
-            acc = appendHRot(g, p, level, acc,
-                             "evk:rot:" + tag + ":giant:" +
-                                 std::to_string(j));
+        if (j > 0) {
+            if (deferred) {
+                OpId modup = appendHoistModUp(g, p, level, acc);
+                OpId inner = appendHoistedRot(g, p, level, modup,
+                                              "evk:rot:" + tag + ":giant:" +
+                                                  std::to_string(j));
+                if (ext_acc == kNoOp) {
+                    ext_acc = inner;
+                } else {
+                    OpId add = g.add(makeEwBinary(OpKind::EwAdd, n, ext));
+                    g.connect(ext_acc, add);
+                    g.connect(inner, add);
+                    ext_acc = add;
+                }
+                // ψ(b): the b-half permutation stays in the q basis.
+                OpId autb = g.add(makeAutomorphism(n, lq));
+                g.connect(acc, autb);
+                acc = autb;
+            } else {
+                acc = appendHRot(g, p, level, acc,
+                                 "evk:rot:" + tag + ":giant:" +
+                                     std::to_string(j),
+                                 df);
+            }
+        }
         if (acc_out == kNoOp) {
             acc_out = acc;
         } else {
@@ -310,6 +350,13 @@ buildPtMatVecMult(const FheParams &p, u32 level, u32 n1, u32 n2,
             g.connect(acc, add);
             acc_out = add;
         }
+    }
+    if (ext_acc != kNoOp) {
+        OpId md = appendModDown(g, p, level, ext_acc);
+        OpId add = g.add(makeEwBinary(OpKind::EwAdd, n, lq));
+        g.connect(acc_out, add);
+        g.connect(md, add);
+        acc_out = add;
     }
     OpId res = g.add(makeRescale(n, lq));
     g.connect(acc_out, res);
@@ -322,9 +369,9 @@ namespace {
 
 /** One EvalMod Horner step: HMult + CAdd + rescale, as a unique segment. */
 Graph
-buildEvalModStep(const FheParams &p, u32 level)
+buildEvalModStep(const FheParams &p, u32 level, KsDataflow df)
 {
-    Graph g = buildHMult(p, level);
+    Graph g = buildHMult(p, level, df);
     // Horner adds a constant after each multiply; negligible but present.
     // (The CAdd rides on the rescaled output; modelled inside buildHMult's
     // output level via an extra element-wise op.)
@@ -383,20 +430,21 @@ buildBootstrapping(const FheParams &p, const WorkloadOptions &opt)
     WorkloadSegment cts;
     cts.name = "CoeffToSlot";
     cts.graph = buildPtMatVecMult(p, lv_cts, n1, n2, opt.rotMode, opt.rHyb,
-                                  "cts");
+                                  "cts", opt.ksDataflow);
     cts.repetitions = cts_matmuls;
     w.segments.push_back(std::move(cts));
 
     WorkloadSegment mod;
     mod.name = "EvalMod";
-    mod.graph = buildEvalModStep(p, std::max(1u, lv_mod));
+    mod.graph = buildEvalModStep(p, std::max(1u, lv_mod), opt.ksDataflow);
     mod.repetitions = evalmod_steps;
     w.segments.push_back(std::move(mod));
 
     WorkloadSegment stc;
     stc.name = "SlotToCoeff";
     stc.graph = buildPtMatVecMult(p, std::max(1u, lv_stc), n1, n2,
-                                  opt.rotMode, opt.rHyb, "stc");
+                                  opt.rotMode, opt.rHyb, "stc",
+                                  opt.ksDataflow);
     stc.repetitions = stc_matmuls;
     w.segments.push_back(std::move(stc));
     return w;
@@ -420,13 +468,13 @@ buildHelr(const FheParams &p, const WorkloadOptions &opt)
     WorkloadSegment grad;
     grad.name = "gradient-matvec";
     grad.graph = buildPtMatVecMult(p, lv, n1, n2, opt.rotMode, opt.rHyb,
-                                   "helr");
+                                   "helr", opt.ksDataflow);
     grad.repetitions = 4;  // batch folding of 1024 images into 4 ciphertexts
     w.segments.push_back(std::move(grad));
 
     WorkloadSegment sig;
     sig.name = "sigmoid";
-    sig.graph = buildHMult(p, std::max(1u, lv - 1));
+    sig.graph = buildHMult(p, std::max(1u, lv - 1), opt.ksDataflow);
     sig.repetitions = 3;  // degree-7 via 3 multiplicative levels
     w.segments.push_back(std::move(sig));
 
@@ -478,14 +526,14 @@ buildResNet(const FheParams &p, const WorkloadOptions &opt, u32 layers,
 
     WorkloadSegment conv;
     conv.name = "conv-matmul";
-    conv.graph =
-        buildPtMatVecMult(p, lv, n1, n2, opt.rotMode, opt.rHyb, "conv");
+    conv.graph = buildPtMatVecMult(p, lv, n1, n2, opt.rotMode, opt.rHyb,
+                                   "conv", opt.ksDataflow);
     conv.repetitions = layers;
     w.segments.push_back(std::move(conv));
 
     WorkloadSegment relu;
     relu.name = "relu-poly";
-    relu.graph = buildHMult(p, std::max(1u, lv - 1));
+    relu.graph = buildHMult(p, std::max(1u, lv - 1), opt.ksDataflow);
     relu.repetitions = static_cast<u64>(layers) * 4;  // deg-15 approx
     w.segments.push_back(std::move(relu));
 

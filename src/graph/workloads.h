@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/keyswitch_builder.h"
 #include "graph/params.h"
 
 namespace crophe::graph {
@@ -27,6 +28,10 @@ enum class RotMode : u8
     MinKs,     ///< ARK's sequential unit rotations
     Hoisting,  ///< MAD's hoisted parallel rotations
     Hybrid,    ///< CROPHE's coarse/fine hybrid (r_hyb)
+    /** Hoisted baby steps plus giant-step inner products accumulated in
+     *  the extended basis, so the per-giant-step ModDown collapses into
+     *  one shared ModDown at the end (DESIGN.md §15). */
+    TripleHoisted,
 };
 
 const char *rotModeName(RotMode mode);
@@ -55,23 +60,33 @@ struct WorkloadOptions
 {
     RotMode rotMode = RotMode::Hybrid;
     u32 rHyb = 4;  ///< hybrid coarse stride (ignored unless Hybrid)
+    /** Dataflow emitted for every full key switch (relinearization,
+     *  Min-KS/coarse/giant rotations); hoisted rotations have their own
+     *  shapes and are unaffected. */
+    KsDataflow ksDataflow = KsDataflow::Fused;
 };
 
 // --- Primitive builders (also used directly by tests/benches) -----------
 
 /** HMult (tensor product + relinearization + rescale) at @p level. */
-Graph buildHMult(const FheParams &p, u32 level);
+Graph buildHMult(const FheParams &p, u32 level,
+                 KsDataflow df = KsDataflow::Fused);
 
 /** HRot (automorphism + key switch) at @p level with key id @p evk_key. */
-Graph buildHRot(const FheParams &p, u32 level, const std::string &evk_key);
+Graph buildHRot(const FheParams &p, u32 level, const std::string &evk_key,
+                KsDataflow df = KsDataflow::Fused);
 
 /**
  * BSGS PtMatVecMult (Algorithm 1) with n1 baby and n2 giant steps at
- * @p level, baby-step rotations per @p mode / @p r_hyb.
+ * @p level, baby-step rotations per @p mode / @p r_hyb, full key switches
+ * per @p df. TripleHoisted emits hoisted baby steps plus per-giant-step
+ * ModUp + KSKInP whose pair outputs accumulate in the extended basis and
+ * share a single trailing ModDown.
  */
 Graph buildPtMatVecMult(const FheParams &p, u32 level, u32 n1, u32 n2,
                         RotMode mode, u32 r_hyb,
-                        const std::string &tag = "mv");
+                        const std::string &tag = "mv",
+                        KsDataflow df = KsDataflow::Fused);
 
 // --- Benchmark workloads -------------------------------------------------
 

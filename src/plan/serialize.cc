@@ -433,6 +433,8 @@ serializeWorkloadResult(const sched::WorkloadResult &res, ByteWriter &w)
         w.putString(name);
         writeStats(stats, w);
     }
+    w.putString(res.rotScheme);
+    w.putString(res.ksDataflow);
 }
 
 bool
@@ -456,6 +458,8 @@ deserializeWorkloadResult(ByteReader &r, sched::WorkloadResult &out)
             return false;
         out.perSegment.emplace_back(std::move(name), stats);
     }
+    if (!r.getString(out.rotScheme) || !r.getString(out.ksDataflow))
+        return false;
     return r.atEnd();
 }
 

@@ -24,8 +24,9 @@
 
 namespace crophe::plan {
 
-/** Bump on ANY layout change; readers reject other versions. */
-constexpr u32 kPlanFormatVersion = 1;
+/** Bump on ANY layout change; readers reject other versions.
+ *  v2: WorkloadResult gained rotScheme / ksDataflow annotation strings. */
+constexpr u32 kPlanFormatVersion = 2;
 
 /** Append-only little-endian byte sink. */
 class ByteWriter

@@ -28,6 +28,12 @@ struct WorkloadResult
     /** True when any segment schedule was deadline-truncated (anytime
      *  greedy fallback rather than the exact search, DESIGN.md §9). */
     bool degraded = false;
+    /** Rotation scheme the search settled on ("Hybrid r=4"); empty when
+     *  no rotation-scheme search ran (MAD path, plain scheduleWorkload). */
+    std::string rotScheme;
+    /** Key-switch dataflow the search settled on ("fused"); empty when no
+     *  rotation-scheme search ran. */
+    std::string ksDataflow;
 };
 
 /** Fraction of a segment's DRAM words that are shared aux constants. */

@@ -3,14 +3,19 @@
 
 /**
  * @file
- * Hybrid-rotation search (Sections V-C, V-D).
+ * Rotation-scheme × key-switch-dataflow search (Sections V-C, V-D and
+ * DESIGN.md §15).
  *
- * r_hyb changes the workload graph itself (coarse Min-KS chain + fine
- * hoisted steps), so the scheduler enumerates it "at the very beginning":
- * one workload graph is generated per candidate r_hyb and each is
- * scheduled independently; the cheapest wins.
+ * Both knobs change the workload graph itself (coarse Min-KS chain + fine
+ * hoisted steps; fused vs CiFlow-reordered key-switch pipelines), so the
+ * scheduler enumerates them "at the very beginning": one workload graph
+ * is generated per (rotation scheme, ks dataflow) candidate and each is
+ * scheduled independently; the cheapest wins. SchedOptions::rotSchemeMask
+ * and ::ksDataflowMask restrict the cross product (CLI --rot-schemes /
+ * --ks-dataflows).
  */
 
+#include <string>
 #include <vector>
 
 #include "graph/workloads.h"
@@ -24,6 +29,7 @@ struct RotationChoice
 {
     graph::RotMode mode = graph::RotMode::MinKs;
     u32 rHyb = 0;
+    graph::KsDataflow ksDataflow = graph::KsDataflow::Fused;
     WorkloadResult result;
 };
 
@@ -31,9 +37,26 @@ struct RotationChoice
 std::vector<u32> rHybCandidates(u32 n1_max = 16);
 
 /**
- * Build the workload named @p workload for every rotation scheme allowed
- * by @p allow_hybrid (always including Min-KS and Hoisting) and return the
- * fastest on @p cfg.
+ * Parse a comma-separated rotation-scheme filter into a RotMode bitmask
+ * for SchedOptions::rotSchemeMask. Accepted names: minks, hoisting,
+ * hybrid, triple (or all). Throws RecoverableError naming the offending
+ * token on anything else, and on an empty result.
+ */
+u32 parseRotSchemes(const std::string &spec);
+
+/**
+ * Parse a comma-separated key-switch-dataflow filter into a KsDataflow
+ * bitmask for SchedOptions::ksDataflowMask. Accepted names: fused, ostat,
+ * reordup (or all). Same error contract as parseRotSchemes.
+ */
+u32 parseKsDataflows(const std::string &spec);
+
+/**
+ * Build the workload named @p workload for every (rotation scheme,
+ * key-switch dataflow) pair allowed by @p allow_hybrid and the masks in
+ * @p opt, and return the fastest on @p cfg. Ties resolve first-wins in
+ * candidate order (Fused before the CiFlow dataflows within each scheme),
+ * so enlarging the space never flips a tie away from the legacy winner.
  */
 RotationChoice chooseRotationScheme(const std::string &workload,
                                     const graph::FheParams &params,

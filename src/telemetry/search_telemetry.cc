@@ -16,6 +16,15 @@ SearchTelemetry::recordCandidate(const std::string &label, double cost)
 }
 
 void
+SearchTelemetry::recordChoice(const std::string &workload,
+                              const std::string &rot_label, u32 rot_index,
+                              const std::string &ks_label, u32 ks_index)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    choices_.push_back({workload, rot_label, rot_index, ks_label, ks_index});
+}
+
+void
 SearchTelemetry::addEnumeration(u64 analyzed, u64 memo_hits)
 {
     std::lock_guard<std::mutex> lock(mu_);
@@ -153,6 +162,27 @@ SearchTelemetry::curve() const
     return out;
 }
 
+std::vector<SearchChoice>
+SearchTelemetry::choices() const
+{
+    std::vector<SearchChoice> out;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        out = choices_;
+    }
+    // Parallel design sweeps record in nondeterministic order; present a
+    // canonical ordering so every reader sees the same list.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const SearchChoice &a, const SearchChoice &b) {
+                         if (a.workload != b.workload)
+                             return a.workload < b.workload;
+                         if (a.rotLabel != b.rotLabel)
+                             return a.rotLabel < b.rotLabel;
+                         return a.ksLabel < b.ksLabel;
+                     });
+    return out;
+}
+
 void
 SearchTelemetry::registerStats(StatsRegistry &reg,
                                const std::string &prefix) const
@@ -189,6 +219,26 @@ SearchTelemetry::registerStats(StatsRegistry &reg,
         reg.counter(prefix + ".search.deadlineHits",
                     "graph searches truncated by the anytime deadline")
             .set(deadlineHits());
+    // Variant winners, as bitmask unions of the chosen enum indices —
+    // order-independent across thread interleavings, and absent entirely
+    // when no rotation-scheme search ran (MAD-only dumps stay unchanged).
+    auto chosen = choices();
+    if (!chosen.empty()) {
+        u64 rot_mask = 0;
+        u64 ks_mask = 0;
+        for (const SearchChoice &c : chosen) {
+            rot_mask |= u64{1} << c.rotIndex;
+            ks_mask |= u64{1} << c.ksIndex;
+        }
+        reg.counter(prefix + ".rot.mode",
+                    "bitmask union of chosen rotation schemes "
+                    "(1<<graph::RotMode)")
+            .set(rot_mask);
+        reg.counter(prefix + ".ks.dataflow",
+                    "bitmask union of chosen key-switch dataflows "
+                    "(1<<graph::KsDataflow)")
+            .set(ks_mask);
+    }
     if (!reg.has(prefix + ".enum.memoHitRate")) {
         // Captures registry-owned counters, so the formula stays valid for
         // the registry's whole lifetime.

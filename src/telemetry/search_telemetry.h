@@ -35,6 +35,16 @@ struct SearchSample
     double bestSoFar;   ///< min cost up to and including this step
 };
 
+/** The winning (rotation scheme, ks dataflow) of one workload's search. */
+struct SearchChoice
+{
+    std::string workload;  ///< e.g. "bootstrap"
+    std::string rotLabel;  ///< e.g. "hybrid r=4"
+    u32 rotIndex;          ///< static_cast<u32>(graph::RotMode)
+    std::string ksLabel;   ///< e.g. "fused"
+    u32 ksIndex;           ///< static_cast<u32>(graph::KsDataflow)
+};
+
 /**
  * Accumulates scheduler search progress across one or more searches.
  *
@@ -50,6 +60,11 @@ class SearchTelemetry
   public:
     /** Record one evaluated candidate schedule. */
     void recordCandidate(const std::string &label, double cost);
+
+    /** Record the variant the rotation/ks-dataflow search settled on. */
+    void recordChoice(const std::string &workload,
+                      const std::string &rot_label, u32 rot_index,
+                      const std::string &ks_label, u32 ks_index);
 
     /** Fold in one GroupEnumerator's counters after a search. */
     void addEnumeration(u64 analyzed, u64 memo_hits);
@@ -80,6 +95,9 @@ class SearchTelemetry
     /** Canonical (label-sorted) best-cost curve; see class comment. */
     std::vector<SearchSample> curve() const;
 
+    /** Recorded winners, sorted by (workload, rot, ks) for determinism. */
+    std::vector<SearchChoice> choices() const;
+
     /** Snapshot the counters into @p reg under @p prefix (idempotent). */
     void registerStats(StatsRegistry &reg,
                        const std::string &prefix = "sched") const;
@@ -90,6 +108,7 @@ class SearchTelemetry
   private:
     mutable std::mutex mu_;
     std::vector<std::pair<std::string, double>> samples_;  ///< raw order
+    std::vector<SearchChoice> choices_;                    ///< raw order
     u64 analyzed_ = 0;
     u64 memoHits_ = 0;
     u64 prunedWindows_ = 0;

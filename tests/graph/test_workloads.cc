@@ -84,6 +84,67 @@ TEST(WorkloadGraphs, RotationStrategiesChangeKeyCounts)
     EXPECT_LE(modup_intts(hybrid), modup_intts(min_ks));
 }
 
+TEST(WorkloadGraphs, TripleHoistedDefersGiantStepModDowns)
+{
+    FheParams p = paramsArk();
+    const u32 n1 = 8, n2 = 4, level = 10;
+    // Every ModDown chain (hoisted or in-key-switch) ends in exactly one
+    // EwMulConst (the 1/P scaling), and PtMatVecMult emits EwMulConst
+    // nowhere else — so counting them counts ModDowns.
+    auto mod_downs = [](const Graph &g) {
+        u32 count = 0;
+        for (const auto &op : g.ops())
+            count += op.kind == OpKind::EwMulConst;
+        return count;
+    };
+    Graph hoist =
+        buildPtMatVecMult(p, level, n1, n2, RotMode::Hoisting, 0);
+    Graph triple =
+        buildPtMatVecMult(p, level, n1, n2, RotMode::TripleHoisted, 0);
+    EXPECT_EQ(triple.topoOrder().size(), triple.size());
+
+    // Hoisting: n1-1 hoisted baby ModDowns + 2 per eager giant key switch.
+    EXPECT_EQ(mod_downs(hoist), (n1 - 1) + 2 * (n2 - 1));
+    // TripleHoisted: the n2-1 giant-step ModDowns collapse into one.
+    EXPECT_EQ(mod_downs(triple), (n1 - 1) + 1);
+
+    // The giant-step evks are still one per giant distance.
+    std::set<std::string> giant_keys;
+    for (const auto &op : triple.ops())
+        if (op.kind == OpKind::KskInnerProd &&
+            op.auxKey.find("giant") != std::string::npos)
+            giant_keys.insert(op.auxKey);
+    EXPECT_EQ(giant_keys.size(), n2 - 1);
+}
+
+TEST(WorkloadGraphs, KsDataflowThreadsThroughWorkloadBuilders)
+{
+    FheParams p = paramsArk();
+    // HMult emits exactly one key switch, so the graph sizes must differ
+    // by exactly the dataflow op-count deltas.
+    const u32 level = 10;
+    Graph fused = buildHMult(p, level, KsDataflow::Fused);
+    Graph ostat = buildHMult(p, level, KsDataflow::OutputStationary);
+    Graph reord = buildHMult(p, level, KsDataflow::ReorderedModUp);
+    const i64 base = keySwitchOpCount(p, level, KsDataflow::Fused);
+    EXPECT_EQ(static_cast<i64>(ostat.size()) - static_cast<i64>(fused.size()),
+              static_cast<i64>(keySwitchOpCount(
+                  p, level, KsDataflow::OutputStationary)) -
+                  base);
+    EXPECT_EQ(static_cast<i64>(reord.size()) - static_cast<i64>(fused.size()),
+              static_cast<i64>(keySwitchOpCount(
+                  p, level, KsDataflow::ReorderedModUp)) -
+                  base);
+
+    // And the option plumbs through buildWorkload end to end.
+    WorkloadOptions o = hybridOpt();
+    o.ksDataflow = KsDataflow::OutputStationary;
+    Workload w = buildWorkload("bootstrap", p, o);
+    WorkloadOptions of = hybridOpt();
+    Workload wf = buildWorkload("bootstrap", p, of);
+    EXPECT_NE(w.totalOps(), wf.totalOps());
+}
+
 TEST(WorkloadGraphs, HybridFineKeysSharedAcrossCoarseGroups)
 {
     FheParams p = paramsArk();

@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
+#include "common/error.h"
+#include "common/parallel.h"
+#include "plan/serialize.h"
 #include "graph/keyswitch_builder.h"
 #include "graph/workloads.h"
 #include "sched/enumerator.h"
 #include "sched/hybrid_rotation.h"
 #include "sched/mad.h"
 #include "sched/scheduler.h"
+#include "telemetry/search_telemetry.h"
+#include "telemetry/stats_registry.h"
 
 namespace crophe::sched {
 namespace {
@@ -171,6 +176,141 @@ TEST(HybridRotation, CandidatesArePowersOfTwo)
 {
     auto c = rHybCandidates(16);
     EXPECT_EQ(c, (std::vector<u32>{2, 4, 8, 16}));
+}
+
+TEST(HybridRotation, ParseRotSchemesAcceptsNamesAndAll)
+{
+    using graph::RotMode;
+    EXPECT_EQ(parseRotSchemes("minks"),
+              1u << static_cast<u32>(RotMode::MinKs));
+    EXPECT_EQ(parseRotSchemes("triple"),
+              1u << static_cast<u32>(RotMode::TripleHoisted));
+    EXPECT_EQ(parseRotSchemes("hoisting,hybrid"),
+              (1u << static_cast<u32>(RotMode::Hoisting)) |
+                  (1u << static_cast<u32>(RotMode::Hybrid)));
+    EXPECT_EQ(parseRotSchemes("all"), 0xFu);
+    EXPECT_EQ(parseRotSchemes("minks,all"), 0xFu);
+    EXPECT_THROW(parseRotSchemes("warp"), RecoverableError);
+    EXPECT_THROW(parseRotSchemes(""), RecoverableError);
+    EXPECT_THROW(parseRotSchemes(",,"), RecoverableError);
+}
+
+TEST(HybridRotation, ParseKsDataflowsAcceptsNamesAndAll)
+{
+    using graph::KsDataflow;
+    EXPECT_EQ(parseKsDataflows("fused"),
+              1u << static_cast<u32>(KsDataflow::Fused));
+    EXPECT_EQ(parseKsDataflows("ostat,reordup"),
+              (1u << static_cast<u32>(KsDataflow::OutputStationary)) |
+                  (1u << static_cast<u32>(KsDataflow::ReorderedModUp)));
+    EXPECT_EQ(parseKsDataflows("all"), 0x7u);
+    EXPECT_THROW(parseKsDataflows("fused,banana"), RecoverableError);
+    EXPECT_THROW(parseKsDataflows(""), RecoverableError);
+}
+
+TEST(HybridRotation, MasksRestrictTheSearch)
+{
+    FheParams p = graph::paramsArk();
+    auto cfg = hw::withSramMB(hw::configCrophe64(), 64.0);
+
+    SchedOptions opt = cropheOptions();
+    opt.rotSchemeMask = parseRotSchemes("minks");
+    opt.ksDataflowMask = parseKsDataflows("reordup");
+    auto choice = chooseRotationScheme("helr", p, cfg, opt, true);
+    EXPECT_EQ(choice.mode, RotMode::MinKs);
+    EXPECT_EQ(choice.ksDataflow, graph::KsDataflow::ReorderedModUp);
+
+    opt.rotSchemeMask = 0;
+    EXPECT_THROW(chooseRotationScheme("helr", p, cfg, opt, true),
+                 RecoverableError);
+    opt.rotSchemeMask = 0xF;
+    opt.ksDataflowMask = 0;
+    EXPECT_THROW(chooseRotationScheme("helr", p, cfg, opt, true),
+                 RecoverableError);
+}
+
+TEST(HybridRotation, EnlargedSearchNeverLosesToLegacySpace)
+{
+    // The cross product strictly contains the legacy (rotation × Fused)
+    // space, so the winner can only improve.
+    FheParams p = graph::paramsArk();
+    auto cfg = hw::withSramMB(hw::configCrophe64(), 64.0);
+    SchedOptions legacy = cropheOptions();
+    legacy.ksDataflowMask = parseKsDataflows("fused");
+    SchedOptions full = cropheOptions();
+    auto old_best = chooseRotationScheme("helr", p, cfg, legacy, true);
+    auto new_best = chooseRotationScheme("helr", p, cfg, full, true);
+    EXPECT_LE(new_best.result.stats.cycles, old_best.result.stats.cycles);
+}
+
+TEST(HybridRotation, PrunedEnlargedSearchMatchesMemoFreeGroundTruth)
+{
+    // Branch-and-bound pruning and the shared group memo must only
+    // skip work, never change the winner — byte for byte, over the
+    // full rotation-scheme × ks-dataflow cross product.
+    FheParams p = graph::paramsArk();
+    auto cfg = hw::withSramMB(hw::configCrophe64(), 64.0);
+
+    SchedOptions exact = cropheOptions();
+    exact.pruneSearch = false;
+    SchedOptions pruned = cropheOptions();
+    pruned.pruneSearch = true;
+
+    auto truth = chooseRotationScheme("helr", p, cfg, exact, true);
+    auto fast = chooseRotationScheme("helr", p, cfg, pruned, true);
+    EXPECT_EQ(truth.mode, fast.mode);
+    EXPECT_EQ(truth.rHyb, fast.rHyb);
+    EXPECT_EQ(truth.ksDataflow, fast.ksDataflow);
+    EXPECT_EQ(plan::workloadResultBytes(truth.result),
+              plan::workloadResultBytes(fast.result));
+}
+
+TEST(HybridRotation, EnlargedSearchIsThreadCountInvariant)
+{
+    FheParams p = graph::paramsArk();
+    auto cfg = hw::withSramMB(hw::configCrophe64(), 64.0);
+    SchedOptions opt = cropheOptions();
+
+    u32 before = ThreadPool::globalThreads();
+    ThreadPool::setGlobalThreads(1);
+    auto serial = chooseRotationScheme("helr", p, cfg, opt, true);
+    ThreadPool::setGlobalThreads(8);
+    auto wide = chooseRotationScheme("helr", p, cfg, opt, true);
+    ThreadPool::setGlobalThreads(before);
+
+    EXPECT_EQ(serial.mode, wide.mode);
+    EXPECT_EQ(serial.rHyb, wide.rHyb);
+    EXPECT_EQ(serial.ksDataflow, wide.ksDataflow);
+    EXPECT_EQ(serial.result.stats.cycles, wide.result.stats.cycles);
+}
+
+TEST(HybridRotation, ChoiceIsRecordedInSearchTelemetry)
+{
+    FheParams p = graph::paramsArk();
+    auto cfg = hw::withSramMB(hw::configCrophe64(), 64.0);
+    telemetry::SearchTelemetry search;
+    SchedOptions opt = cropheOptions();
+    opt.search = &search;
+    auto choice = chooseRotationScheme("helr", p, cfg, opt, false);
+
+    auto chosen = search.choices();
+    ASSERT_EQ(chosen.size(), 1u);
+    EXPECT_EQ(chosen[0].workload, "helr");
+    EXPECT_EQ(chosen[0].rotIndex, static_cast<u32>(choice.mode));
+    EXPECT_EQ(chosen[0].ksIndex, static_cast<u32>(choice.ksDataflow));
+
+    telemetry::StatsRegistry reg;
+    search.registerStats(reg, "sched");
+    EXPECT_TRUE(reg.has("sched.rot.mode"));
+    EXPECT_TRUE(reg.has("sched.ks.dataflow"));
+
+    // Without a recorded choice the keys stay absent (MAD-only dumps
+    // must not change shape).
+    telemetry::SearchTelemetry empty;
+    telemetry::StatsRegistry reg2;
+    empty.registerStats(reg2, "sched");
+    EXPECT_FALSE(reg2.has("sched.rot.mode"));
+    EXPECT_FALSE(reg2.has("sched.ks.dataflow"));
 }
 
 }  // namespace
